@@ -1,0 +1,55 @@
+"""Ablation A3: query size Gamma (the paper fixes Gamma = n/2).
+
+The model pools Gamma = n/2 agents per query. This ablation sweeps
+Gamma in {n/8, n/4, n/2, 3n/4} and measures the required number of
+queries on the Z-channel. Larger pools pack more signal per query but
+also more interference from other agents; around n/2 the trade-off is
+near its optimum, supporting the paper's choice.
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import required_queries_trials
+
+
+def _sweep() -> FigureResult:
+    n = 800
+    k = repro.sublinear_k(n, 0.25)
+    channel = repro.ZChannel(0.1)
+    rows = []
+    for frac_label, gamma in (
+        ("n/8", n // 8),
+        ("n/4", n // 4),
+        ("n/2", n // 2),
+        ("3n/4", 3 * n // 4),
+    ):
+        sample = required_queries_trials(
+            n, k, channel, trials=5, seed=23, gamma=gamma
+        )
+        rows.append({
+            "series": f"Gamma={frac_label}",
+            "gamma": gamma,
+            "n": n,
+            "required_m_median": sample.median,
+            "failures": sample.failures,
+        })
+    return FigureResult(
+        figure="ablation_gamma",
+        description="query size ablation (paper: Gamma = n/2)",
+        params={"n": n, "k": k, "p": 0.1, "trials": 5},
+        rows=rows,
+    )
+
+
+def test_ablation_query_size(benchmark, emit):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(result)
+    by_gamma = {row["series"]: row["required_m_median"] for row in result.rows}
+    assert all(row["failures"] == 0 for row in result.rows)
+    # Tiny pools waste queries: n/8 needs more than n/2.
+    assert by_gamma["Gamma=n/8"] > by_gamma["Gamma=n/2"]
+    # n/2 is within a small factor of the best choice on this grid.
+    best = min(by_gamma.values())
+    assert by_gamma["Gamma=n/2"] <= 1.6 * best

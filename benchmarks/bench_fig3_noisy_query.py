@@ -1,0 +1,38 @@
+"""Figure 3: required queries vs n, noisy query model vs noiseless.
+
+Paper series: "without noise" vs "with noise (lambda = 1)" for
+theta = 0.25. Expected shape: both grow ~ k ln n with the noisy curve a
+roughly constant factor above the noiseless one; the gap closes as n
+grows because the per-agent signal Delta ~ m/2 outruns the noise
+std lambda sqrt(Delta*) (Theorem 2: any fixed lambda is eventually
+negligible).
+"""
+
+from repro.experiments.figures import figure3
+from repro.experiments.stats import geometric_space
+
+
+def test_fig3_required_queries_noisy_query(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure3(
+            n_values=geometric_space(100, 3200, 6),
+            lams=(1.0, 2.0),
+            trials=3,
+            seed=2022,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    clean = result.series("without noise")
+    noisy1 = result.series("lambda=1")
+    noisy2 = result.series("lambda=2")
+    assert all(row["failures"] == 0 for row in clean + noisy1 + noisy2)
+    # noise can only increase the required number of queries (on medians,
+    # averaged over the grid to absorb trial variance)
+    mean = lambda rows: sum(r["required_m_median"] for r in rows) / len(rows)
+    assert mean(noisy1) >= mean(clean)
+    assert mean(noisy2) >= mean(noisy1)
+    # growth in n
+    assert clean[-1]["required_m_median"] > clean[0]["required_m_median"]

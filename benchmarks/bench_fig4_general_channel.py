@@ -1,0 +1,45 @@
+"""Figure 4: required queries vs n, general noisy channel p = q.
+
+Paper series: p = q in {1e-1 .. 1e-5} for theta = 0.25, with the GNC
+bound of Theorem 1 dashed. Expected shape: small q behave like the
+Z-channel (m ~ k ln n); once q dominates k/n the series bends onto the
+steeper n ln n trajectory — the crossover the paper points out for
+q = 1e-3 around n ~ 3000 (here visible for larger q at the bench's
+smaller n range).
+"""
+
+from repro.core.noise import effective_channel_regime
+from repro.core.ground_truth import sublinear_k
+from repro.experiments.figures import figure4
+from repro.experiments.stats import geometric_space
+
+
+def test_fig4_required_queries_general_channel(benchmark, emit):
+    n_values = geometric_space(100, 1600, 5)
+    result = benchmark.pedantic(
+        lambda: figure4(
+            n_values=n_values,
+            qs=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+            trials=2,
+            seed=2022,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    # Monotone in q at the largest n: larger false-positive rates demand
+    # more queries.
+    top = {q: result.series(f"q={q:g}")[-1]["required_m_median"]
+           for q in (1e-1, 1e-3, 1e-5)}
+    assert top[1e-1] > top[1e-3] >= 0.3 * top[1e-5]
+    # Tiny q is in the Z-like regime at these sizes (remark after Thm 1).
+    n_top = n_values[-1]
+    assert effective_channel_regime(1e-5, sublinear_k(n_top, 0.25), n_top) == "like-z"
+    assert effective_channel_regime(1e-1, sublinear_k(n_top, 0.25), n_top) == (
+        "like-positive-q"
+    )
+    # q = 1e-1 sits within a small factor of its GNC theory line.
+    sim = result.series("q=0.1")[-1]["required_m_median"]
+    theory = result.series("theory q=0.1")[-1]["required_m_median"]
+    assert sim < 4.0 * theory

@@ -1,0 +1,39 @@
+"""Figure 5: boxplots of the required m per configuration.
+
+Paper: n in {10^3, 10^4, 10^5} for the Z-channel (p = 0.1, 0.3, 0.5)
+and the noisy query model (lambda = 0, 1, 2, 3). The bench runs
+n in {10^3, ~3.2*10^3} with 12 trials per box; the full grid is
+available via ``python -m repro fig5 --full-scale``.
+
+Expected shape: within each n, boxes order by noise level; boxes shift
+upward with n; spreads (IQRs) are modest relative to medians.
+"""
+
+from repro.experiments.figures import figure5
+
+
+def test_fig5_required_queries_boxplots(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure5(
+            n_values=(1000, 3200),
+            ps=(0.1, 0.3, 0.5),
+            lams=(0.0, 1.0, 2.0, 3.0),
+            trials=12,
+            seed=2022,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    rows = {(row["series"], row["n"]): row for row in result.rows}
+    # Noise ordering of medians within each n.
+    for n in (1000, 3200):
+        assert rows[("Z p=0.1", n)]["median"] < rows[("Z p=0.5", n)]["median"]
+        assert rows[("lambda=0", n)]["median"] <= rows[("lambda=3", n)]["median"]
+    # Boxes shift upward with n for a fixed configuration.
+    assert rows[("Z p=0.3", 1000)]["median"] < rows[("Z p=0.3", 3200)]["median"]
+    # Valid box geometry everywhere.
+    for row in result.rows:
+        assert row["whisker_low"] <= row["q1"] <= row["median"] <= row["q3"]
+        assert row["q3"] <= row["whisker_high"]

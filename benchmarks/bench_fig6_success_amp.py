@@ -1,0 +1,46 @@
+"""Figure 6: success rate vs m at n = 1000 — greedy vs AMP, Z-channel.
+
+Paper: p in {0.1, 0.3, 0.5}, 100 runs per point, m up to 600; the
+Theorem 1 bound for p = 0.1 (eps = 0.1) is dashed. The bench uses 20
+trials per point and p in {0.1, 0.3} to stay fast.
+
+Expected shape (the paper's headline comparison):
+* both algorithms exhibit a phase transition in m;
+* AMP's transition sits at much smaller m and its window is narrower;
+* larger p shifts the greedy transition right.
+"""
+
+from repro.experiments.figures import figure6
+
+
+def test_fig6_success_rate_greedy_vs_amp(benchmark, emit):
+    m_values = list(range(50, 601, 50))
+    result = benchmark.pedantic(
+        lambda: figure6(
+            n=1000,
+            ps=(0.1, 0.3),
+            m_values=m_values,
+            trials=20,
+            seed=2022,
+            algorithms=("greedy", "amp"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    def rates(label):
+        return {row["m"]: row["success_rate"] for row in result.series(label)}
+
+    greedy01 = rates("greedy p=0.1")
+    amp01 = rates("amp p=0.1")
+    greedy03 = rates("greedy p=0.3")
+
+    # Phase transitions: near-zero early, near-one late.
+    assert greedy01[50] <= 0.2 and greedy01[600] >= 0.9
+    assert amp01[600] >= 0.9
+    # AMP transitions earlier: at every m it is at least as successful.
+    assert all(amp01[m] >= greedy01[m] - 0.15 for m in m_values)
+    assert amp01[100] > greedy01[100] + 0.3
+    # Noisier channel shifts the greedy transition right.
+    assert sum(greedy03.values()) <= sum(greedy01.values())

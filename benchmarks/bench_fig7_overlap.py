@@ -1,0 +1,40 @@
+"""Figure 7: overlap (fraction of identified 1-agents) vs m, greedy.
+
+Paper: n = 1000, Z-channel, p in {0.1, 0.3}; 100 runs per point. The
+key observation: near the Theorem 1 threshold the success rate of
+*exact* reconstruction is only ~40% while the average overlap is
+already ~90% — most 1-agents are found long before all of them are.
+"""
+
+from repro.core.bounds import theorem1_sublinear_z
+from repro.experiments.figures import figure7
+
+
+def test_fig7_overlap_curves(benchmark, emit):
+    m_values = list(range(50, 601, 50))
+    result = benchmark.pedantic(
+        lambda: figure7(
+            n=1000,
+            ps=(0.1, 0.3),
+            m_values=m_values,
+            trials=25,
+            seed=2022,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    rows01 = {row["m"]: row for row in result.series("p=0.1")}
+    # Overlap is monotone-ish and dominates success rate everywhere.
+    for row in rows01.values():
+        assert row["overlap"] >= row["success_rate"] - 1e-9
+    assert rows01[600]["overlap"] >= 0.95
+
+    # The paper's threshold observation: near the Theorem 1 bound the
+    # overlap is far ahead of the exact-recovery rate.
+    bound = theorem1_sublinear_z(1000, 0.25, 0.1, eps=0.1)
+    nearest_m = min(m_values, key=lambda m: abs(m - bound))
+    near = rows01[nearest_m]
+    assert near["overlap"] >= near["success_rate"] + 0.1
+    assert near["overlap"] >= 0.7

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the library's hot paths (pytest-benchmark).
+
+These are classical throughput benchmarks (many rounds, statistics in
+the benchmark table): pooling-graph sampling, measurement, decoding,
+the incremental step, AMP, and sorting-network generation.
+"""
+
+import numpy as np
+
+import repro
+from repro.amp import run_amp
+from repro.core.incremental import IncrementalDecoder
+from repro.distributed.sorting import odd_even_mergesort
+
+
+N, K, M = 10_000, 10, 500
+
+
+def _instance(seed=0, n=N, k=K, m=M, channel=None):
+    gen = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_pooling_graph(n, m, rng=gen)
+    meas = repro.measure(graph, truth, channel or repro.ZChannel(0.1), gen)
+    return truth, graph, meas
+
+
+def test_perf_sample_pooling_graph(benchmark):
+    gen = np.random.default_rng(1)
+    benchmark(lambda: repro.sample_pooling_graph(N, 100, rng=gen))
+
+
+def test_perf_measure_z_channel(benchmark):
+    truth, graph, _ = _instance()
+    gen = np.random.default_rng(2)
+    channel = repro.ZChannel(0.1)
+    benchmark(lambda: repro.measure(graph, truth, channel, gen))
+
+
+def test_perf_greedy_decode(benchmark):
+    _, _, meas = _instance()
+    benchmark(lambda: repro.greedy_reconstruct(meas))
+
+
+def test_perf_neighborhood_sums(benchmark):
+    _, graph, meas = _instance()
+    results = np.asarray(meas.results, dtype=float)
+    benchmark(lambda: graph.neighborhood_sums(results))
+
+
+def test_perf_incremental_step(benchmark):
+    gen = np.random.default_rng(3)
+    truth = repro.sample_ground_truth(N, K, gen)
+    decoder = IncrementalDecoder(truth, repro.ZChannel(0.1))
+
+    def step():
+        decoder.add_query(gen)
+        return decoder.is_successful()
+
+    benchmark(step)
+
+
+def test_perf_amp_full_run(benchmark):
+    _, _, meas = _instance(n=1000, k=6, m=300)
+    benchmark(lambda: run_amp(meas))
+
+
+def test_perf_batcher_schedule_generation(benchmark):
+    benchmark(lambda: odd_even_mergesort(1024))

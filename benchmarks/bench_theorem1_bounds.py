@@ -1,0 +1,92 @@
+"""Theorem 1 as a table: closed-form thresholds vs measured success.
+
+The paper states Theorem 1 as formulas rather than a table; this bench
+materializes the table (all regimes and channels on a parameter grid)
+and validates it empirically: running the greedy decoder with
+m = 1.5x the bound succeeds w.h.p., while m = 0.2x the bound fails, for
+each channel family.
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import success_rate_curve
+
+
+def _bounds_table() -> FigureResult:
+    rows = []
+    for n in (1000, 10_000, 100_000):
+        for theta in (0.25, 0.5):
+            for p in (0.0, 0.1, 0.3):
+                rows.append({
+                    "series": "sublinear-Z",
+                    "n": n, "theta": theta, "p": p, "q": 0.0,
+                    "bound_m": repro.theorem1_sublinear_z(n, theta, p),
+                })
+            for (p, q) in ((0.1, 0.01), (0.1, 0.1)):
+                rows.append({
+                    "series": "sublinear-GNC",
+                    "n": n, "theta": theta, "p": p, "q": q,
+                    "bound_m": repro.theorem1_sublinear_gnc(n, theta, p, q),
+                })
+        for zeta in (0.05, 0.2):
+            for (p, q) in ((0.0, 0.0), (0.1, 0.01)):
+                rows.append({
+                    "series": "linear",
+                    "n": n, "zeta": zeta, "p": p, "q": q,
+                    "bound_m": repro.theorem1_linear(n, zeta, p, q),
+                })
+    return FigureResult(
+        figure="theorem1_table",
+        description="Theorem 1 query thresholds across regimes and channels",
+        params={"eps": repro.DEFAULT_EPS},
+        rows=rows,
+    )
+
+
+def test_theorem1_bounds_table(benchmark, emit):
+    result = benchmark.pedantic(_bounds_table, rounds=1, iterations=1)
+    emit(result)
+    # Structural sanity: bounds positive, monotone in n within a series.
+    by_cfg = {}
+    for row in result.rows:
+        assert row["bound_m"] > 0
+        key = (row["series"], row.get("theta"), row.get("zeta"), row["p"], row["q"])
+        by_cfg.setdefault(key, []).append(row["bound_m"])
+    for values in by_cfg.values():
+        assert values == sorted(values)
+
+
+def test_theorem1_bound_is_achievable_z(benchmark):
+    """Greedy with m = 1.5x bound succeeds; with m = 0.2x bound it fails."""
+    n, theta, p = 1000, 0.25, 0.1
+    k = repro.sublinear_k(n, theta)
+    bound = repro.theorem1_sublinear_z(n, theta, p)
+
+    def run():
+        hi = success_rate_curve(
+            n, k, repro.ZChannel(p), [int(1.5 * bound)], trials=20, seed=1
+        )
+        lo = success_rate_curve(
+            n, k, repro.ZChannel(p), [int(0.2 * bound)], trials=20, seed=2
+        )
+        return hi.success_rates[0], lo.success_rates[0]
+
+    hi_rate, lo_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert hi_rate >= 0.9
+    assert lo_rate <= 0.2
+
+
+def test_theorem1_bound_is_achievable_linear(benchmark):
+    n, zeta, p = 400, 0.05, 0.1
+    k = repro.linear_k(n, zeta)
+    bound = repro.theorem1_linear(n, zeta, p, 0.0)
+
+    def run():
+        hi = success_rate_curve(
+            n, k, repro.ZChannel(p), [int(1.5 * bound)], trials=10, seed=3
+        )
+        return hi.success_rates[0]
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) >= 0.8

@@ -1,0 +1,71 @@
+"""Theorem 2's phase transition in the noisy query model.
+
+Theorem 2: with m queries and Gaussian noise N(0, lambda^2),
+
+* lambda^2 = o(m / ln n)  -> recovery succeeds w.h.p. at the noiseless
+  query budget;
+* lambda^2 = Omega(m)     -> recovery fails with positive probability
+  for ANY m.
+
+The bench sweeps lambda^2 across the window [m/ln n, m] at fixed m and
+shows the success rate collapsing from ~1 to ~0 — the predicted phase
+transition — and records the series.
+"""
+
+import math
+
+import numpy as np
+
+import repro
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import success_rate_curve
+
+
+def _phase_sweep() -> FigureResult:
+    n, theta = 500, 0.25
+    k = repro.sublinear_k(n, theta)
+    # 3x the noiseless threshold: deep in the success phase for small
+    # lambda, so the collapse we observe is driven by the noise alone.
+    m = int(3.0 * repro.theorem2_sublinear(n, theta))
+    lam2_grid = [
+        0.02 * m / math.log(n),
+        0.2 * m / math.log(n),
+        m / math.log(n),
+        0.2 * m,
+        m,
+        5 * m,
+    ]
+    rows = []
+    for lam2 in lam2_grid:
+        lam = math.sqrt(lam2)
+        curve = success_rate_curve(
+            n, k, repro.GaussianQueryNoise(lam), [m], trials=20, seed=99
+        )
+        rows.append({
+            "series": "empirical",
+            "lambda2_over_m": lam2 / m,
+            "lambda": lam,
+            "m": m,
+            "success_rate": curve.success_rates[0],
+            "overlap": curve.overlaps[0],
+            "phase": repro.noisy_query_phase(lam, m, n),
+        })
+    return FigureResult(
+        figure="theorem2_phase",
+        description="noisy-query phase transition (n=%d, m=%d)" % (n, m),
+        params={"n": n, "theta": theta, "m": m},
+        rows=rows,
+    )
+
+
+def test_theorem2_phase_transition(benchmark, emit):
+    result = benchmark.pedantic(_phase_sweep, rounds=1, iterations=1)
+    emit(result)
+    rows = result.rows
+    # Success collapses monotonically (allowing small fluctuations).
+    assert rows[0]["success_rate"] >= 0.9
+    assert rows[0]["phase"] == "recoverable"
+    assert rows[-1]["success_rate"] <= 0.1
+    assert rows[-1]["phase"] == "failure"
+    rates = [row["success_rate"] for row in rows]
+    assert all(b <= a + 0.15 for a, b in zip(rates, rates[1:]))

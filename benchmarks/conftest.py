@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure benchmark saves its series (JSON + CSV) under
+``benchmarks/results/`` and prints the paper-style table, so a
+``pytest benchmarks/ --benchmark-only`` run regenerates all evaluation
+data in one go. EXPERIMENTS.md is written against these outputs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Save a FigureResult and echo its table through captured stdout."""
+
+    def _emit(result):
+        result.save(results_dir)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _emit

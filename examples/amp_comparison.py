@@ -1,0 +1,70 @@
+"""Greedy vs AMP: a miniature of the paper's Figure 6.
+
+Both algorithms undergo a phase transition in the number of queries m;
+AMP's transition sits at smaller m and is much narrower, while the
+greedy algorithm needs only a single round of communication. The script
+also shows what state evolution — AMP's theoretical companion —
+predicts for each m.
+
+Run:  python examples/amp_comparison.py        (~1 minute)
+"""
+
+import numpy as np
+
+import repro
+from repro.amp import BayesBernoulliDenoiser, predicted_success
+from repro.experiments.runner import success_rate_curve
+from repro.experiments.tables import render_table
+
+
+def main() -> None:
+    n = 1000
+    theta = 0.25
+    p = 0.1
+    trials = 30
+    m_values = [50, 100, 150, 200, 300, 400, 500]
+    seed = 2022
+
+    k = repro.sublinear_k(n, theta)
+    channel = repro.ZChannel(p)
+    print(f"n={n}, k={k}, Z-channel p={p}, {trials} trials per point")
+    print(f"Theorem 1 threshold (eps=0.1): "
+          f"{repro.theorem1_sublinear_z(n, theta, p, eps=0.1):.0f} queries\n")
+
+    greedy = success_rate_curve(
+        n, k, channel, m_values, algorithm="greedy", trials=trials, seed=seed
+    )
+    amp = success_rate_curve(
+        n, k, channel, m_values, algorithm="amp", trials=trials, seed=seed
+    )
+
+    denoiser = BayesBernoulliDenoiser(k / n)
+    rows = []
+    for i, m in enumerate(m_values):
+        se_ok = predicted_success(denoiser, k / n, delta=m / n)
+        rows.append([
+            m,
+            f"{greedy.success_rates[i]:.2f}",
+            f"{greedy.overlaps[i]:.2f}",
+            f"{amp.success_rates[i]:.2f}",
+            "recovers" if se_ok else "stuck",
+        ])
+    print(render_table(
+        ["m", "greedy success", "greedy overlap", "AMP success",
+         "state evolution"],
+        rows,
+    ))
+
+    g50 = greedy.crossing(0.5)
+    a50 = amp.crossing(0.5)
+    print()
+    if a50 is not None and g50 is not None:
+        print(f"50% crossings — AMP: m~{a50}, greedy: m~{g50} "
+              f"(AMP transitions ~{g50 / a50:.1f}x earlier, matching Fig. 6).")
+    print("Note how the greedy overlap is already high well before exact "
+          "recovery —\nthe paper's Fig. 7 observation that most 1-bits are "
+          "found long before all are.")
+
+
+if __name__ == "__main__":
+    main()

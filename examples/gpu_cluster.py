@@ -1,0 +1,80 @@
+"""Distributed feature screening on an unreliable GPU cluster (noisy channel).
+
+The paper's technological motivation: query nodes are GPUs that each
+evaluate a neural network on a random subset of items and report how
+many of them are "positive". Communication and evaluation are subject
+to random bit flips — a positive read as negative with probability p
+(and, in the general channel, a negative read as positive with
+probability q). The Z-channel (q = 0) models the common case where
+false positives are much rarer than false negatives.
+
+This script runs the *actual distributed protocol* — query-node
+broadcasts, per-agent score accumulation, and a Batcher sorting network
+— on a simulated synchronous message-passing cluster, and reports the
+communication bill alongside the reconstruction quality.
+
+Run:  python examples/gpu_cluster.py
+"""
+
+import numpy as np
+
+import repro
+from repro.distributed import run_distributed_algorithm1
+from repro.experiments.tables import render_kv, render_table
+
+
+def main() -> None:
+    n = 256  # items (power of two so we can also show the bitonic network)
+    k = 8    # truly positive items
+    m = 220  # GPU evaluation rounds (query nodes)
+    p = 0.15
+    seed = 3
+
+    gen = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_pooling_graph(n, m, rng=gen)
+    channel = repro.ZChannel(p)
+    measurements = repro.measure(graph, truth, channel, gen)
+
+    print(render_kv("Cluster job", [
+        ("items n", n),
+        ("positives k", k),
+        ("GPU queries m", m),
+        ("items per query", graph.gamma),
+        ("channel", channel.describe()),
+    ]))
+    print()
+
+    rows = []
+    for network in ("batcher", "bitonic", "transposition"):
+        report = run_distributed_algorithm1(measurements, sorting_network=network)
+        rows.append([
+            network,
+            report.sort_depth,
+            report.metrics.rounds,
+            report.metrics.messages,
+            f"{report.metrics.bits / 8 / 1024:.1f} KiB",
+            report.result.exact,
+            f"{report.result.overlap:.2f}",
+        ])
+    print(render_table(
+        ["sorting network", "sort depth", "rounds", "messages", "traffic",
+         "exact", "overlap"],
+        rows,
+    ))
+    print()
+    print("All three networks compute the identical reconstruction; they "
+          "trade\nround-latency (depth) against comparator count. "
+          "Batcher's O(log^2 n)\ndepth is why the paper cites it for the "
+          "sorting step of Algorithm 1.")
+
+    # Sanity: the distributed run agrees with the vectorized decoder.
+    vec = repro.greedy_reconstruct(measurements)
+    dist = run_distributed_algorithm1(measurements).result
+    assert np.array_equal(vec.estimate, dist.estimate)
+    print("\nVerified: message-passing output is bit-identical to the "
+          "vectorized decoder.")
+
+
+if __name__ == "__main__":
+    main()

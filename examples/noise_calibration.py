@@ -1,0 +1,89 @@
+"""Calibrating the noise channel from the data itself.
+
+The paper assumes the channel parameters (p, q, lambda) are known
+constants. This example shows the library's calibration workflow for
+the realistic case where they are not:
+
+1. estimate what is identifiable from the raw query results — the
+   results are exactly Bin(Gamma, r) with effective read rate
+   ``r = q + (k/n)(1-p-q)``, so one-parameter families (Z-channel,
+   symmetric channel) and the Gaussian level come straight from the
+   first two moments;
+2. decode once with the fitted channel's oracle centering;
+3. for the general (p, q) channel, regress the results on the decoded
+   ``E1_hat`` per query (slope ``1-p-q``, intercept ``q Gamma``) —
+   the decode-assisted step that resolves the (p, q) ambiguity.
+
+Run:  python examples/noise_calibration.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.estimation import (
+    estimate_effective_rate,
+    estimate_general_channel,
+    fit_channel,
+)
+from repro.experiments.tables import render_kv, render_table
+
+
+def main() -> None:
+    n, k, m = 1000, 30, 4000
+    true_p, true_q = 0.15, 0.03
+    seed = 21
+
+    gen = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_pooling_graph(n, m, rng=gen)
+    channel = repro.NoisyChannel(true_p, true_q)
+    meas = repro.measure(graph, truth, channel, gen)
+
+    print(render_kv("Hidden channel (to be estimated)", [
+        ("false-negative p", true_p),
+        ("false-positive q", true_q),
+        ("effective read rate r", f"{true_q + k / n * (1 - true_p - true_q):.4f}"),
+    ]))
+    print()
+
+    # Step 1: what the marginal results identify.
+    r_hat = estimate_effective_rate(meas.results, graph.gamma)
+    print(f"Step 1 — moment estimate of the effective rate: r_hat = {r_hat:.4f}")
+    print("        (p and q individually are NOT identifiable from the")
+    print("         results alone: they are exactly Bin(Gamma, r) samples)\n")
+
+    # Step 2: decode with the mean-calibrated oracle centering. Any
+    # (p, q) with the right r gives the same centering, so we can use
+    # the symmetric fit as a stand-in.
+    stand_in = fit_channel("symmetric", meas)
+    from repro.core.scores import centered_scores, expected_query_result
+
+    psi = graph.neighborhood_sums(meas.results)
+    scores = centered_scores(
+        psi,
+        graph.distinct_degrees(),
+        k,
+        mode="oracle",
+        expected_result=expected_query_result(stand_in, n, k, graph.gamma),
+    )
+    estimate = repro.top_k_estimate(scores, k)
+    exact = bool(np.array_equal(estimate, truth.sigma))
+    print(f"Step 2 — decode with the calibrated centering: exact = {exact}")
+    overlap = float(np.count_nonzero(estimate[truth.sigma == 1]) / k)
+    print(f"         overlap = {overlap:.3f}\n")
+
+    # Step 3: decode-assisted (p, q) regression.
+    p_hat, q_hat = estimate_general_channel(meas, estimate)
+    print("Step 3 — per-query regression on decoded E1_hat:")
+    print(render_table(
+        ["parameter", "true", "estimated"],
+        [["p", true_p, f"{p_hat:.4f}"], ["q", true_q, f"{q_hat:.4f}"]],
+    ))
+    print()
+    print("The fitted channel can now drive everything the known-parameter")
+    print("pipeline does: Theorem 1 thresholds, oracle centering, AMP's")
+    print("channel correction — without assuming p and q up front.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: reconstruct hidden bits from noisy pooled queries.
+
+The minimal end-to-end tour of the library:
+
+1. draw a ground truth (n agents, k of them hold bit 1),
+2. draw the random pooling design (m queries of size n/2 each),
+3. measure through a noisy channel (here: Z-channel, 10% of 1-bits
+   flip to 0 when read),
+4. reconstruct with the paper's greedy Algorithm 1 and with AMP,
+5. compare against the Theorem 1 query threshold.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.amp import run_amp
+from repro.experiments.tables import render_kv
+
+
+def main() -> None:
+    n = 1000
+    theta = 0.25  # sublinear regime: k = n^theta
+    p = 0.1  # Z-channel false-negative rate
+    m = 400  # number of pooled queries
+    seed = 42
+
+    k = repro.sublinear_k(n, theta)
+    gen = np.random.default_rng(seed)
+
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_pooling_graph(n, m, rng=gen)
+    channel = repro.ZChannel(p)
+    measurements = repro.measure(graph, truth, channel, gen)
+
+    greedy = repro.greedy_reconstruct(measurements)
+    amp = run_amp(measurements)
+    bound = repro.theorem1_sublinear_z(n, theta, p, eps=0.05)
+
+    print(render_kv("Instance", [
+        ("agents n", n),
+        ("ones k (= n^0.25)", k),
+        ("queries m", m),
+        ("query size Gamma", graph.gamma),
+        ("channel", channel.describe()),
+        ("Theorem 1 threshold", f"{bound:.0f} queries"),
+    ]))
+    print()
+    print(render_kv("Greedy (Algorithm 1)", [
+        ("exact recovery", greedy.exact),
+        ("overlap", f"{greedy.overlap:.3f}"),
+        ("score separation", f"{greedy.meta['separation_margin']:.1f}"),
+    ]))
+    print()
+    print(render_kv("AMP baseline", [
+        ("exact recovery", amp.exact),
+        ("overlap", f"{amp.overlap:.3f}"),
+        ("iterations", amp.meta["iterations"]),
+        ("converged", amp.meta["converged"]),
+    ]))
+    print()
+    if greedy.exact:
+        print(f"Greedy recovered all {k} hidden 1-bits from {m} noisy queries "
+              f"(theory asks for ~{bound:.0f}).")
+    else:
+        print(f"Greedy misclassified {greedy.hamming_errors} agents — "
+              f"try m above the Theorem 1 threshold of {bound:.0f}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Heavy-hitter detection in network traffic (linear regime).
+
+The paper's linear-regime motivation: in traffic monitoring a constant
+fraction zeta of flows are "heavy". Out of n flows, k = zeta * n carry
+the hidden bit 1; sum-queries over random flow subsets (e.g. sketch
+counters) report how many heavy flows they contain, possibly through a
+noisy channel.
+
+This script contrasts the two regimes of Theorem 1: in the linear
+regime the required number of queries scales like n ln n — far beyond
+the k ln n of the sublinear regime — and the measured query counts
+track the linear-regime bound.
+
+Run:  python examples/traffic_monitoring.py
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments.runner import required_queries_trials
+from repro.experiments.tables import render_table
+
+
+def main() -> None:
+    zeta = 0.05  # 5% of flows are heavy hitters
+    p = 0.05     # mild false-negative rate in the counters
+    trials = 4
+    seed = 11
+
+    print(f"Linear regime: k = {zeta:.0%} of n flows are heavy, "
+          f"Z-channel p={p}\n")
+    rows = []
+    for n in (200, 400, 800, 1600):
+        k = repro.linear_k(n, zeta)
+        channel = repro.ZChannel(p)
+        sample = required_queries_trials(n, k, channel, trials=trials, seed=seed)
+        bound = repro.theorem1_linear(n, zeta, p, 0.0, eps=0.05)
+        sub_bound_same_k = repro.theorem2_sublinear(n, np.log(k) / np.log(n))
+        rows.append([
+            n,
+            k,
+            f"{sample.median:.0f}",
+            f"{bound:.0f}",
+            f"{sample.median / (n * np.log(n)):.3f}",
+        ])
+    print(render_table(
+        ["flows n", "heavy k", "median m (measured)", "Thm 1 linear bound",
+         "m / (n ln n)"],
+        rows,
+    ))
+    print()
+    print("The measured m grows ~ n ln n (last column roughly constant), an "
+          "order\nof magnitude above the k ln n scaling of the sublinear "
+          "regime — the\nprice of a constant fraction of heavy hitters "
+          "(Theorem 1, linear case).")
+
+
+if __name__ == "__main__":
+    main()

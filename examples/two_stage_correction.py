@@ -1,0 +1,64 @@
+"""The paper's open question, answered empirically: local error correction.
+
+The conclusion of the paper asks whether "a two-step algorithm that
+locally tries to correct errors can be analyzed rigorously and performs
+even better" than the one-shot greedy Algorithm 1. This example runs
+the library's two-stage extension — greedy start, then iterative local
+correction against the query residuals — in the transition window
+where greedy alone struggles, and shows how few correction rounds it
+takes to fix the remaining mistakes.
+
+Run:  python examples/two_stage_correction.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.twostage import two_stage_reconstruct
+from repro.experiments.tables import render_table
+
+
+def main() -> None:
+    n, theta, p = 1000, 0.25, 0.3
+    k = repro.sublinear_k(n, theta)
+    m = 180  # inside greedy's transition window for p = 0.3
+    trials = 12
+
+    print(f"n={n}, k={k}, Z-channel p={p}, m={m} queries, {trials} trials")
+    print("(greedy alone succeeds rarely at this m; see Figure 6)\n")
+
+    rows = []
+    greedy_wins = twostage_wins = 0
+    for seed in range(trials):
+        gen = np.random.default_rng(1000 + seed)
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph(n, m, rng=gen)
+        meas = repro.measure(graph, truth, repro.ZChannel(p), gen)
+
+        greedy = repro.greedy_reconstruct(meas)
+        two = two_stage_reconstruct(meas)
+        greedy_wins += greedy.exact
+        twostage_wins += two.exact
+        rows.append([
+            seed,
+            greedy.hamming_errors,
+            two.hamming_errors,
+            two.meta["rounds"],
+            "fixed" if (not greedy.exact and two.exact) else
+            ("kept" if greedy.exact else "open"),
+        ])
+
+    print(render_table(
+        ["trial", "greedy errors", "two-stage errors", "correction rounds",
+         "outcome"],
+        rows,
+    ))
+    print(f"\nexact recoveries — greedy: {greedy_wins}/{trials}, "
+          f"two-stage: {twostage_wins}/{trials}")
+    print("Each correction round costs one extra query->agent round trip — "
+          "the same\ncommunication pattern as Algorithm 1's single round, "
+          "repeated a handful of times.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "Distributed Reconstruction of Noisy Pooled Data".
+
+Hahn-Klimroth & Kaaser, ICDCS 2022 (arXiv:2204.07491).
+
+The public API re-exports the most commonly used pieces:
+
+* problem substrate — :class:`GroundTruth`, :class:`PoolingGraph`,
+  noise channels, :func:`measure`;
+* algorithms — the greedy maximum-neighborhood decoder
+  (:func:`greedy_reconstruct`, :class:`IncrementalDecoder`) and the
+  :class:`~repro.amp.AMP` baseline;
+* theory — Theorem 1/2 query thresholds (:func:`theorem1_bound`, ...);
+* the distributed message-passing runtime lives in
+  :mod:`repro.distributed`, the experiment harness (figure
+  reproductions) in :mod:`repro.experiments`.
+
+Quickstart::
+
+    import repro
+
+    truth = repro.sample_ground_truth(n=1000, k=repro.sublinear_k(1000, 0.25), rng=1)
+    graph = repro.sample_pooling_graph(n=1000, m=400, rng=2)
+    meas = repro.measure(graph, truth, repro.ZChannel(p=0.1), rng=3)
+    result = repro.greedy_reconstruct(meas)
+    print(result.exact, result.overlap)
+"""
+
+from repro.core import *  # noqa: F401,F403  (curated re-export, see repro.core.__all__)
+from repro.core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + ["__version__"]

@@ -1,0 +1,49 @@
+"""Approximate message passing baseline (paper, Section III).
+
+AMP is the sequential algorithm the paper compares against in Figure 6;
+it is conjectured optimal for dense-inference problems of this type.
+This package provides:
+
+* :func:`run_amp` — the Onsager-corrected AMP iteration on standardized
+  pooled measurements;
+* denoisers (:class:`BayesBernoulliDenoiser`,
+  :class:`SoftThresholdDenoiser`);
+* :func:`state_evolution` — the scalar recursion predicting AMP's MSE
+  trajectory.
+"""
+
+from repro.amp.amp import AMPConfig, run_amp, standardize_system
+from repro.amp.distributed_amp import (
+    CommunicationCost,
+    amp_communication_cost,
+    greedy_communication_cost,
+    run_distributed_amp,
+)
+from repro.amp.denoisers import (
+    BayesBernoulliDenoiser,
+    Denoiser,
+    SoftThresholdDenoiser,
+)
+from repro.amp.state_evolution import (
+    StateEvolutionResult,
+    denoiser_mse,
+    predicted_success,
+    state_evolution,
+)
+
+__all__ = [
+    "AMPConfig",
+    "run_amp",
+    "standardize_system",
+    "Denoiser",
+    "BayesBernoulliDenoiser",
+    "SoftThresholdDenoiser",
+    "denoiser_mse",
+    "state_evolution",
+    "StateEvolutionResult",
+    "predicted_success",
+    "CommunicationCost",
+    "greedy_communication_cost",
+    "amp_communication_cost",
+    "run_distributed_amp",
+]

@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <figure> [options]``.
+
+Regenerates any paper figure's data from the terminal, e.g.::
+
+    python -m repro fig2 --trials 5 --n-max 10000
+    python -m repro fig6 --trials 25 --out results/
+
+Use ``--full-scale`` to run the paper's complete grids (slow: the
+original sweeps extend to n = 10^5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.stats import geometric_space
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures from 'Distributed Reconstruction of "
+        "Noisy Pooled Data' (ICDCS 2022)",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figure to regenerate (or 'all')",
+    )
+    parser.add_argument("--trials", type=int, default=None, help="trials per point")
+    parser.add_argument("--seed", type=int, default=2022, help="root seed")
+    parser.add_argument(
+        "--n-min", type=int, default=100, help="smallest n on the grid (figs 2-4)"
+    )
+    parser.add_argument(
+        "--n-max", type=int, default=10_000, help="largest n on the grid (figs 2-4)"
+    )
+    parser.add_argument(
+        "--n-points", type=int, default=9, help="points on the n grid (figs 2-4)"
+    )
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        default=1,
+        help="success-check stride of the incremental simulator",
+    )
+    parser.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="use the paper's full grids (n up to 1e5, 100 trials)",
+    )
+    parser.add_argument("--out", type=str, default=None, help="save JSON/CSV here")
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII plot of the figure's series",
+    )
+    return parser
+
+
+#: per-figure plot axes: (x_key, y_key, log_x, log_y)
+_PLOT_AXES = {
+    "fig2": ("n", "required_m_median", True, True),
+    "fig3": ("n", "required_m_median", True, True),
+    "fig4": ("n", "required_m_median", True, True),
+    "fig5": ("n", "median", True, True),
+    "fig6": ("m", "success_rate", False, False),
+    "fig7": ("m", "overlap", False, False),
+}
+
+
+def _figure_kwargs(args: argparse.Namespace, name: str) -> dict:
+    kwargs: dict = {"seed": args.seed}
+    if args.full_scale:
+        if name in ("fig2", "fig3", "fig4"):
+            kwargs["n_values"] = geometric_space(100, 100_000, 13)
+            kwargs["trials"] = args.trials or 10
+            kwargs["check_every"] = args.check_every
+        elif name == "fig5":
+            kwargs["n_values"] = (1_000, 10_000, 100_000)
+            kwargs["trials"] = args.trials or 50
+            kwargs["check_every"] = args.check_every
+        else:
+            kwargs["trials"] = args.trials or 100
+    else:
+        if name in ("fig2", "fig3", "fig4"):
+            kwargs["n_values"] = geometric_space(args.n_min, args.n_max, args.n_points)
+            kwargs["check_every"] = args.check_every
+        if name == "fig5":
+            kwargs["check_every"] = args.check_every
+        if args.trials is not None:
+            kwargs["trials"] = args.trials
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        started = time.perf_counter()
+        result = run_figure(name, **_figure_kwargs(args, name))
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        if args.plot:
+            from repro.experiments.plots import plot_figure_result
+
+            x_key, y_key, log_x, log_y = _PLOT_AXES[name]
+            print()
+            print(
+                plot_figure_result(
+                    result, x_key=x_key, y_key=y_key, log_x=log_x, log_y=log_y
+                )
+            )
+        print(f"[{name}] completed in {elapsed:.1f}s")
+        if args.out:
+            result.save(args.out)
+            print(f"[{name}] saved to {args.out}/{name}.json|.csv")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""Closed-form query thresholds (Theorems 1 and 2 of the paper).
+
+All bounds return the number of queries ``m`` (as a float — callers
+round up) above which Algorithm 1 succeeds w.h.p.
+
+Notation: ``gamma_const = 1 - exp(-1/2)`` (the paper's ``γ``),
+``theta`` the sublinear exponent (``k = n**theta``), ``zeta`` the linear
+density (``k = zeta * n``), ``p``/``q`` the channel's false-negative /
+false-positive rates, ``lam`` the Gaussian noise level.
+
+Theorem 1 (noisy channel model):
+
+* sublinear, Z-channel (``q = 0``)::
+
+      m >= (4γ + ε) (1 + sqrt(θ))² / (1 - p) · k ln n
+
+* sublinear, general noisy channel (``q > 0``)::
+
+      m >= (4γ + ε) q (1 + sqrt(θ))² / (1 - p - q)² · n ln n
+
+* linear (Z and general)::
+
+      m >= (16γ + ε) (q + ζ(1 - p - q)) / (1 - p - q)² · n ln n
+
+  Note: the theorem *statement* prints the numerator as
+  ``(q + (1-p-q)) ζ`` while the proof (Section IV-C, linear case)
+  derives ``q + ζ(1-p-q)``; the two coincide at ``q = 0`` and the proof
+  version matches the noiseless special case of Theorem 2, so we
+  implement the proof version.
+
+Theorem 2 (noisy query model), valid when ``λ² = o(m / ln n)``:
+
+* sublinear:  ``m >= (4γ + ε)(1 + sqrt(θ))² k ln n``
+* linear:     ``m >= (16γ + ε) ζ n ln n``
+
+and reconstruction fails with positive probability for any ``m`` when
+``λ² = Ω(m)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive_int,
+    check_probability,
+)
+
+#: the paper's γ = 1 - e^{-1/2} ≈ 0.3935
+GAMMA_CONST: float = 1.0 - math.exp(-0.5)
+
+#: default slack ε used by the paper's dashed theory lines (Fig. 2)
+DEFAULT_EPS: float = 0.05
+
+
+def _check_channel(p: float, q: float) -> None:
+    check_probability(p, "p")
+    check_probability(q, "q")
+    if p + q >= 1.0:
+        raise ValueError(f"the theorems require p + q < 1, got p={p}, q={q}")
+
+
+def queries_from_density(d: float, k: int, n: int) -> float:
+    """The paper's parametrization ``m = d · k · ln n``."""
+    return d * k * math.log(n)
+
+
+def theorem1_sublinear_z(
+    n: int, theta: float, p: float, eps: float = DEFAULT_EPS
+) -> float:
+    """Theorem 1, sublinear regime, Z-channel (``q = 0``)."""
+    n = check_positive_int(n, "n", minimum=2)
+    theta = check_fraction(theta, "theta")
+    _check_channel(p, 0.0)
+    check_non_negative(eps, "eps")
+    k = n**theta
+    c = (4.0 * GAMMA_CONST + eps) * (1.0 + math.sqrt(theta)) ** 2 / (1.0 - p)
+    return c * k * math.log(n)
+
+
+def theorem1_sublinear_gnc(
+    n: int, theta: float, p: float, q: float, eps: float = DEFAULT_EPS
+) -> float:
+    """Theorem 1, sublinear regime, general noisy channel (``q > 0``).
+
+    For ``q == 0`` this degenerates to 0; use
+    :func:`theorem1_sublinear_z` for the Z-channel, or the dispatcher
+    :func:`theorem1_bound` which returns the max of both branches
+    (matching the remark after Theorem 1: sub-``k/n`` values of ``q``
+    behave like ``q = 0``).
+    """
+    n = check_positive_int(n, "n", minimum=2)
+    theta = check_fraction(theta, "theta")
+    _check_channel(p, q)
+    check_non_negative(eps, "eps")
+    c = (
+        (4.0 * GAMMA_CONST + eps)
+        * q
+        * (1.0 + math.sqrt(theta)) ** 2
+        / (1.0 - p - q) ** 2
+    )
+    return c * n * math.log(n)
+
+
+def theorem1_linear(
+    n: int, zeta: float, p: float, q: float, eps: float = DEFAULT_EPS
+) -> float:
+    """Theorem 1, linear regime (Z and general noisy channel)."""
+    n = check_positive_int(n, "n", minimum=2)
+    zeta = check_fraction(zeta, "zeta")
+    _check_channel(p, q)
+    check_non_negative(eps, "eps")
+    c = (
+        (16.0 * GAMMA_CONST + eps)
+        * (q + zeta * (1.0 - p - q))
+        / (1.0 - p - q) ** 2
+    )
+    return c * n * math.log(n)
+
+
+def theorem1_bound(
+    n: int,
+    *,
+    p: float,
+    q: float,
+    theta: Optional[float] = None,
+    zeta: Optional[float] = None,
+    eps: float = DEFAULT_EPS,
+) -> float:
+    """Dispatch Theorem 1 by regime.
+
+    Exactly one of ``theta`` (sublinear) / ``zeta`` (linear) must be
+    given. In the sublinear regime with ``q > 0`` the returned bound is
+    the max of the Z-branch and the GNC branch: for small ``q`` (below
+    order ``k/n``) the channel behaves like the Z-channel (remark after
+    Theorem 1), so the binding constraint is whichever is larger.
+    """
+    if (theta is None) == (zeta is None):
+        raise ValueError("specify exactly one of theta (sublinear) or zeta (linear)")
+    if zeta is not None:
+        return theorem1_linear(n, zeta, p, q, eps)
+    if q == 0.0:
+        return theorem1_sublinear_z(n, theta, p, eps)
+    return max(
+        theorem1_sublinear_z(n, theta, p, eps),
+        theorem1_sublinear_gnc(n, theta, p, q, eps),
+    )
+
+
+def theorem2_sublinear(n: int, theta: float, eps: float = DEFAULT_EPS) -> float:
+    """Theorem 2, sublinear regime (valid when ``λ² = o(m / ln n)``)."""
+    n = check_positive_int(n, "n", minimum=2)
+    theta = check_fraction(theta, "theta")
+    check_non_negative(eps, "eps")
+    k = n**theta
+    return (4.0 * GAMMA_CONST + eps) * (1.0 + math.sqrt(theta)) ** 2 * k * math.log(n)
+
+
+def theorem2_linear(n: int, zeta: float, eps: float = DEFAULT_EPS) -> float:
+    """Theorem 2, linear regime (valid when ``λ² = o(m / ln n)``)."""
+    n = check_positive_int(n, "n", minimum=2)
+    zeta = check_fraction(zeta, "zeta")
+    check_non_negative(eps, "eps")
+    return (16.0 * GAMMA_CONST + eps) * zeta * n * math.log(n)
+
+
+def theorem2_bound(
+    n: int,
+    *,
+    theta: Optional[float] = None,
+    zeta: Optional[float] = None,
+    eps: float = DEFAULT_EPS,
+) -> float:
+    """Dispatch Theorem 2 by regime."""
+    if (theta is None) == (zeta is None):
+        raise ValueError("specify exactly one of theta (sublinear) or zeta (linear)")
+    if theta is not None:
+        return theorem2_sublinear(n, theta, eps)
+    return theorem2_linear(n, zeta, eps)
+
+
+def counting_lower_bound(n: int, k: int, gamma: Optional[int] = None) -> float:
+    """Information-theoretic (counting) lower bound on ``m``.
+
+    Any non-adaptive scheme must distinguish all ``C(n, k)`` ground
+    truths; a single query returns a value in ``{0, ..., Gamma}`` and
+    hence carries at most ``log2(Gamma + 1)`` bits, so
+
+        m >= log2 C(n, k) / log2(Gamma + 1)
+
+    even with unlimited computational power and no noise. This folklore
+    bound contextualizes Theorem 1: the greedy algorithm's
+    ``O(k ln n)`` queries are a polylogarithmic factor above it.
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k", minimum=0)
+    if k > n:
+        raise ValueError(f"k must be <= n, got k={k}, n={n}")
+    if gamma is None:
+        gamma = max(1, n // 2)
+    gamma = check_positive_int(gamma, "gamma")
+    if k in (0, n):
+        return 0.0
+    log2_binom = (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(2.0)
+    return log2_binom / math.log2(gamma + 1)
+
+
+def noisy_query_phase(lam: float, m: int, n: int) -> str:
+    """Classify the noisy-query phase for finite instances.
+
+    Theorem 2's conditions are asymptotic (``λ² = o(m/ln n)`` succeeds,
+    ``λ² = Ω(m)`` fails). For a concrete instance we report:
+
+    * ``"recoverable"``  if ``λ² <= m / ln(n)``,
+    * ``"failure"``      if ``λ² >= m``,
+    * ``"intermediate"`` otherwise.
+    """
+    lam = check_non_negative(lam, "lam")
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n", minimum=2)
+    lam2 = lam * lam
+    if lam2 >= m:
+        return "failure"
+    if lam2 <= m / math.log(n):
+        return "recoverable"
+    return "intermediate"
+
+
+__all__ = [
+    "GAMMA_CONST",
+    "DEFAULT_EPS",
+    "queries_from_density",
+    "theorem1_sublinear_z",
+    "theorem1_sublinear_gnc",
+    "theorem1_linear",
+    "theorem1_bound",
+    "theorem2_sublinear",
+    "theorem2_linear",
+    "theorem2_bound",
+    "counting_lower_bound",
+    "noisy_query_phase",
+]

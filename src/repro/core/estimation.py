@@ -1,0 +1,221 @@
+"""Channel-parameter estimation from query results.
+
+The paper assumes the channel parameters ``p``/``q`` (and the Gaussian
+noise level ``lambda``) are *known constants*. In practice they must be
+calibrated from data. This module provides the estimators — and makes
+an identifiability fact explicit:
+
+**The marginal query results identify only one channel parameter.**
+Each of a query's ``Gamma`` edges lands on a 1-agent with probability
+``kappa = k/n`` independently (uniform sampling with replacement) and
+is read through the channel independently, so a query result is
+*exactly* ``Bin(Gamma, r)`` with the effective read rate
+
+    r = q + kappa (1 - p - q).
+
+Any ``(p, q)`` pair with the same ``r`` produces identically
+distributed results; ``(p, q)`` can therefore not be recovered from the
+results alone. Three practical estimators follow:
+
+* one-parameter families (Z-channel ``q = 0``, symmetric ``p = q``) are
+  identified by the result **mean** (closed forms below);
+* the Gaussian noise level is identified by the **excess variance**
+  over the binomial baseline ``Gamma kappa (1 - kappa)``;
+* the general ``(p, q)`` channel is identified **after decoding**: with
+  an estimate ``sigma_hat`` of the hidden bits, each query's edges into
+  estimated 1-agents ``E1_hat`` are observable and the conditional mean
+  ``E[s | E1] = q Gamma + (1 - p - q) E1`` is a line whose slope and
+  intercept give ``p`` and ``q`` (ordinary least squares across
+  queries).
+
+The fitted channel plugs into the oracle score centering — note that
+the centering only needs ``r`` (the mean), which is always
+identifiable, so decoding quality never depends on resolving the
+``(p, q)`` ambiguity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.measurement import Measurements
+from repro.core.noise import (
+    Channel,
+    GaussianQueryNoise,
+    NoisyChannel,
+    ZChannel,
+)
+from repro.utils.validation import check_positive_int
+
+
+def _moments(results: np.ndarray) -> Tuple[float, float]:
+    results = np.asarray(results, dtype=np.float64)
+    if results.size < 2:
+        raise ValueError("need at least 2 query results to estimate a channel")
+    return float(results.mean()), float(results.var(ddof=1))
+
+
+def effective_read_rate(p: float, q: float, kappa: float) -> float:
+    """``r = q + kappa (1 - p - q)``: the per-edge observed-one rate."""
+    return q + kappa * (1.0 - p - q)
+
+
+def channel_moments(
+    p: float, q: float, gamma: int, kappa: float
+) -> Tuple[float, float]:
+    """Exact mean and variance of a query result: ``Bin(Gamma, r)``."""
+    r = effective_read_rate(p, q, kappa)
+    return gamma * r, gamma * r * (1.0 - r)
+
+
+def estimate_effective_rate(results: np.ndarray, gamma: int) -> float:
+    """The always-identifiable parameter: ``r_hat = mean / Gamma``."""
+    gamma = check_positive_int(gamma, "gamma")
+    mean, _ = _moments(results)
+    return float(np.clip(mean / gamma, 0.0, 1.0))
+
+
+def estimate_z_channel(results: np.ndarray, gamma: int, k: int, n: int) -> float:
+    """Estimate the Z-channel flip rate ``p`` from the result mean.
+
+    With ``q = 0``, ``r = kappa (1 - p)`` so
+    ``p_hat = 1 - r_hat / kappa``, clipped into ``[0, 1)``.
+    """
+    k = check_positive_int(k, "k")
+    n = check_positive_int(n, "n")
+    kappa = k / n
+    r_hat = estimate_effective_rate(results, gamma)
+    return float(np.clip(1.0 - r_hat / kappa, 0.0, 1.0 - 1e-9))
+
+
+def estimate_symmetric_channel(
+    results: np.ndarray, gamma: int, k: int, n: int
+) -> float:
+    """Estimate ``p = q`` from the result mean.
+
+    ``r = p + kappa (1 - 2p)`` gives
+    ``p_hat = (r_hat - kappa) / (1 - 2 kappa)`` (``kappa != 1/2``).
+    """
+    k = check_positive_int(k, "k")
+    n = check_positive_int(n, "n")
+    kappa = k / n
+    if abs(1.0 - 2.0 * kappa) < 1e-9:
+        raise ValueError("symmetric channel is unidentifiable at kappa = 1/2")
+    r_hat = estimate_effective_rate(results, gamma)
+    p_hat = (r_hat - kappa) / (1.0 - 2.0 * kappa)
+    return float(np.clip(p_hat, 0.0, 0.5 - 1e-9))
+
+
+def estimate_general_channel(
+    measurements: Measurements, sigma_hat: np.ndarray
+) -> Tuple[float, float]:
+    """Decode-assisted ``(p, q)`` estimation by per-query regression.
+
+    Given an estimate ``sigma_hat`` of the hidden bits (e.g. from the
+    greedy decoder), each query's edges into estimated 1-agents
+    ``E1_hat_j`` are observable, and
+
+        E[s_j | E1_j] = q Gamma + (1 - p - q) E1_j
+
+    is a line in ``E1``: ordinary least squares of the results on
+    ``E1_hat`` yields ``slope = 1 - p - q`` and
+    ``intercept = q Gamma``, hence ``q_hat = intercept / Gamma`` and
+    ``p_hat = 1 - slope - q_hat``. Estimates are projected onto the
+    admissible region ``p, q >= 0``, ``p + q < 1``.
+
+    The quality of the estimate tracks the quality of ``sigma_hat``
+    (the marginal results alone cannot identify the pair — see the
+    module docstring).
+    """
+    graph = measurements.graph
+    sigma_hat = np.asarray(sigma_hat)
+    if sigma_hat.shape != (graph.n,):
+        raise ValueError(
+            f"sigma_hat must have shape ({graph.n},), got {sigma_hat.shape}"
+        )
+    e1_hat = graph.edges_into_ones(sigma_hat).astype(np.float64)
+    results = np.asarray(measurements.results, dtype=np.float64)
+    if results.size < 2 or np.ptp(e1_hat) == 0:
+        raise ValueError(
+            "need >= 2 queries with varying E1_hat to fit the regression"
+        )
+    slope, intercept = np.polyfit(e1_hat, results, deg=1)
+    q_hat = intercept / graph.gamma
+    p_hat = 1.0 - slope - q_hat
+    q_hat = float(np.clip(q_hat, 0.0, 1.0 - 1e-6))
+    p_hat = float(np.clip(p_hat, 0.0, 1.0 - 1e-6))
+    if p_hat + q_hat >= 1.0:
+        excess = (p_hat + q_hat) - (1.0 - 1e-6)
+        p_hat = max(p_hat - excess / 2, 0.0)
+        q_hat = max(q_hat - excess / 2, 0.0)
+    return p_hat, q_hat
+
+
+def estimate_gaussian_noise(
+    results: np.ndarray, gamma: int, k: int, n: int
+) -> float:
+    """Estimate ``lambda`` from the excess result variance.
+
+    The exact sum is ``Bin(Gamma, kappa)`` with variance
+    ``Gamma kappa (1 - kappa)``; anything above it is measurement
+    noise: ``lambda_hat^2 = Var[s] - Gamma kappa (1 - kappa)``,
+    floored at 0.
+    """
+    gamma = check_positive_int(gamma, "gamma")
+    k = check_positive_int(k, "k")
+    n = check_positive_int(n, "n")
+    _, var = _moments(results)
+    kappa = k / n
+    lam2 = var - gamma * kappa * (1.0 - kappa)
+    return float(np.sqrt(max(lam2, 0.0)))
+
+
+def fit_channel(
+    kind: str,
+    measurements: Measurements,
+    sigma_hat: "np.ndarray | None" = None,
+) -> Channel:
+    """Fit a channel of the given family to observed measurements.
+
+    ``kind`` is one of ``"z"``, ``"symmetric"``, ``"general"`` or
+    ``"gaussian"``. The general family additionally requires
+    ``sigma_hat`` (a decoded bit estimate; see
+    :func:`estimate_general_channel`). Returns a ready-to-use
+    :class:`Channel` — e.g. for noise-aware (oracle) score centering
+    without assuming known parameters.
+    """
+    results = measurements.results
+    gamma, k, n = measurements.graph.gamma, measurements.k, measurements.n
+    kind = kind.lower()
+    if kind == "z":
+        return ZChannel(estimate_z_channel(results, gamma, k, n))
+    if kind == "symmetric":
+        p = estimate_symmetric_channel(results, gamma, k, n)
+        return NoisyChannel(p, p)
+    if kind == "general":
+        if sigma_hat is None:
+            raise ValueError(
+                "fitting the general (p, q) channel requires sigma_hat: the "
+                "marginal results identify only the effective rate r"
+            )
+        p, q = estimate_general_channel(measurements, sigma_hat)
+        return NoisyChannel(p, q)
+    if kind == "gaussian":
+        return GaussianQueryNoise(estimate_gaussian_noise(results, gamma, k, n))
+    raise ValueError(
+        f"unknown channel family {kind!r}; valid: z, symmetric, general, gaussian"
+    )
+
+
+__all__ = [
+    "effective_read_rate",
+    "channel_moments",
+    "estimate_effective_rate",
+    "estimate_z_channel",
+    "estimate_symmetric_channel",
+    "estimate_general_channel",
+    "estimate_gaussian_noise",
+    "fit_channel",
+]

@@ -1,0 +1,129 @@
+"""Shared result dataclasses for the pooled-data core.
+
+These types are deliberately plain containers so that every layer of the
+library (vectorized core, distributed runtime, experiment harness) can
+exchange results without coupling to implementation details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReconstructionResult:
+    """Outcome of one reconstruction attempt.
+
+    Attributes
+    ----------
+    estimate:
+        The reconstructed bit vector, shape ``(n,)``, dtype int8.
+    scores:
+        The per-agent decision scores the estimate was derived from
+        (higher means "more likely bit 1"), shape ``(n,)``.
+    exact:
+        ``True`` iff the estimate equals the ground truth exactly.
+        ``None`` when the ground truth was not supplied.
+    overlap:
+        Fraction of true 1-agents that were correctly identified
+        (the paper's "overlap", Figure 7). ``None`` without ground truth.
+    separated:
+        ``True`` iff the scores of 1-agents and 0-agents are strictly
+        separated (the paper's "clear separation" stopping criterion).
+        ``None`` without ground truth.
+    hamming_errors:
+        Number of misclassified agents. ``None`` without ground truth.
+    meta:
+        Free-form extras (iteration counts, algorithm name, ...).
+    """
+
+    estimate: np.ndarray
+    scores: np.ndarray
+    exact: Optional[bool] = None
+    overlap: Optional[float] = None
+    separated: Optional[bool] = None
+    hamming_errors: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.estimate.shape != self.scores.shape:
+            raise ValueError(
+                "estimate and scores must have the same shape, got "
+                f"{self.estimate.shape} vs {self.scores.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class RequiredQueriesResult:
+    """Outcome of one required-number-of-queries run (Figures 2-5).
+
+    Attributes
+    ----------
+    required_m:
+        Number of queries after which the run first satisfied the
+        success criterion, or ``None`` if ``max_m`` was exhausted.
+    n, k:
+        Instance size and number of 1-agents.
+    succeeded:
+        Whether the success criterion was met within the budget.
+    checks:
+        How many success checks were performed.
+    meta:
+        Channel description, seed, timing, ...
+    """
+
+    required_m: Optional[int]
+    n: int
+    k: int
+    succeeded: bool
+    checks: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def evaluate_estimate(
+    estimate: np.ndarray,
+    truth: np.ndarray,
+    scores: Optional[np.ndarray] = None,
+) -> Dict[str, object]:
+    """Compare an estimate against the ground truth.
+
+    Returns a dict with keys ``exact``, ``overlap``, ``hamming_errors``
+    and, when ``scores`` is given, ``separated`` (strict separation of
+    the score ranges of 1-agents and 0-agents).
+    """
+    estimate = np.asarray(estimate)
+    truth = np.asarray(truth)
+    if estimate.shape != truth.shape:
+        raise ValueError(
+            f"estimate shape {estimate.shape} != truth shape {truth.shape}"
+        )
+    ones = truth == 1
+    k = int(ones.sum())
+    errors = int(np.count_nonzero(estimate != truth))
+    overlap = float(np.count_nonzero(estimate[ones] == 1) / k) if k else 1.0
+    out: Dict[str, object] = {
+        "exact": errors == 0,
+        "overlap": overlap,
+        "hamming_errors": errors,
+    }
+    if scores is not None:
+        scores = np.asarray(scores, dtype=float)
+        if scores.shape != truth.shape:
+            raise ValueError(
+                f"scores shape {scores.shape} != truth shape {truth.shape}"
+            )
+        if k == 0 or k == truth.size:
+            out["separated"] = True
+        else:
+            out["separated"] = bool(scores[ones].min() > scores[~ones].max())
+    return out
+
+
+__all__ = [
+    "ReconstructionResult",
+    "RequiredQueriesResult",
+    "evaluate_estimate",
+]

@@ -1,0 +1,61 @@
+"""Distributed message-passing runtime for Algorithm 1.
+
+The paper's Algorithm 1 is a distributed protocol: query nodes measure
+and broadcast, agents fold results into neighborhood-sum scores and
+sort themselves via a sorting network. This package provides a faithful
+synchronous message-passing execution of that protocol:
+
+* :mod:`repro.distributed.network` — round-based reliable network
+  simulator with communication metrics;
+* :mod:`repro.distributed.protocol` — the query-node / agent-node
+  behaviors;
+* :mod:`repro.distributed.sorting` — comparator schedules, Batcher's
+  networks, and their distributed execution;
+* :func:`run_distributed_algorithm1` — end-to-end runner whose output
+  is bit-identical to the vectorized decoder.
+"""
+
+from repro.distributed.messages import (
+    Envelope,
+    QueryResultMessage,
+    RankAnnouncementMessage,
+    SortKeyMessage,
+)
+from repro.distributed.network import FaultModel, Network, NetworkMetrics, Node
+from repro.distributed.protocol import AgentNode, QueryNode, agent_name, query_name
+from repro.distributed.runner import DistributedRunReport, run_distributed_algorithm1
+from repro.distributed.sorting import (
+    ComparatorSchedule,
+    apply_schedule,
+    bitonic_sort,
+    distributed_sort,
+    is_sorting_network,
+    make_sorting_network,
+    odd_even_mergesort,
+    odd_even_transposition,
+)
+
+__all__ = [
+    "Envelope",
+    "QueryResultMessage",
+    "SortKeyMessage",
+    "RankAnnouncementMessage",
+    "Node",
+    "Network",
+    "NetworkMetrics",
+    "FaultModel",
+    "AgentNode",
+    "QueryNode",
+    "agent_name",
+    "query_name",
+    "DistributedRunReport",
+    "run_distributed_algorithm1",
+    "ComparatorSchedule",
+    "apply_schedule",
+    "is_sorting_network",
+    "odd_even_mergesort",
+    "bitonic_sort",
+    "odd_even_transposition",
+    "make_sorting_network",
+    "distributed_sort",
+]

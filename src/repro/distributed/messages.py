@@ -1,0 +1,94 @@
+"""Typed messages exchanged in the distributed runtime.
+
+The distributed variant of Algorithm 1 uses exactly two kinds of
+application messages plus the compare-exchange traffic of the sorting
+network:
+
+* :class:`QueryResultMessage` — a query node broadcasts its (noisy)
+  result to every *distinct* neighbor agent (Algorithm 1, line 7);
+* :class:`SortKeyMessage` — an agent sends its sort key to its
+  comparator partner during one round of the sorting network;
+* :class:`RankAnnouncementMessage` — after sorting, the agents holding
+  the ``k`` top wire positions notify the owners of those keys that
+  they output bit 1 (Algorithm 1, line 15).
+
+Every message reports an approximate wire size in bits so the runtime
+can account communication cost (an extension the paper motivates when
+comparing against AMP's "substantial communication overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+#: bits for one scalar on the wire (we assume 64-bit floats/ints)
+_SCALAR_BITS = 64
+
+
+@dataclass(frozen=True)
+class QueryResultMessage:
+    """Query ``query_id`` announces its measured result."""
+
+    query_id: int
+    result: float
+
+    @property
+    def size_bits(self) -> int:
+        return 2 * _SCALAR_BITS
+
+
+@dataclass(frozen=True)
+class SortKeyMessage:
+    """One compare-exchange half-round: ``key = (score, agent_id)``.
+
+    ``comparator_round`` tags the schedule round the key belongs to so
+    receivers can sanity-check lockstep execution.
+    """
+
+    comparator_round: int
+    key: Tuple[float, int]
+
+    @property
+    def size_bits(self) -> int:
+        return 3 * _SCALAR_BITS
+
+
+@dataclass(frozen=True)
+class RankAnnouncementMessage:
+    """The holder of a top-``k`` wire tells agent ``agent_id``: output 1."""
+
+    agent_id: int
+
+    @property
+    def size_bits(self) -> int:
+        return _SCALAR_BITS
+
+
+Payload = Union[QueryResultMessage, SortKeyMessage, RankAnnouncementMessage]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A payload in flight: sender and recipient are node names.
+
+    Node names are strings like ``"x17"`` (agent) or ``"a3"`` (query
+    node), mirroring the paper's notation.
+    """
+
+    sender: str
+    recipient: str
+    payload: Payload
+
+    @property
+    def size_bits(self) -> int:
+        return self.payload.size_bits
+
+
+__all__ = [
+    "QueryResultMessage",
+    "SortKeyMessage",
+    "RankAnnouncementMessage",
+    "Payload",
+    "Envelope",
+]

@@ -1,0 +1,225 @@
+"""A synchronous round-based message-passing network simulator.
+
+The model is the classical synchronous message-passing environment the
+paper assumes (agents and query nodes "interact in a classical message
+passing environment"): execution proceeds in global rounds; a message
+sent in round ``r`` is delivered at the beginning of round ``r + 1``;
+within a round every node processes its inbox and may send new
+messages. There is no message loss or reordering (reliable links).
+
+The simulator is deliberately independent of the pooled data problem —
+nodes are any objects implementing the :class:`Node` protocol — so the
+sorting network executor and the Algorithm 1 protocol both run on it.
+
+Communication metrics (rounds, message count, payload bits) are
+accumulated in :class:`NetworkMetrics`; the paper's discussion of AMP's
+"substantial communication overhead" motivates making these first-class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.distributed.messages import Envelope, Payload
+from repro.utils.rng import RngLike, normalize_rng
+from repro.utils.validation import check_non_negative_int, check_probability
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregate communication cost of a run."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    messages_per_round: List[int] = field(default_factory=list)
+
+    def record_round(self, sent: List[Envelope]) -> None:
+        self.rounds += 1
+        self.messages += len(sent)
+        self.bits += sum(e.size_bits for e in sent)
+        self.messages_per_round.append(len(sent))
+
+
+class FaultModel:
+    """Random message loss and delay (failure injection).
+
+    The baseline model is the paper's: reliable synchronous links. A
+    fault model perturbs that — every matching message is independently
+    dropped with ``drop_probability`` or delayed by up to ``max_delay``
+    extra rounds with ``delay_probability``. ``affected_types``
+    restricts the faults to specific payload classes (e.g. only the
+    query broadcasts, leaving the sorting network's compare-exchange
+    traffic reliable, which the protocol requires for lockstep
+    execution).
+    """
+
+    def __init__(
+        self,
+        *,
+        drop_probability: float = 0.0,
+        delay_probability: float = 0.0,
+        max_delay: int = 0,
+        affected_types: Optional[Tuple[Type, ...]] = None,
+        rng: RngLike = None,
+    ):
+        self.drop_probability = check_probability(
+            drop_probability, "drop_probability", allow_one=True
+        )
+        self.delay_probability = check_probability(
+            delay_probability, "delay_probability", allow_one=True
+        )
+        self.max_delay = check_non_negative_int(max_delay, "max_delay")
+        if self.delay_probability > 0.0 and self.max_delay == 0:
+            raise ValueError("delay_probability > 0 requires max_delay >= 1")
+        self.affected_types = affected_types
+        self._rng = normalize_rng(rng)
+
+    def route(self, envelope: Envelope) -> Optional[int]:
+        """Fate of a message: ``None`` = dropped, else extra delay rounds."""
+        if self.affected_types is not None and not isinstance(
+            envelope.payload, self.affected_types
+        ):
+            return 0
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            return None
+        if self.delay_probability and self._rng.random() < self.delay_probability:
+            return int(self._rng.integers(1, self.max_delay + 1))
+        return 0
+
+
+class Node(ABC):
+    """A participant in the synchronous network.
+
+    Subclasses implement :meth:`on_round`, which is called once per
+    round with the node's inbox (messages delivered this round).
+    Sending is done through the :class:`Network` handle.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def on_round(self, round_no: int, inbox: List[Envelope], net: "Network") -> None:
+        """Process this round's inbox; send messages via ``net.send``."""
+
+    def is_idle(self) -> bool:
+        """Whether the node has no more work to initiate.
+
+        The network stops when all nodes are idle and no messages are
+        in flight. The default is ``True`` (purely reactive node).
+        """
+        return True
+
+
+class Network:
+    """Registry of nodes plus the synchronous scheduler.
+
+    An optional :class:`FaultModel` injects message loss / delay;
+    delayed messages sit in an in-flight buffer keyed by their delivery
+    round.
+    """
+
+    def __init__(self, fault_model: Optional[FaultModel] = None) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._mailboxes: Dict[str, List[Envelope]] = {}
+        self._outbox: List[Envelope] = []
+        self._in_flight: Dict[int, List[Envelope]] = {}
+        self.fault_model = fault_model
+        self.metrics = NetworkMetrics()
+        self._round: int = 0
+
+    # -- topology -------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name: {node.name}")
+        self._nodes[node.name] = node
+        self._mailboxes[node.name] = []
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    # -- messaging --------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, payload: Payload) -> None:
+        """Queue a message for delivery at the start of the next round."""
+        if recipient not in self._nodes:
+            raise KeyError(f"unknown recipient: {recipient}")
+        self._outbox.append(Envelope(sender=sender, recipient=recipient, payload=payload))
+
+    # -- execution ----------------------------------------------------------
+
+    def run_round(self) -> int:
+        """Execute one synchronous round; returns messages delivered."""
+        delivered = 0
+        inboxes = self._mailboxes
+        self._mailboxes = {name: [] for name in self._nodes}
+        for name, node in self._nodes.items():
+            inbox = inboxes[name]
+            delivered += len(inbox)
+            node.on_round(self._round, inbox, self)
+        # Messages sent this round land in next round's mailboxes (or
+        # later, if the fault model delays them; or never, if dropped).
+        sent = self._outbox
+        self._outbox = []
+        for env in sent:
+            extra = 0
+            if self.fault_model is not None:
+                fate = self.fault_model.route(env)
+                if fate is None:
+                    self.metrics.dropped += 1
+                    continue
+                if fate > 0:
+                    self.metrics.delayed += 1
+                extra = fate
+            if extra == 0:
+                self._mailboxes[env.recipient].append(env)
+            else:
+                self._in_flight.setdefault(self._round + 1 + extra, []).append(env)
+        # Release previously delayed messages due this round.
+        for env in self._in_flight.pop(self._round + 1, []):
+            self._mailboxes[env.recipient].append(env)
+        self.metrics.record_round(sent)
+        self._round += 1
+        return delivered
+
+    def has_pending_messages(self) -> bool:
+        return (
+            any(self._mailboxes[name] for name in self._nodes)
+            or bool(self._outbox)
+            or bool(self._in_flight)
+        )
+
+    def run(self, max_rounds: int = 10_000) -> int:
+        """Run until quiescence (all nodes idle, no messages in flight).
+
+        Returns the number of rounds executed. Raises ``RuntimeError``
+        if ``max_rounds`` is exceeded — a liveness failure in the
+        protocol under test.
+        """
+        start = self._round
+        while self._round - start < max_rounds:
+            self.run_round()
+            if not self.has_pending_messages() and all(
+                node.is_idle() for node in self._nodes.values()
+            ):
+                return self._round - start
+        raise RuntimeError(f"network did not quiesce within {max_rounds} rounds")
+
+
+__all__ = ["Node", "Network", "NetworkMetrics", "FaultModel"]

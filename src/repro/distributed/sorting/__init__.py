@@ -1,0 +1,35 @@
+"""Sorting networks: schedules, Batcher constructions, distributed execution."""
+
+from repro.distributed.sorting.batcher import (
+    bitonic_sort,
+    make_sorting_network,
+    odd_even_mergesort,
+    odd_even_transposition,
+)
+from repro.distributed.sorting.distributed_sort import (
+    SorterNode,
+    distributed_sort,
+    wire_name,
+)
+from repro.distributed.sorting.schedule import (
+    Comparator,
+    ComparatorSchedule,
+    apply_schedule,
+    from_rounds,
+    is_sorting_network,
+)
+
+__all__ = [
+    "Comparator",
+    "ComparatorSchedule",
+    "from_rounds",
+    "apply_schedule",
+    "is_sorting_network",
+    "odd_even_mergesort",
+    "bitonic_sort",
+    "odd_even_transposition",
+    "make_sorting_network",
+    "SorterNode",
+    "distributed_sort",
+    "wire_name",
+]

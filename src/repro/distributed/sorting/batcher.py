@@ -1,0 +1,131 @@
+"""Batcher's sorting networks (odd-even mergesort and bitonic sort).
+
+The paper's Algorithm 1 sorts the agents with "a sorting network (see,
+e.g., [6, 44])" — reference [6] is Batcher's classical construction.
+Both of Batcher's networks have depth ``O(log^2 n)``:
+
+* :func:`odd_even_mergesort` — works for arbitrary ``n`` (the schedule
+  is generated for the next power of two and comparators touching
+  virtual wires are dropped; virtual wires conceptually hold ``+inf``
+  keys, for which those comparators are no-ops);
+* :func:`bitonic_sort` — the classical bitonic network, requires ``n``
+  to be a power of two (it uses descending comparators internally, so
+  the virtual-wire trick does not apply).
+
+Additionally :func:`odd_even_transposition` provides the depth-``n``
+"brick" network, useful as a simple reference and for tiny networks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.distributed.sorting.schedule import ComparatorSchedule, from_rounds
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def odd_even_mergesort(n: int) -> ComparatorSchedule:
+    """Batcher's odd-even mergesort schedule for ``n`` wires (any n >= 1).
+
+    Comparators are grouped into rounds by the classical ``(p, k)``
+    double loop; all comparators of one ``(p, k)`` stage are disjoint
+    and run in parallel.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return from_rounds(1, [])
+    n2 = _next_power_of_two(n)
+    rounds: List[List[Tuple[int, int]]] = []
+    p = 1
+    while p < n2:
+        k = p
+        while k >= 1:
+            stage: List[Tuple[int, int]] = []
+            for j in range(k % p, n2 - k, 2 * k):
+                for i in range(0, k):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        a, b = i + j, i + j + k
+                        if b < n:  # drop comparators touching virtual wires
+                            stage.append((a, b))
+            if stage:
+                rounds.append(stage)
+            k //= 2
+        p *= 2
+    return from_rounds(n, rounds)
+
+
+def bitonic_sort(n: int) -> ComparatorSchedule:
+    """Batcher's bitonic sorting network; ``n`` must be a power of two.
+
+    Descending sub-merges are encoded as reversed comparator pairs
+    ``(b, a)`` (wire listed first receives the minimum).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n & (n - 1) != 0:
+        raise ValueError(f"bitonic sort requires a power-of-two size, got {n}")
+    if n == 1:
+        return from_rounds(1, [])
+    rounds: List[List[Tuple[int, int]]] = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            stage: List[Tuple[int, int]] = []
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    stage.append((i, partner) if ascending else (partner, i))
+            rounds.append(stage)
+            j //= 2
+        k *= 2
+    return from_rounds(n, rounds)
+
+
+def odd_even_transposition(n: int) -> ComparatorSchedule:
+    """The depth-``n`` odd-even transposition ("brick") network."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rounds: List[List[Tuple[int, int]]] = []
+    for r in range(n):
+        start = r % 2
+        stage = [(i, i + 1) for i in range(start, n - 1, 2)]
+        if stage:
+            rounds.append(stage)
+    return from_rounds(n, rounds)
+
+
+_NETWORKS = {
+    "batcher": odd_even_mergesort,
+    "odd-even-mergesort": odd_even_mergesort,
+    "bitonic": bitonic_sort,
+    "transposition": odd_even_transposition,
+}
+
+
+def make_sorting_network(kind: str, n: int) -> ComparatorSchedule:
+    """Factory by name: ``"batcher"``, ``"bitonic"``, ``"transposition"``."""
+    try:
+        builder = _NETWORKS[kind.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown sorting network {kind!r}; valid: {sorted(set(_NETWORKS))}"
+        ) from None
+    return builder(n)
+
+
+__all__ = [
+    "odd_even_mergesort",
+    "bitonic_sort",
+    "odd_even_transposition",
+    "make_sorting_network",
+]

@@ -1,0 +1,72 @@
+"""Experiment harness: figure reproductions, sweeps, statistics, storage."""
+
+from repro.experiments.figures import (
+    DEFAULT_N_VALUES,
+    DEFAULT_THETA,
+    FIGURES,
+    FigureResult,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    run_figure,
+)
+from repro.experiments.runner import (
+    ALGORITHMS,
+    RequiredQueriesSample,
+    SuccessCurve,
+    required_queries_trials,
+    run_many,
+    success_rate_curve,
+)
+from repro.experiments.search import (
+    ThresholdEstimate,
+    compare_algorithm_thresholds,
+    success_probability_threshold,
+)
+from repro.experiments.stats import (
+    BoxplotStats,
+    binomial_confidence,
+    boxplot_stats,
+    geometric_space,
+)
+from repro.experiments.plots import ascii_plot, plot_figure_result
+from repro.experiments.storage import load_csv, load_json, save_csv, save_json
+from repro.experiments.tables import render_kv, render_table
+
+__all__ = [
+    "DEFAULT_N_VALUES",
+    "DEFAULT_THETA",
+    "FigureResult",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "FIGURES",
+    "run_figure",
+    "ALGORITHMS",
+    "RequiredQueriesSample",
+    "SuccessCurve",
+    "required_queries_trials",
+    "success_rate_curve",
+    "run_many",
+    "ThresholdEstimate",
+    "success_probability_threshold",
+    "compare_algorithm_thresholds",
+    "BoxplotStats",
+    "boxplot_stats",
+    "binomial_confidence",
+    "geometric_space",
+    "save_json",
+    "load_json",
+    "save_csv",
+    "load_csv",
+    "render_table",
+    "render_kv",
+    "ascii_plot",
+    "plot_figure_result",
+]

@@ -1,0 +1,134 @@
+"""ASCII line/scatter plots for terminal output (dependency-free).
+
+The paper's figures are log-log (Figs. 2-5) or linear (Figs. 6-7) line
+charts. This module renders the same series as terminal scatter plots
+so that ``python -m repro fig2 --plot`` gives an immediate visual
+check without matplotlib (which is unavailable offline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: marker glyphs assigned to series in order
+MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError(f"log-scale axis requires positive values, got {value}")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render named (x, y) series onto a character canvas.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to a sequence of (x, y) points.
+        Points with ``y = None`` / NaN are skipped.
+    width, height:
+        Canvas size in characters (excluding axes labels).
+    log_x, log_y:
+        Log-scale the respective axis (base 10).
+    """
+    points: List[Tuple[float, float, int]] = []
+    labels = list(series)
+    for idx, label in enumerate(labels):
+        for x, y in series[label]:
+            if y is None or (isinstance(y, float) and math.isnan(y)):
+                continue
+            points.append((_transform(float(x), log_x), _transform(float(y), log_y), idx))
+    if not points:
+        raise ValueError("nothing to plot: all series are empty")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y, idx in points:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        canvas[height - 1 - row][col] = MARKERS[idx % len(MARKERS)]
+
+    def fmt(v: float, log: bool) -> str:
+        return f"{10 ** v:.3g}" if log else f"{v:.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = fmt(y_hi, log_y)
+    bottom_label = fmt(y_lo, log_y)
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for i, row_chars in enumerate(canvas):
+        if i == 0:
+            prefix = top_label.rjust(gutter)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row_chars)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = fmt(x_lo, log_x).ljust(width - len(fmt(x_hi, log_x)))
+    lines.append(" " * (gutter + 1) + x_axis + fmt(x_hi, log_x))
+    lines.append(" " * (gutter + 1) + f"{x_label}  (y: {y_label})")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={label}" for i, label in enumerate(labels)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def plot_figure_result(
+    result,
+    *,
+    x_key: str,
+    y_key: str,
+    log_x: bool = False,
+    log_y: bool = False,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Plot a :class:`~repro.experiments.figures.FigureResult`.
+
+    Groups rows by their ``series`` value and plots ``(row[x_key],
+    row[y_key])`` per series.
+    """
+    grouped: Dict[str, List[Tuple[float, float]]] = {}
+    for row in result.rows:
+        if x_key not in row or row.get(y_key) is None:
+            continue
+        grouped.setdefault(str(row.get("series", "data")), []).append(
+            (row[x_key], row[y_key])
+        )
+    return ascii_plot(
+        grouped,
+        log_x=log_x,
+        log_y=log_y,
+        width=width,
+        height=height,
+        x_label=x_key,
+        y_label=y_key,
+        title=f"{result.figure}: {result.description}",
+    )
+
+
+__all__ = ["ascii_plot", "plot_figure_result", "MARKERS"]

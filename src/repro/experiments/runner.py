@@ -1,0 +1,204 @@
+"""Trial orchestration: repeated independent runs of the algorithms.
+
+All experiment entry points funnel through two primitives:
+
+* :func:`required_queries_trials` — repeated runs of the paper's
+  incremental required-number-of-queries procedure (Figures 2-5);
+* :func:`success_rate_curve` — success-rate / overlap curves over a
+  grid of fixed query counts ``m`` (Figures 6-7), for the greedy
+  decoder, AMP, or the full distributed protocol.
+
+Each trial gets an independent child generator spawned from the root
+seed (see :mod:`repro.utils.rng`), so experiments are reproducible and
+embarrassingly parallel in structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.amp import run_amp
+from repro.core.greedy import greedy_reconstruct
+from repro.core.incremental import required_queries
+from repro.core.measurement import measure
+from repro.core.noise import Channel
+from repro.core.pooling import sample_pooling_graph
+from repro.core.ground_truth import sample_ground_truth
+from repro.core.types import ReconstructionResult
+from repro.distributed.runner import run_distributed_algorithm1
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+#: algorithms runnable by the harness
+ALGORITHMS = ("greedy", "amp", "distributed", "twostage")
+
+
+def _run_algorithm(
+    algorithm: str, measurements, **kwargs
+) -> ReconstructionResult:
+    if algorithm == "greedy":
+        return greedy_reconstruct(measurements, **kwargs)
+    if algorithm == "amp":
+        return run_amp(measurements, **kwargs)
+    if algorithm == "distributed":
+        return run_distributed_algorithm1(measurements, **kwargs).result
+    if algorithm == "twostage":
+        from repro.core.twostage import two_stage_reconstruct
+
+        return two_stage_reconstruct(measurements, **kwargs)
+    raise ValueError(f"unknown algorithm {algorithm!r}; valid: {ALGORITHMS}")
+
+
+@dataclass(frozen=True)
+class RequiredQueriesSample:
+    """Required-m trial outcomes for one configuration."""
+
+    n: int
+    k: int
+    channel: str
+    values: List[int]
+    failures: int
+
+    @property
+    def trials(self) -> int:
+        return len(self.values) + self.failures
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.values)) if self.values else float("nan")
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+
+def required_queries_trials(
+    n: int,
+    k: int,
+    channel: Channel,
+    *,
+    trials: int = 10,
+    seed: RngLike = 0,
+    max_m: Optional[int] = None,
+    check_every: int = 1,
+    gamma: Optional[int] = None,
+    centering: str = "half_k",
+) -> RequiredQueriesSample:
+    """Run the incremental procedure ``trials`` times, collect required m."""
+    check_positive_int(trials, "trials")
+    values: List[int] = []
+    failures = 0
+    for gen in spawn_rngs(seed, trials):
+        result = required_queries(
+            n,
+            k,
+            channel,
+            gen,
+            max_m=max_m,
+            check_every=check_every,
+            gamma=gamma,
+            centering=centering,
+        )
+        if result.succeeded:
+            values.append(int(result.required_m))
+        else:
+            failures += 1
+    return RequiredQueriesSample(
+        n=n, k=k, channel=channel.describe(), values=values, failures=failures
+    )
+
+
+@dataclass(frozen=True)
+class SuccessCurve:
+    """Success-rate / overlap curve over an m-grid for one algorithm."""
+
+    algorithm: str
+    n: int
+    k: int
+    channel: str
+    m_values: List[int]
+    success_rates: List[float]
+    overlaps: List[float]
+    trials: int
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def crossing(self, level: float = 0.5) -> Optional[int]:
+        """Smallest m on the grid whose success rate reaches ``level``."""
+        for m, rate in zip(self.m_values, self.success_rates):
+            if rate >= level:
+                return m
+        return None
+
+
+def success_rate_curve(
+    n: int,
+    k: int,
+    channel: Channel,
+    m_values: Sequence[int],
+    *,
+    algorithm: str = "greedy",
+    trials: int = 100,
+    seed: RngLike = 0,
+    gamma: Optional[int] = None,
+    algorithm_kwargs: Optional[dict] = None,
+) -> SuccessCurve:
+    """Estimate success rate and overlap per query count ``m``.
+
+    For every ``m`` in the grid, ``trials`` independent instances are
+    drawn (fresh truth, graph and noise each time, matching the paper's
+    "100 independent simulation runs" per data point).
+    """
+    check_positive_int(trials, "trials")
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; valid: {ALGORITHMS}")
+    algorithm_kwargs = algorithm_kwargs or {}
+    success_rates: List[float] = []
+    overlaps: List[float] = []
+    rngs = spawn_rngs(seed, len(m_values))
+    for m, m_rng in zip(m_values, rngs):
+        m = int(m)
+        successes = 0
+        overlap_sum = 0.0
+        for gen in spawn_rngs(m_rng, trials):
+            truth = sample_ground_truth(n, k, gen)
+            graph = sample_pooling_graph(n, m, gamma, gen)
+            measurements = measure(graph, truth, channel, gen)
+            result = _run_algorithm(algorithm, measurements, **algorithm_kwargs)
+            successes += bool(result.exact)
+            overlap_sum += float(result.overlap)
+        success_rates.append(successes / trials)
+        overlaps.append(overlap_sum / trials)
+    return SuccessCurve(
+        algorithm=algorithm,
+        n=n,
+        k=k,
+        channel=channel.describe(),
+        m_values=[int(m) for m in m_values],
+        success_rates=success_rates,
+        overlaps=overlaps,
+        trials=trials,
+    )
+
+
+def run_many(
+    trial_fn: Callable[[np.random.Generator], object],
+    *,
+    trials: int,
+    seed: RngLike = 0,
+) -> List[object]:
+    """Generic helper: run ``trial_fn`` on independent child generators."""
+    check_positive_int(trials, "trials")
+    return [trial_fn(gen) for gen in spawn_rngs(seed, trials)]
+
+
+__all__ = [
+    "ALGORITHMS",
+    "RequiredQueriesSample",
+    "required_queries_trials",
+    "SuccessCurve",
+    "success_rate_curve",
+    "run_many",
+]

@@ -1,0 +1,129 @@
+"""Threshold search: where does the success probability cross a level?
+
+Figures 2-5 report per-run required query counts via the incremental
+procedure. A complementary view — used for large instances and for
+algorithms without an incremental form (AMP, two-stage) — is the
+*success-probability threshold*: the smallest ``m`` at which
+``P(exact recovery) >= level``. This module estimates it with an
+exponential bracket followed by bisection, evaluating the success rate
+on fresh independent instances at every probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.noise import Channel
+from repro.experiments.runner import success_rate_curve
+from repro.utils.rng import RngLike, spawn_seeds
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class ThresholdEstimate:
+    """Result of a success-threshold search."""
+
+    threshold_m: Optional[int]
+    level: float
+    probes: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.threshold_m is not None
+
+
+def success_probability_threshold(
+    n: int,
+    k: int,
+    channel: Channel,
+    *,
+    level: float = 0.5,
+    trials: int = 20,
+    seed: RngLike = 0,
+    algorithm: str = "greedy",
+    m_init: int = 8,
+    m_cap: Optional[int] = None,
+    tolerance: int = 4,
+    algorithm_kwargs: Optional[dict] = None,
+) -> ThresholdEstimate:
+    """Estimate the smallest m with success rate >= ``level``.
+
+    Doubles ``m`` from ``m_init`` until the level is reached (bracket),
+    then bisects down to ``tolerance`` queries. Every probe draws fresh
+    instances, so the estimate is a property of the ensemble, not of
+    one fixed instance. Returns ``threshold_m = None`` if even
+    ``m_cap`` (default ``512 * m_init``) does not reach the level.
+    """
+    check_fraction(level, "level")
+    check_positive_int(trials, "trials")
+    check_positive_int(m_init, "m_init")
+    check_positive_int(tolerance, "tolerance")
+    if m_cap is None:
+        m_cap = 512 * m_init
+    probes: List[Dict[str, float]] = []
+    seeds = iter(spawn_seeds(seed, 64))
+
+    def rate_at(m: int) -> float:
+        curve = success_rate_curve(
+            n,
+            k,
+            channel,
+            [m],
+            algorithm=algorithm,
+            trials=trials,
+            seed=next(seeds),
+            algorithm_kwargs=algorithm_kwargs,
+        )
+        rate = curve.success_rates[0]
+        probes.append({"m": m, "success_rate": rate})
+        return rate
+
+    # Bracket phase: exponential doubling.
+    lo, hi = 0, m_init
+    while rate_at(hi) < level:
+        lo = hi
+        hi *= 2
+        if hi > m_cap:
+            return ThresholdEstimate(threshold_m=None, level=level, probes=probes)
+
+    # Bisection phase.
+    while hi - lo > tolerance:
+        mid = (lo + hi) // 2
+        if rate_at(mid) >= level:
+            hi = mid
+        else:
+            lo = mid
+    return ThresholdEstimate(threshold_m=hi, level=level, probes=probes)
+
+
+def compare_algorithm_thresholds(
+    n: int,
+    k: int,
+    channel: Channel,
+    algorithms: "list[str]",
+    *,
+    level: float = 0.5,
+    trials: int = 20,
+    seed: RngLike = 0,
+) -> Dict[str, ThresholdEstimate]:
+    """Estimate and juxtapose thresholds for several algorithms."""
+    out: Dict[str, ThresholdEstimate] = {}
+    for algorithm, algo_seed in zip(algorithms, spawn_seeds(seed, len(algorithms))):
+        out[algorithm] = success_probability_threshold(
+            n,
+            k,
+            channel,
+            level=level,
+            trials=trials,
+            seed=algo_seed,
+            algorithm=algorithm,
+        )
+    return out
+
+
+__all__ = [
+    "ThresholdEstimate",
+    "success_probability_threshold",
+    "compare_algorithm_thresholds",
+]

@@ -1,0 +1,115 @@
+"""Summary statistics for experiment outputs (including boxplot stats).
+
+Figure 5 of the paper shows boxplots of the required number of queries;
+:class:`BoxplotStats` reproduces the standard Tukey boxplot quantities
+(median, quartiles, 1.5-IQR whiskers, outliers) from raw trial data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Tukey boxplot summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: List[float] = field(default_factory=list)
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "q1": self.q1,
+            "q3": self.q3,
+            "whisker_low": self.whisker_low,
+            "whisker_high": self.whisker_high,
+            "outliers": list(self.outliers),
+        }
+
+
+def boxplot_stats(values: Sequence[float]) -> BoxplotStats:
+    """Compute Tukey boxplot statistics (1.5 IQR whisker convention)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    in_fence = arr[(arr >= low_fence) & (arr <= high_fence)]
+    whisker_low = float(in_fence.min()) if in_fence.size else float(q1)
+    whisker_high = float(in_fence.max()) if in_fence.size else float(q3)
+    # Interpolated quartiles may fall between data points; clamp the
+    # whiskers so that whisker_low <= q1 <= q3 <= whisker_high always
+    # holds (the convention used by standard plotting libraries).
+    whisker_low = min(whisker_low, float(q1))
+    whisker_high = max(whisker_high, float(q3))
+    outliers = sorted(float(v) for v in arr[(arr < low_fence) | (arr > high_fence)])
+    return BoxplotStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(median),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+    )
+
+
+def binomial_confidence(successes: int, trials: int, z: float = 1.96) -> "tuple[float, float]":
+    """Wilson score interval for a success probability."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must lie in [0, {trials}], got {successes}")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = 0.0 if successes == 0 else max(0.0, float(center - half))
+    high = 1.0 if successes == trials else min(1.0, float(center + half))
+    return low, high
+
+
+def geometric_space(start: float, stop: float, count: int) -> List[int]:
+    """Integer log-spaced grid (deduplicated), e.g. for the n-axes."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if start <= 0 or stop < start:
+        raise ValueError(f"need 0 < start <= stop, got {start}, {stop}")
+    raw = np.geomspace(start, stop, count)
+    out: List[int] = []
+    for v in raw:
+        i = int(round(v))
+        if not out or i > out[-1]:
+            out.append(i)
+    return out
+
+
+__all__ = [
+    "BoxplotStats",
+    "boxplot_stats",
+    "binomial_confidence",
+    "geometric_space",
+]

@@ -1,0 +1,81 @@
+"""Persistence of experiment results (JSON + CSV, stdlib only).
+
+Figure entry points return plain dataclasses; this module serializes
+them so that benchmark runs can leave their data behind for
+EXPERIMENTS.md and for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / numpy scalars to JSON types."""
+    import numpy as np
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _to_jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [_to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def save_json(path: PathLike, obj: Any) -> Path:
+    """Serialize ``obj`` (dataclass-aware) to pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(_to_jsonable(obj), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load JSON written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_csv(
+    path: PathLike, rows: Sequence[Dict[str, Any]], *, fieldnames: List[str] = None
+) -> Path:
+    """Write a list of dict rows as CSV (fields inferred if omitted)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot write an empty CSV")
+    if fieldnames is None:
+        fieldnames = list(rows[0].keys())
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _to_jsonable(v) for k, v in row.items()})
+    return path
+
+
+def load_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`save_csv` (values come back as str)."""
+    with Path(path).open("r", encoding="utf-8", newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+__all__ = ["save_json", "load_json", "save_csv", "load_csv"]

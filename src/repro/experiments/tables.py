@@ -1,0 +1,56 @@
+"""ASCII rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper plots; this
+module owns the (deliberately dependency-free) table formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: floats get 4 significant digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    headers = [str(h) for h in headers]
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Sequence[Sequence[Any]]) -> str:
+    """Render a titled key/value block."""
+    lines = [title, "-" * len(title)]
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    for key, value in pairs:
+        lines.append(f"{str(key).ljust(width)}  {format_cell(value)}")
+    return "\n".join(lines)
+
+
+__all__ = ["format_cell", "render_table", "render_kv"]

@@ -1,0 +1,83 @@
+"""Concentration inequalities used in the paper's analysis.
+
+Theorem 10 (Chernoff for negatively associated Bernoulli sums): for
+``X = sum X_i`` with mean ``mu``,
+
+* ``P(X >= (1+eps) mu) <= exp(-eps^2 mu / (2 + eps))``
+* ``P(X <= (1-eps) mu) <= exp(-eps^2 mu / 2)``
+
+Theorem 11 (Gaussian tails, with Mill's-ratio lower bound): for
+``X ~ N(0, lam^2)`` and ``y > 0``,
+
+* ``P(X >= y) <= (lam/y) * phi(y/lam) / ... `` — precisely
+  ``(lam / y) * (1/sqrt(2 pi)) * exp(-y^2 / (2 lam^2))``
+* ``P(X >= y) >= (lam/y - lam^3/y^3) * (1/sqrt(2 pi)) * exp(-y^2/(2 lam^2))``
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def chernoff_upper_tail(eps: float, mean: float) -> float:
+    """Upper bound on ``P(X >= (1 + eps) E[X])`` (Theorem 10)."""
+    eps = check_non_negative(eps, "eps")
+    mean = check_non_negative(mean, "mean")
+    if eps == 0.0:
+        return 1.0
+    return min(1.0, math.exp(-(eps * eps) * mean / (2.0 + eps)))
+
+
+def chernoff_lower_tail(eps: float, mean: float) -> float:
+    """Upper bound on ``P(X <= (1 - eps) E[X])`` (Theorem 10)."""
+    eps = check_non_negative(eps, "eps")
+    mean = check_non_negative(mean, "mean")
+    if eps == 0.0:
+        return 1.0
+    return min(1.0, math.exp(-(eps * eps) * mean / 2.0))
+
+
+def chernoff_two_sided(eps: float, mean: float) -> float:
+    """Union bound on ``P(|X - E[X]| >= eps E[X])``."""
+    return min(1.0, chernoff_upper_tail(eps, mean) + chernoff_lower_tail(eps, mean))
+
+
+def gaussian_tail_upper(y: float, lam: float) -> float:
+    """Theorem 11 upper bound on ``P(N(0, lam^2) >= y)`` for ``y > 0``."""
+    y = check_positive(y, "y")
+    lam = check_positive(lam, "lam")
+    return min(
+        1.0,
+        (lam / y) * math.exp(-(y * y) / (2.0 * lam * lam)) / math.sqrt(2.0 * math.pi),
+    )
+
+
+def gaussian_tail_lower(y: float, lam: float) -> float:
+    """Theorem 11 (Mill's ratio) lower bound on ``P(N(0, lam^2) >= y)``."""
+    y = check_positive(y, "y")
+    lam = check_positive(lam, "lam")
+    prefactor = lam / y - (lam**3) / (y**3)
+    if prefactor <= 0.0:
+        return 0.0
+    return prefactor * math.exp(-(y * y) / (2.0 * lam * lam)) / math.sqrt(2.0 * math.pi)
+
+
+def gaussian_tail_exact(y: float, lam: float) -> float:
+    """Exact ``P(N(0, lam^2) >= y)`` via the complementary error function.
+
+    Provided so tests can sandwich it between the Theorem 11 bounds.
+    """
+    lam = check_positive(lam, "lam")
+    return 0.5 * math.erfc(y / (lam * math.sqrt(2.0)))
+
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "chernoff_two_sided",
+    "gaussian_tail_upper",
+    "gaussian_tail_lower",
+    "gaussian_tail_exact",
+]

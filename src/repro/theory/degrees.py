@@ -1,0 +1,82 @@
+"""Degree statistics of the random pooling graph (Lemmas 3-5).
+
+With ``m`` queries of ``Gamma`` half-edges each thrown uniformly into
+``n`` agents:
+
+* ``Delta_i ~ Bin(m Gamma, 1/n)`` with mean ``Delta = m Gamma / n``
+  (``= m/2`` for the paper's ``Gamma = n/2``); Lemma 3 asserts all
+  degrees lie within ``Delta ± ln(n) sqrt(Delta)`` w.p. ``1 - o(1/n)``.
+* The number of *distinct* queries satisfies
+  ``E[Delta*_i] = m (1 - (1 - 1/n)^Gamma) ≈ m (1 - e^{-Gamma/n})``;
+  for ``Gamma = n/2`` this is the paper's
+  ``Delta* = (1 - e^{-1/2}) m = 2 gamma_const * Delta`` (Lemma 4 /
+  Corollary 5), with fluctuation window ``ln^2(n) sqrt(Delta*)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.utils.validation import check_positive_int
+
+
+def expected_multi_degree(n: int, m: int, gamma: int) -> float:
+    """``E[Delta_i] = m * gamma / n`` (Lemma 3)."""
+    n = check_positive_int(n, "n")
+    m = check_positive_int(m, "m", minimum=0)
+    gamma = check_positive_int(gamma, "gamma")
+    return m * gamma / n
+
+
+def expected_distinct_degree(n: int, m: int, gamma: int) -> float:
+    """``E[Delta*_i] = m (1 - (1 - 1/n)^gamma)`` (exact finite-n form).
+
+    For ``gamma = n/2`` this approaches the paper's
+    ``(1 - e^{-1/2}) m`` as ``n`` grows (Lemma 4).
+    """
+    n = check_positive_int(n, "n")
+    m = check_positive_int(m, "m", minimum=0)
+    gamma = check_positive_int(gamma, "gamma")
+    return m * (1.0 - (1.0 - 1.0 / n) ** gamma)
+
+
+def degree_interval(n: int, m: int, gamma: int) -> Tuple[float, float]:
+    """Lemma 3's concentration window for all multi-degrees.
+
+    Returns ``(Delta - ln(n) sqrt(Delta), Delta + ln(n) sqrt(Delta))``.
+    """
+    delta = expected_multi_degree(n, m, gamma)
+    width = math.log(max(n, 2)) * math.sqrt(delta)
+    return delta - width, delta + width
+
+
+def distinct_degree_interval(n: int, m: int, gamma: int) -> Tuple[float, float]:
+    """Corollary 5's concentration window for all distinct degrees.
+
+    Returns ``(Delta* - ln^2(n) sqrt(Delta*), Delta* + ln^2(n) sqrt(Delta*))``.
+    """
+    delta_star = expected_distinct_degree(n, m, gamma)
+    width = math.log(max(n, 2)) ** 2 * math.sqrt(delta_star)
+    return delta_star - width, delta_star + width
+
+
+def distinct_to_multi_ratio(n: int, gamma: int) -> float:
+    """Asymptotic ratio ``E[Delta*] / E[Delta]``.
+
+    Lemma 4 states ``Delta* ≈ 2 (1 - e^{-1/2}) Delta`` for
+    ``gamma = n/2``; the general form is
+    ``n (1 - (1-1/n)^gamma) / gamma``.
+    """
+    n = check_positive_int(n, "n")
+    gamma = check_positive_int(gamma, "gamma")
+    return n * (1.0 - (1.0 - 1.0 / n) ** gamma) / gamma
+
+
+__all__ = [
+    "expected_multi_degree",
+    "expected_distinct_degree",
+    "degree_interval",
+    "distinct_degree_interval",
+    "distinct_to_multi_ratio",
+]

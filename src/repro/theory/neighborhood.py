@@ -1,0 +1,133 @@
+"""Moments of the neighborhood sum ``Psi_j`` (Lemmas 6-8, Corollary 9).
+
+The paper derives, for an agent ``j`` with multi-degree ``Delta_j`` and
+distinct degree ``Delta*_j``, the law of the neighborhood sum under the
+noisy channel:
+
+    Psi_j ~ Xi^{pq}_j + 1{sigma_j = 1} Bin(Delta_j, 1 - p)
+                       + 1{sigma_j = 0} Bin(Delta_j, q)
+
+where ``Xi^{pq}_j = Lambda_j(0,1) + Lambda_j(1,1)`` counts observed ones
+in the second neighborhood of size ``n_j = Delta*_j Gamma - Delta_j``
+(Lemma 7); a random second-neighborhood edge observes a one with
+probability ``s_j = q + pi_j (1 - p - q)`` for
+``pi_j = (k - 1{sigma_j=1}) / (n - 1)`` (Eq. 1).
+
+Under the noisy query model (Corollary 9) the same holds with
+``p = q = 0`` plus an independent Gaussian ``X_j ~ N(0, lam^2 Delta*_j)``.
+
+These closed forms power the statistical tests (empirical moments of the
+simulated system must match) and the oracle diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.noise import Channel, GaussianQueryNoise, NoiselessChannel, NoisyChannel
+
+
+def second_neighborhood_size(delta_star: float, delta: float, gamma: int) -> float:
+    """``n_j = Delta*_j Gamma - Delta_j`` (Lemma 6)."""
+    return delta_star * gamma - delta
+
+
+@dataclass(frozen=True)
+class NeighborhoodMoments:
+    """Mean and variance of ``Psi_j`` conditioned on the agent's bit."""
+
+    mean_one: float
+    mean_zero: float
+    var_one: float
+    var_zero: float
+
+    @property
+    def mean_gap(self) -> float:
+        """``E[Psi | sigma=1] - E[Psi | sigma=0]`` — the decodable signal.
+
+        The exact conditional gap is
+        ``Delta (1 - p - q) - n_j (1 - p - q) / (n - 1)``: the
+        self-contribution gap of Eq. (2) minus the second-neighborhood
+        prior shift (a 1-agent sees one fewer 1-agent among the others).
+        The paper's analysis centers each agent by its own
+        ``E[Xi^pq_j | G]`` (Eq. 3), which absorbs the second term.
+        """
+        return self.mean_one - self.mean_zero
+
+
+def _channel_rates(channel: Channel) -> "tuple[float, float, float]":
+    """Extract ``(p, q, lam)`` from any supported channel."""
+    if isinstance(channel, NoisyChannel):
+        return channel.p, channel.q, 0.0
+    if isinstance(channel, GaussianQueryNoise):
+        return 0.0, 0.0, channel.lam
+    if isinstance(channel, NoiselessChannel):
+        return 0.0, 0.0, 0.0
+    raise TypeError(f"unsupported channel type: {type(channel).__name__}")
+
+
+def neighborhood_moments(
+    n: int,
+    k: int,
+    gamma: int,
+    delta: float,
+    delta_star: float,
+    channel: Channel,
+) -> NeighborhoodMoments:
+    """Closed-form moments of ``Psi_j`` given degrees and the channel.
+
+    Parameters
+    ----------
+    n, k, gamma:
+        Model parameters.
+    delta, delta_star:
+        The agent's multi-degree ``Delta_j`` and distinct degree
+        ``Delta*_j`` (typically their expectations for predictions, or
+        the realized values for conditional tests).
+    channel:
+        Any of the library's channels.
+
+    Notes
+    -----
+    The variance of ``Xi^{pq}`` uses that the sum of two multinomial
+    cells is binomial: ``Var = n_j s (1 - s)``. The self-contribution
+    adds ``Delta_j (1-p) p`` (bit 1) or ``Delta_j q (1-q)`` (bit 0). The
+    Gaussian model adds ``lam^2 Delta*_j`` to both variances.
+    """
+    p, q, lam = _channel_rates(channel)
+    nj = second_neighborhood_size(delta_star, delta, gamma)
+    if nj < 0:
+        raise ValueError(
+            f"inconsistent degrees: delta_star*gamma - delta = {nj} < 0"
+        )
+
+    def xi_moments(self_is_one: bool) -> "tuple[float, float]":
+        pi = (k - (1 if self_is_one else 0)) / (n - 1) if n > 1 else 0.0
+        s = q + pi * (1.0 - p - q)
+        return nj * s, nj * s * (1.0 - s)
+
+    xi_mean_1, xi_var_1 = xi_moments(True)
+    xi_mean_0, xi_var_0 = xi_moments(False)
+
+    gauss_var = lam * lam * delta_star
+    mean_one = xi_mean_1 + delta * (1.0 - p)
+    mean_zero = xi_mean_0 + delta * q
+    var_one = xi_var_1 + delta * (1.0 - p) * p + gauss_var
+    var_zero = xi_var_0 + delta * q * (1.0 - q) + gauss_var
+    return NeighborhoodMoments(
+        mean_one=mean_one, mean_zero=mean_zero, var_one=var_one, var_zero=var_zero
+    )
+
+
+def gaussian_noise_std(lam: float, delta_star: float) -> float:
+    """Std of the aggregated Gaussian noise ``X_j ~ N(0, lam^2 Delta*_j)``."""
+    return lam * math.sqrt(max(delta_star, 0.0))
+
+
+__all__ = [
+    "second_neighborhood_size",
+    "NeighborhoodMoments",
+    "neighborhood_moments",
+    "gaussian_noise_std",
+]

@@ -1,0 +1,19 @@
+"""Shared utilities: RNG management, validation helpers, ASCII tables."""
+
+from repro.utils.rng import normalize_rng, spawn_rngs, spawn_seeds
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "normalize_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,33 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests needing more streams spawn from it."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_instance(rng):
+    """A small solvable noiseless instance: (truth, graph, measurements)."""
+    n, k, m = 200, 5, 120
+    truth = repro.sample_ground_truth(n, k, rng)
+    graph = repro.sample_pooling_graph(n, m, rng=rng)
+    meas = repro.measure(graph, truth, repro.NoiselessChannel(), rng)
+    return truth, graph, meas
+
+
+@pytest.fixture
+def z_instance(rng):
+    """A moderately noisy Z-channel instance."""
+    n, k, m = 400, 7, 400
+    truth = repro.sample_ground_truth(n, k, rng)
+    graph = repro.sample_pooling_graph(n, m, rng=rng)
+    channel = repro.ZChannel(p=0.1)
+    meas = repro.measure(graph, truth, channel, rng)
+    return truth, graph, meas

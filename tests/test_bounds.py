@@ -1,0 +1,241 @@
+"""Unit tests for the Theorem 1/2 query thresholds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    DEFAULT_EPS,
+    GAMMA_CONST,
+    counting_lower_bound,
+    noisy_query_phase,
+    queries_from_density,
+    theorem1_bound,
+    theorem1_linear,
+    theorem1_sublinear_gnc,
+    theorem1_sublinear_z,
+    theorem2_bound,
+    theorem2_linear,
+    theorem2_sublinear,
+)
+
+
+class TestGammaConst:
+    def test_value(self):
+        assert GAMMA_CONST == pytest.approx(1 - math.exp(-0.5))
+        assert 0.393 < GAMMA_CONST < 0.394
+
+
+class TestTheorem1SublinearZ:
+    def test_closed_form(self):
+        n, theta, p, eps = 10_000, 0.25, 0.1, 0.05
+        expected = (
+            (4 * GAMMA_CONST + eps)
+            * (1 + math.sqrt(theta)) ** 2
+            / (1 - p)
+            * n**theta
+            * math.log(n)
+        )
+        assert theorem1_sublinear_z(n, theta, p, eps) == pytest.approx(expected)
+
+    def test_noiseless_limit_matches_theorem2(self):
+        # p = 0 must recover the Theorem 2 sublinear bound (and [29]).
+        n, theta = 5000, 0.3
+        assert theorem1_sublinear_z(n, theta, 0.0) == pytest.approx(
+            theorem2_sublinear(n, theta)
+        )
+
+    def test_monotone_in_p(self):
+        values = [theorem1_sublinear_z(1000, 0.25, p) for p in (0.0, 0.1, 0.3, 0.5)]
+        assert values == sorted(values)
+
+    def test_monotone_in_theta(self):
+        values = [theorem1_sublinear_z(1000, t, 0.1) for t in (0.1, 0.25, 0.5, 0.75)]
+        assert values == sorted(values)
+
+    def test_monotone_in_n(self):
+        values = [theorem1_sublinear_z(n, 0.25, 0.1) for n in (100, 1000, 10_000)]
+        assert values == sorted(values)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            theorem1_sublinear_z(100, 0.25, 1.0)
+
+
+class TestTheorem1SublinearGnc:
+    def test_closed_form(self):
+        n, theta, p, q, eps = 10_000, 0.25, 0.1, 0.01, 0.05
+        expected = (
+            (4 * GAMMA_CONST + eps)
+            * q
+            * (1 + math.sqrt(theta)) ** 2
+            / (1 - p - q) ** 2
+            * n
+            * math.log(n)
+        )
+        assert theorem1_sublinear_gnc(n, theta, p, q, eps) == pytest.approx(expected)
+
+    def test_q_zero_degenerates(self):
+        assert theorem1_sublinear_gnc(1000, 0.25, 0.1, 0.0) == 0.0
+
+    def test_monotone_in_q(self):
+        values = [
+            theorem1_sublinear_gnc(1000, 0.25, 0.1, q) for q in (0.001, 0.01, 0.1)
+        ]
+        assert values == sorted(values)
+
+    def test_p_plus_q_constraint(self):
+        with pytest.raises(ValueError):
+            theorem1_sublinear_gnc(1000, 0.25, 0.6, 0.5)
+
+
+class TestTheorem1Linear:
+    def test_closed_form(self):
+        n, zeta, p, q, eps = 10_000, 0.2, 0.1, 0.05, 0.05
+        expected = (
+            (16 * GAMMA_CONST + eps)
+            * (q + zeta * (1 - p - q))
+            / (1 - p - q) ** 2
+            * n
+            * math.log(n)
+        )
+        assert theorem1_linear(n, zeta, p, q, eps) == pytest.approx(expected)
+
+    def test_noiseless_limit_matches_theorem2(self):
+        n, zeta = 5000, 0.3
+        assert theorem1_linear(n, zeta, 0.0, 0.0) == pytest.approx(
+            theorem2_linear(n, zeta)
+        )
+
+    def test_monotone_in_noise(self):
+        base = theorem1_linear(1000, 0.2, 0.0, 0.0)
+        noisy = theorem1_linear(1000, 0.2, 0.2, 0.1)
+        assert noisy > base
+
+
+class TestTheorem1Dispatcher:
+    def test_sublinear_z_branch(self):
+        assert theorem1_bound(1000, p=0.1, q=0.0, theta=0.25) == pytest.approx(
+            theorem1_sublinear_z(1000, 0.25, 0.1)
+        )
+
+    def test_sublinear_gnc_takes_max(self):
+        # For tiny q the Z-branch dominates (remark after Theorem 1).
+        tiny = theorem1_bound(10_000, p=0.1, q=1e-9, theta=0.25)
+        assert tiny == pytest.approx(theorem1_sublinear_z(10_000, 0.25, 0.1))
+        # For large q the GNC branch dominates.
+        big = theorem1_bound(10_000, p=0.1, q=0.1, theta=0.25)
+        assert big == pytest.approx(theorem1_sublinear_gnc(10_000, 0.25, 0.1, 0.1))
+
+    def test_linear_branch(self):
+        assert theorem1_bound(1000, p=0.1, q=0.05, zeta=0.2) == pytest.approx(
+            theorem1_linear(1000, 0.2, 0.1, 0.05)
+        )
+
+    def test_requires_exactly_one_regime(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(1000, p=0.1, q=0.0)
+        with pytest.raises(ValueError):
+            theorem1_bound(1000, p=0.1, q=0.0, theta=0.25, zeta=0.2)
+
+
+class TestTheorem2:
+    def test_sublinear_closed_form(self):
+        n, theta, eps = 1000, 0.25, 0.05
+        expected = (
+            (4 * GAMMA_CONST + eps)
+            * (1 + math.sqrt(theta)) ** 2
+            * n**theta
+            * math.log(n)
+        )
+        assert theorem2_sublinear(n, theta, eps) == pytest.approx(expected)
+
+    def test_linear_closed_form(self):
+        n, zeta, eps = 1000, 0.3, 0.05
+        expected = (16 * GAMMA_CONST + eps) * zeta * n * math.log(n)
+        assert theorem2_linear(n, zeta, eps) == pytest.approx(expected)
+
+    def test_dispatcher(self):
+        assert theorem2_bound(1000, theta=0.25) == theorem2_sublinear(1000, 0.25)
+        assert theorem2_bound(1000, zeta=0.25) == theorem2_linear(1000, 0.25)
+        with pytest.raises(ValueError):
+            theorem2_bound(1000)
+
+
+class TestNoisyQueryPhase:
+    def test_recoverable_small_lambda(self):
+        assert noisy_query_phase(1.0, m=1000, n=1000) == "recoverable"
+
+    def test_failure_large_lambda(self):
+        assert noisy_query_phase(100.0, m=1000, n=1000) == "failure"
+
+    def test_intermediate(self):
+        # m/ln(n) < lam^2 < m
+        m, n = 1000, 10**9
+        lam = math.sqrt(m / math.log(n) * 2)
+        assert noisy_query_phase(lam, m=m, n=n) == "intermediate"
+
+    def test_zero_lambda_recoverable(self):
+        assert noisy_query_phase(0.0, m=10, n=100) == "recoverable"
+
+
+class TestCountingLowerBound:
+    def test_degenerate_zero(self):
+        assert counting_lower_bound(100, 0) == 0.0
+        assert counting_lower_bound(100, 100) == 0.0
+
+    def test_small_exact_value(self):
+        # m >= log2 C(10, 2) / log2(6) = log2(45)/log2(6)
+        expected = math.log2(45) / math.log2(6)
+        assert counting_lower_bound(10, 2, gamma=5) == pytest.approx(expected)
+
+    def test_below_theorem1(self):
+        # The greedy upper bound must dominate the counting lower bound.
+        for n in (1000, 10_000):
+            theta = 0.25
+            k = round(n**theta)
+            lower = counting_lower_bound(n, k)
+            upper = theorem1_sublinear_z(n, theta, 0.0)
+            assert lower < upper
+
+    def test_monotone_in_k_up_to_half(self):
+        values = [counting_lower_bound(1000, k) for k in (1, 5, 50, 500)]
+        assert values == sorted(values)
+
+    def test_default_gamma_is_half_n(self):
+        assert counting_lower_bound(100, 5) == pytest.approx(
+            counting_lower_bound(100, 5, gamma=50)
+        )
+
+    def test_k_exceeding_n_rejected(self):
+        with pytest.raises(ValueError):
+            counting_lower_bound(10, 11)
+
+
+class TestQueriesFromDensity:
+    def test_formula(self):
+        assert queries_from_density(2.0, 10, 1000) == pytest.approx(
+            20 * math.log(1000)
+        )
+
+
+class TestCrossChecks:
+    def test_eps_increases_bound(self):
+        lo = theorem1_sublinear_z(1000, 0.25, 0.1, eps=0.0)
+        hi = theorem1_sublinear_z(1000, 0.25, 0.1, eps=1.0)
+        assert hi > lo
+
+    def test_default_eps_is_paper_value(self):
+        assert DEFAULT_EPS == 0.05
+
+    def test_bounds_are_finite_positive(self):
+        for f, args in [
+            (theorem1_sublinear_z, (1000, 0.25, 0.3)),
+            (theorem1_sublinear_gnc, (1000, 0.25, 0.3, 0.1)),
+            (theorem1_linear, (1000, 0.2, 0.3, 0.1)),
+            (theorem2_sublinear, (1000, 0.25)),
+            (theorem2_linear, (1000, 0.2)),
+        ]:
+            value = f(*args)
+            assert np.isfinite(value) and value > 0

@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_accepts_options(self):
+        args = build_parser().parse_args(
+            ["fig2", "--trials", "3", "--n-max", "500", "--seed", "7"]
+        )
+        assert args.figure == "fig2"
+        assert args.trials == 3
+        assert args.n_max == 500
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_fig2_tiny(self, capsys):
+        rc = main(["fig2", "--trials", "1", "--n-min", "60", "--n-max", "120",
+                   "--n-points", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "p=0.1" in out
+
+    def test_fig7_tiny_with_save(self, tmp_path, capsys):
+        rc = main(["fig7", "--trials", "2", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig7.json").exists()
+        assert (tmp_path / "fig7.csv").exists()

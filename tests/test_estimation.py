@@ -1,0 +1,206 @@
+"""Tests for channel-parameter estimation.
+
+Includes the identifiability story: marginal results are exactly
+``Bin(Gamma, r)``, so one-parameter families are estimated from the
+mean, the Gaussian level from the excess variance, and the general
+``(p, q)`` pair only with a decoded bit estimate in hand.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.estimation import (
+    channel_moments,
+    effective_read_rate,
+    estimate_effective_rate,
+    estimate_gaussian_noise,
+    estimate_general_channel,
+    estimate_symmetric_channel,
+    estimate_z_channel,
+    fit_channel,
+)
+
+
+def _measurements(channel, seed=0, n=400, k=40, m=600):
+    gen = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_pooling_graph(n, m, rng=gen)
+    return repro.measure(graph, truth, channel, gen)
+
+
+class TestChannelMoments:
+    def test_noiseless_moments(self):
+        mean, var = channel_moments(0.0, 0.0, gamma=200, kappa=0.1)
+        assert mean == pytest.approx(20.0)
+        assert var == pytest.approx(200 * 0.1 * 0.9)
+
+    def test_results_are_binomial_in_r(self):
+        """The identifiability fact: results ~ Bin(Gamma, r) exactly."""
+        gen = np.random.default_rng(1)
+        gamma, kappa, trials = 300, 0.1, 40_000
+        p, q = 0.2, 0.05
+        channel = repro.NoisyChannel(p, q)
+        e1 = gen.binomial(gamma, kappa, size=trials)
+        samples = channel.measure(e1, gamma, gen)
+        r = effective_read_rate(p, q, kappa)
+        assert samples.mean() == pytest.approx(gamma * r, rel=0.01)
+        assert samples.var() == pytest.approx(gamma * r * (1 - r), rel=0.05)
+
+    def test_confusable_pairs_share_moments(self):
+        # Two (p, q) pairs with equal r are distributionally identical.
+        kappa = 0.1
+        r = effective_read_rate(0.3, 0.0, kappa)
+        q2 = (r - kappa * 0.5) / (1 - kappa)  # pick p=0.5, solve q
+        m1 = channel_moments(0.3, 0.0, 200, kappa)
+        m2 = channel_moments(0.5, q2, 200, kappa)
+        assert m1 == pytest.approx(m2)
+
+
+class TestEffectiveRate:
+    def test_recovers_r(self):
+        meas = _measurements(repro.NoisyChannel(0.3, 0.02), seed=2)
+        r_hat = estimate_effective_rate(meas.results, meas.graph.gamma)
+        r = effective_read_rate(0.3, 0.02, meas.k / meas.n)
+        assert r_hat == pytest.approx(r, abs=0.01)
+
+
+class TestZChannelEstimation:
+    @pytest.mark.parametrize("p", [0.05, 0.1, 0.3, 0.5])
+    def test_recovers_p(self, p):
+        meas = _measurements(repro.ZChannel(p), seed=int(p * 100))
+        p_hat = estimate_z_channel(meas.results, meas.graph.gamma, meas.k, meas.n)
+        assert p_hat == pytest.approx(p, abs=0.03)
+
+    def test_noiseless_estimates_zero(self):
+        meas = _measurements(repro.NoiselessChannel(), seed=9)
+        p_hat = estimate_z_channel(meas.results, meas.graph.gamma, meas.k, meas.n)
+        assert p_hat == pytest.approx(0.0, abs=0.02)
+
+    def test_clipped_into_valid_range(self):
+        p_hat = estimate_z_channel(np.full(10, 1e6), 100, 10, 100)
+        assert 0.0 <= p_hat < 1.0
+
+    def test_too_few_results_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_z_channel(np.array([1.0]), 100, 10, 100)
+
+
+class TestSymmetricEstimation:
+    @pytest.mark.parametrize("p", [0.01, 0.1, 0.3])
+    def test_recovers_p(self, p):
+        meas = _measurements(repro.NoisyChannel(p, p), seed=int(p * 1000) + 1)
+        p_hat = estimate_symmetric_channel(
+            meas.results, meas.graph.gamma, meas.k, meas.n
+        )
+        assert p_hat == pytest.approx(p, abs=0.03)
+
+    def test_unidentifiable_at_half(self):
+        with pytest.raises(ValueError):
+            estimate_symmetric_channel(np.zeros(10), 100, 50, 100)
+
+
+class TestGeneralEstimation:
+    @pytest.mark.parametrize("p,q", [(0.2, 0.05), (0.1, 0.1), (0.3, 0.0)])
+    def test_recovers_pq_with_true_sigma(self, p, q):
+        meas = _measurements(
+            repro.NoisyChannel(p, q), seed=int(p * 100 + q * 10) + 2, m=3000
+        )
+        p_hat, q_hat = estimate_general_channel(meas, meas.truth.sigma)
+        assert p_hat == pytest.approx(p, abs=0.05)
+        assert q_hat == pytest.approx(q, abs=0.03)
+
+    def test_recovers_pq_with_decoded_sigma(self):
+        # Realistic pipeline: decode first, then estimate from sigma_hat.
+        meas = _measurements(repro.NoisyChannel(0.1, 0.02), seed=3, m=3000)
+        decoded = repro.greedy_reconstruct(meas, centering="oracle")
+        p_hat, q_hat = estimate_general_channel(meas, decoded.estimate)
+        assert p_hat == pytest.approx(0.1, abs=0.08)
+        assert q_hat == pytest.approx(0.02, abs=0.04)
+
+    def test_shape_validation(self):
+        meas = _measurements(repro.ZChannel(0.1), seed=4)
+        with pytest.raises(ValueError):
+            estimate_general_channel(meas, np.zeros(meas.n + 1))
+
+    def test_constant_e1_rejected(self):
+        meas = _measurements(repro.ZChannel(0.1), seed=5)
+        with pytest.raises(ValueError):
+            estimate_general_channel(meas, np.zeros(meas.n))  # E1_hat all 0
+
+    def test_admissibility(self):
+        meas = _measurements(repro.NoisyChannel(0.45, 0.45), seed=6, m=2000)
+        p_hat, q_hat = estimate_general_channel(meas, meas.truth.sigma)
+        assert p_hat + q_hat < 1.0
+        assert p_hat >= 0.0 and q_hat >= 0.0
+
+
+class TestGaussianEstimation:
+    @pytest.mark.parametrize("lam", [0.5, 2.0, 5.0])
+    def test_recovers_lambda(self, lam):
+        meas = _measurements(
+            repro.GaussianQueryNoise(lam), seed=int(lam * 10) + 3, m=2000
+        )
+        lam_hat = estimate_gaussian_noise(
+            meas.results, meas.graph.gamma, meas.k, meas.n
+        )
+        assert lam_hat == pytest.approx(lam, abs=0.4 + 0.1 * lam)
+
+    def test_noiseless_floors_at_zero(self):
+        meas = _measurements(repro.NoiselessChannel(), seed=4, m=2000)
+        lam_hat = estimate_gaussian_noise(
+            meas.results, meas.graph.gamma, meas.k, meas.n
+        )
+        assert lam_hat < 1.0  # sampling noise only
+
+
+class TestFitChannel:
+    def test_fit_z(self):
+        meas = _measurements(repro.ZChannel(0.2), seed=5)
+        fitted = fit_channel("z", meas)
+        assert isinstance(fitted, repro.ZChannel)
+        assert fitted.p == pytest.approx(0.2, abs=0.03)
+
+    def test_fit_gaussian(self):
+        meas = _measurements(repro.GaussianQueryNoise(2.0), seed=6, m=2000)
+        fitted = fit_channel("gaussian", meas)
+        assert isinstance(fitted, repro.GaussianQueryNoise)
+
+    def test_fit_general_requires_sigma_hat(self):
+        meas = _measurements(repro.NoisyChannel(0.15, 0.05), seed=7)
+        with pytest.raises(ValueError):
+            fit_channel("general", meas)
+        fitted = fit_channel("general", meas, sigma_hat=meas.truth.sigma)
+        assert isinstance(fitted, repro.NoisyChannel)
+
+    def test_fit_symmetric(self):
+        meas = _measurements(repro.NoisyChannel(0.1, 0.1), seed=8)
+        fitted = fit_channel("symmetric", meas)
+        assert fitted.p == fitted.q
+
+    def test_unknown_family(self):
+        meas = _measurements(repro.ZChannel(0.1), seed=9)
+        with pytest.raises(ValueError):
+            fit_channel("bogus", meas)
+
+    def test_fitted_oracle_centering_decodes(self):
+        """End to end: estimated channel powers the oracle centering."""
+        gen = np.random.default_rng(10)
+        n, k, m = 400, 4, 2000
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph(n, m, rng=gen)
+        channel = repro.NoisyChannel(0.05, 0.05)
+        meas = repro.measure(graph, truth, channel, gen)
+        fitted = fit_channel("symmetric", meas)
+
+        from repro.core.scores import centered_scores, expected_query_result
+        from repro.core.types import evaluate_estimate
+
+        psi = graph.neighborhood_sums(meas.results)
+        expected = expected_query_result(fitted, n, k, graph.gamma)
+        scores = centered_scores(
+            psi, graph.distinct_degrees(), k, mode="oracle", expected_result=expected
+        )
+        estimate = repro.top_k_estimate(scores, k)
+        out = evaluate_estimate(estimate, truth.sigma)
+        assert out["exact"]

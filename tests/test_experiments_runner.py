@@ -1,0 +1,115 @@
+"""Tests for the experiment trial runner."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments.runner import (
+    RequiredQueriesSample,
+    required_queries_trials,
+    run_many,
+    success_rate_curve,
+)
+
+
+class TestRequiredQueriesTrials:
+    def test_collects_all_trials(self):
+        sample = required_queries_trials(
+            150, 4, repro.NoiselessChannel(), trials=5, seed=1
+        )
+        assert sample.trials == 5
+        assert len(sample.values) == 5
+        assert sample.failures == 0
+        assert sample.median > 0
+
+    def test_reproducible(self):
+        a = required_queries_trials(150, 4, repro.ZChannel(0.1), trials=4, seed=9)
+        b = required_queries_trials(150, 4, repro.ZChannel(0.1), trials=4, seed=9)
+        assert a.values == b.values
+
+    def test_different_seeds_vary(self):
+        a = required_queries_trials(150, 4, repro.ZChannel(0.1), trials=4, seed=1)
+        b = required_queries_trials(150, 4, repro.ZChannel(0.1), trials=4, seed=2)
+        assert a.values != b.values
+
+    def test_failures_counted(self):
+        sample = required_queries_trials(
+            200, 5, repro.ZChannel(0.1), trials=3, seed=0, max_m=2
+        )
+        assert sample.failures == 3
+        assert sample.values == []
+        assert np.isnan(sample.median)
+
+    def test_channel_label(self):
+        sample = required_queries_trials(
+            100, 3, repro.ZChannel(0.2), trials=2, seed=0
+        )
+        assert "z-channel" in sample.channel
+
+
+class TestSuccessRateCurve:
+    def test_monotone_trend_greedy(self):
+        curve = success_rate_curve(
+            200,
+            4,
+            repro.NoiselessChannel(),
+            [10, 60, 200],
+            trials=20,
+            seed=3,
+        )
+        assert curve.success_rates[0] <= curve.success_rates[-1]
+        assert curve.success_rates[-1] >= 0.9
+
+    def test_overlap_at_least_success(self):
+        curve = success_rate_curve(
+            200, 4, repro.ZChannel(0.2), [30, 120], trials=15, seed=4
+        )
+        for rate, overlap in zip(curve.success_rates, curve.overlaps):
+            assert overlap >= rate - 1e-9
+
+    def test_amp_algorithm(self):
+        curve = success_rate_curve(
+            200, 4, repro.NoiselessChannel(), [80], algorithm="amp", trials=5, seed=5
+        )
+        assert curve.algorithm == "amp"
+        assert curve.success_rates[0] >= 0.8
+
+    def test_distributed_algorithm_matches_greedy(self):
+        greedy = success_rate_curve(
+            40, 3, repro.ZChannel(0.1), [30], algorithm="greedy", trials=5, seed=6
+        )
+        dist = success_rate_curve(
+            40, 3, repro.ZChannel(0.1), [30], algorithm="distributed", trials=5, seed=6
+        )
+        assert greedy.success_rates == dist.success_rates
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            success_rate_curve(100, 3, repro.ZChannel(0.1), [10], algorithm="magic")
+
+    def test_crossing(self):
+        curve = success_rate_curve(
+            200, 4, repro.NoiselessChannel(), [5, 50, 150], trials=10, seed=7
+        )
+        crossing = curve.crossing(0.5)
+        assert crossing in (5, 50, 150, None)
+        if curve.success_rates[-1] >= 0.5:
+            assert crossing is not None
+
+    def test_rates_in_unit_interval(self):
+        curve = success_rate_curve(
+            100, 3, repro.ZChannel(0.3), [20, 40], trials=10, seed=8
+        )
+        for r in curve.success_rates + curve.overlaps:
+            assert 0.0 <= r <= 1.0
+
+
+class TestRunMany:
+    def test_runs_trials(self):
+        outputs = run_many(lambda gen: gen.integers(0, 100), trials=5, seed=0)
+        assert len(outputs) == 5
+
+    def test_reproducible(self):
+        a = run_many(lambda gen: int(gen.integers(0, 10**9)), trials=3, seed=1)
+        b = run_many(lambda gen: int(gen.integers(0, 10**9)), trials=3, seed=1)
+        assert a == b

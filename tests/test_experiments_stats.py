@@ -1,0 +1,103 @@
+"""Tests for experiment statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import (
+    binomial_confidence,
+    boxplot_stats,
+    geometric_space,
+)
+
+
+class TestBoxplotStats:
+    def test_simple_sample(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.median == 3
+        assert stats.q1 == 2
+        assert stats.q3 == 4
+        assert stats.count == 5
+        assert stats.mean == 3
+        assert stats.outliers == []
+
+    def test_outlier_detection(self):
+        values = [10, 11, 12, 13, 14, 100]
+        stats = boxplot_stats(values)
+        assert 100 in stats.outliers
+        assert stats.whisker_high <= 14
+
+    def test_whiskers_within_data(self):
+        gen = np.random.default_rng(0)
+        values = gen.normal(50, 5, size=200)
+        stats = boxplot_stats(values)
+        assert values.min() <= stats.whisker_low <= stats.q1
+        assert stats.q3 <= stats.whisker_high <= values.max()
+
+    def test_single_value(self):
+        stats = boxplot_stats([7.0])
+        assert stats.median == 7.0
+        assert stats.iqr == 0.0
+        assert stats.whisker_low == stats.whisker_high == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    def test_as_dict_roundtrip(self):
+        stats = boxplot_stats([1, 2, 3])
+        d = stats.as_dict()
+        assert d["median"] == 2
+        assert isinstance(d["outliers"], list)
+
+
+class TestBinomialConfidence:
+    def test_contains_point_estimate(self):
+        lo, hi = binomial_confidence(50, 100)
+        assert lo < 0.5 < hi
+
+    def test_extreme_zero(self):
+        lo, hi = binomial_confidence(0, 100)
+        assert lo == 0.0
+        assert hi < 0.1
+
+    def test_extreme_all(self):
+        lo, hi = binomial_confidence(100, 100)
+        assert hi == 1.0
+        assert lo > 0.9
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = binomial_confidence(5, 10)
+        lo2, hi2 = binomial_confidence(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            binomial_confidence(5, 0)
+        with pytest.raises(ValueError):
+            binomial_confidence(11, 10)
+
+
+class TestGeometricSpace:
+    def test_endpoints(self):
+        grid = geometric_space(100, 10_000, 5)
+        assert grid[0] == 100
+        assert grid[-1] == 10_000
+
+    def test_strictly_increasing(self):
+        grid = geometric_space(10, 100_000, 20)
+        assert all(b > a for a, b in zip(grid, grid[1:]))
+
+    def test_dedup_small_range(self):
+        grid = geometric_space(2, 4, 10)
+        assert grid == sorted(set(grid))
+
+    def test_single_point(self):
+        assert geometric_space(50, 50, 1) == [50]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_space(0, 10, 3)
+        with pytest.raises(ValueError):
+            geometric_space(10, 5, 3)
+        with pytest.raises(ValueError):
+            geometric_space(1, 10, 0)

@@ -1,0 +1,170 @@
+"""Failure-injection tests: lossy/delaying networks and protocol robustness."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.distributed import FaultModel, run_distributed_algorithm1
+from repro.distributed.messages import (
+    QueryResultMessage,
+    RankAnnouncementMessage,
+    SortKeyMessage,
+)
+from repro.distributed.network import Network, Node
+
+
+class Sender(Node):
+    def __init__(self, name, target, count):
+        super().__init__(name)
+        self.target = target
+        self.remaining = count
+
+    def on_round(self, round_no, inbox, net):
+        while self.remaining > 0:
+            net.send(self.name, self.target, RankAnnouncementMessage(agent_id=0))
+            self.remaining -= 1
+
+    def is_idle(self):
+        return self.remaining == 0
+
+
+class Receiver(Node):
+    def __init__(self, name):
+        super().__init__(name)
+        self.got = 0
+
+    def on_round(self, round_no, inbox, net):
+        self.got += len(inbox)
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(delay_probability=0.5)  # needs max_delay
+        with pytest.raises(ValueError):
+            FaultModel(max_delay=-1)
+
+    def test_drop_all(self):
+        fm = FaultModel(drop_probability=1.0, rng=0)
+        env_like = type("E", (), {"payload": RankAnnouncementMessage(0)})()
+        assert fm.route(env_like) is None
+
+    def test_no_faults_is_transparent(self):
+        fm = FaultModel(rng=0)
+        env_like = type("E", (), {"payload": RankAnnouncementMessage(0)})()
+        assert fm.route(env_like) == 0
+
+    def test_affected_types_filter(self):
+        fm = FaultModel(
+            drop_probability=1.0,
+            affected_types=(QueryResultMessage,),
+            rng=0,
+        )
+        other = type("E", (), {"payload": SortKeyMessage(0, (0.0, 1))})()
+        assert fm.route(other) == 0  # untouched
+        query = type("E", (), {"payload": QueryResultMessage(0, 1.0)})()
+        assert fm.route(query) is None
+
+
+class TestLossyNetwork:
+    def test_all_dropped(self):
+        net = Network(fault_model=FaultModel(drop_probability=1.0, rng=1))
+        net.add_node(Sender("s", "r", 10))
+        net.add_node(Receiver("r"))
+        net.run()
+        assert net.node("r").got == 0
+        assert net.metrics.dropped == 10
+
+    def test_partial_drop_statistics(self):
+        net = Network(fault_model=FaultModel(drop_probability=0.5, rng=2))
+        net.add_node(Sender("s", "r", 400))
+        net.add_node(Receiver("r"))
+        net.run()
+        received = net.node("r").got
+        assert received + net.metrics.dropped == 400
+        assert 120 < received < 280  # ~Binomial(400, 0.5)
+
+    def test_delayed_delivery_eventually_arrives(self):
+        net = Network(
+            fault_model=FaultModel(delay_probability=1.0, max_delay=3, rng=3)
+        )
+        net.add_node(Sender("s", "r", 20))
+        net.add_node(Receiver("r"))
+        net.run()
+        assert net.node("r").got == 20
+        assert net.metrics.delayed == 20
+
+    def test_pending_includes_in_flight(self):
+        net = Network(
+            fault_model=FaultModel(delay_probability=1.0, max_delay=5, rng=4)
+        )
+        net.add_node(Sender("s", "r", 1))
+        net.add_node(Receiver("r"))
+        net.run_round()  # message now in flight, delayed
+        assert net.has_pending_messages()
+
+
+class TestProtocolUnderFaults:
+    def _measurements(self, seed=0, n=64, k=4, m=120):
+        gen = np.random.default_rng(seed)
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph(n, m, rng=gen)
+        return repro.measure(graph, truth, repro.ZChannel(0.1), gen)
+
+    def test_unrestricted_fault_model_rejected(self):
+        meas = self._measurements()
+        with pytest.raises(ValueError):
+            run_distributed_algorithm1(
+                meas, fault_model=FaultModel(drop_probability=0.1, rng=0)
+            )
+
+    def test_protocol_survives_query_drops(self):
+        meas = self._measurements(m=200)
+        fm = FaultModel(
+            drop_probability=0.3,
+            affected_types=(QueryResultMessage,),
+            rng=5,
+        )
+        report = run_distributed_algorithm1(meas, fault_model=fm)
+        assert report.result.estimate.sum() == meas.k
+        assert report.result.meta["dropped"] > 0
+        # With 30% losses but 2x the necessary queries the protocol
+        # should still reconstruct well.
+        assert report.result.overlap >= 0.75
+
+    def test_delayed_query_results_discarded_not_fatal(self):
+        meas = self._measurements(m=100)
+        fm = FaultModel(
+            delay_probability=0.4,
+            max_delay=2,
+            affected_types=(QueryResultMessage,),
+            rng=6,
+        )
+        report = run_distributed_algorithm1(meas, fault_model=fm)
+        assert report.result.meta["late_results_ignored"] > 0
+        assert report.result.estimate.sum() == meas.k
+
+    def test_drop_rate_degrades_gracefully(self):
+        """More drops -> (weakly) worse reconstruction, never a crash."""
+        overlaps = []
+        for drop in (0.0, 0.5, 0.9):
+            fm = FaultModel(
+                drop_probability=drop,
+                affected_types=(QueryResultMessage,),
+                rng=7,
+            )
+            meas = self._measurements(seed=1, m=150)
+            report = run_distributed_algorithm1(meas, fault_model=fm)
+            overlaps.append(report.result.overlap)
+        assert overlaps[0] >= overlaps[2] - 0.05
+
+    def test_no_faults_matches_vectorized(self):
+        meas = self._measurements(seed=2)
+        fm = FaultModel(
+            drop_probability=0.0, affected_types=(QueryResultMessage,), rng=8
+        )
+        report = run_distributed_algorithm1(meas, fault_model=fm)
+        vec = repro.greedy_reconstruct(meas)
+        assert np.array_equal(report.result.estimate, vec.estimate)

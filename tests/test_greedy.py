@@ -1,0 +1,96 @@
+"""Unit tests for the vectorized greedy decoder (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.greedy import greedy_reconstruct, run_greedy_trial
+
+
+class TestGreedyReconstruct:
+    def test_noiseless_easy_instance_recovers(self, small_instance):
+        truth, _, meas = small_instance
+        result = greedy_reconstruct(meas)
+        assert result.exact
+        assert result.overlap == 1.0
+        assert np.array_equal(result.estimate, truth.sigma)
+
+    def test_estimate_has_weight_k(self, z_instance):
+        truth, _, meas = z_instance
+        result = greedy_reconstruct(meas)
+        assert result.estimate.sum() == truth.k
+
+    def test_meta_fields(self, z_instance):
+        truth, graph, meas = z_instance
+        result = greedy_reconstruct(meas)
+        assert result.meta["algorithm"] == "greedy"
+        assert result.meta["n"] == truth.n
+        assert result.meta["m"] == graph.m
+        assert "z-channel" in result.meta["channel"]
+
+    def test_exact_iff_zero_hamming(self, z_instance):
+        _, _, meas = z_instance
+        result = greedy_reconstruct(meas)
+        assert result.exact == (result.hamming_errors == 0)
+
+    def test_separated_implies_exact(self, rng):
+        # Strict score separation forces the top-k set to equal the truth.
+        for seed in range(10):
+            gen = np.random.default_rng(seed)
+            truth = repro.sample_ground_truth(150, 5, gen)
+            graph = repro.sample_pooling_graph(150, 200, rng=gen)
+            meas = repro.measure(graph, truth, repro.ZChannel(0.15), gen)
+            result = greedy_reconstruct(meas)
+            if result.separated:
+                assert result.exact
+
+    def test_centering_modes_agree_on_easy_instance(self, small_instance):
+        _, _, meas = small_instance
+        for mode in ("half_k", "oracle"):
+            assert greedy_reconstruct(meas, centering=mode).exact
+
+    def test_zero_queries_gives_some_estimate(self, rng):
+        truth = repro.sample_ground_truth(20, 3, rng)
+        graph = repro.sample_pooling_graph(20, 0, rng=rng)
+        meas = repro.measure(graph, truth, rng=rng)
+        result = greedy_reconstruct(meas)
+        assert result.estimate.sum() == 3
+        assert not result.separated  # all scores are zero -> no separation
+
+    def test_more_queries_help_statistically(self):
+        # Success frequency with many queries should dominate few queries.
+        few, many = 0, 0
+        trials = 15
+        for seed in range(trials):
+            gen = np.random.default_rng(1000 + seed)
+            truth = repro.sample_ground_truth(300, 6, gen)
+            channel = repro.ZChannel(0.1)
+            g_few = repro.sample_pooling_graph(300, 30, rng=gen)
+            g_many = repro.sample_pooling_graph(300, 300, rng=gen)
+            few += greedy_reconstruct(repro.measure(g_few, truth, channel, gen)).exact
+            many += greedy_reconstruct(repro.measure(g_many, truth, channel, gen)).exact
+        assert many >= few
+        assert many >= trials - 2  # 300 queries is deep in the success phase
+
+
+class TestRunGreedyTrial:
+    def test_end_to_end(self, rng):
+        result = run_greedy_trial(300, 6, 300, repro.ZChannel(0.1), rng)
+        assert result.estimate.shape == (300,)
+        assert result.meta["m"] == 300
+
+    def test_with_provided_truth(self, rng):
+        truth = repro.sample_ground_truth(100, 5, rng)
+        result = run_greedy_trial(100, 5, 150, repro.NoiselessChannel(), rng, truth=truth)
+        assert result.exact
+
+    def test_truth_mismatch_rejected(self, rng):
+        truth = repro.sample_ground_truth(100, 5, rng)
+        with pytest.raises(ValueError):
+            run_greedy_trial(100, 6, 10, repro.NoiselessChannel(), rng, truth=truth)
+
+    def test_determinism(self):
+        a = run_greedy_trial(200, 5, 100, repro.ZChannel(0.1), 42)
+        b = run_greedy_trial(200, 5, 100, repro.ZChannel(0.1), 42)
+        assert np.array_equal(a.estimate, b.estimate)
+        assert np.allclose(a.scores, b.scores)

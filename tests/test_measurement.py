@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.measurement."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.measurement import Measurements, measure, measure_query
+
+
+class TestMeasure:
+    def test_noiseless_results_are_exact_sums(self, small_instance):
+        truth, graph, meas = small_instance
+        assert np.array_equal(meas.results, graph.edges_into_ones(truth.sigma))
+
+    def test_shapes_and_properties(self, small_instance):
+        truth, graph, meas = small_instance
+        assert meas.n == truth.n
+        assert meas.m == graph.m
+        assert meas.k == truth.k
+        assert meas.results.shape == (graph.m,)
+
+    def test_default_channel_is_noiseless(self, rng):
+        truth = repro.sample_ground_truth(50, 5, rng)
+        graph = repro.sample_pooling_graph(50, 10, rng=rng)
+        meas = measure(graph, truth, rng=rng)
+        assert isinstance(meas.channel, repro.NoiselessChannel)
+
+    def test_mismatched_n_rejected(self, rng):
+        truth = repro.sample_ground_truth(50, 5, rng)
+        graph = repro.sample_pooling_graph(60, 10, rng=rng)
+        with pytest.raises(ValueError):
+            measure(graph, truth)
+
+    def test_z_channel_only_lowers(self, rng):
+        truth = repro.sample_ground_truth(100, 20, rng)
+        graph = repro.sample_pooling_graph(100, 30, rng=rng)
+        exact = graph.edges_into_ones(truth.sigma)
+        noisy = measure(graph, truth, repro.ZChannel(0.3), rng).results
+        assert np.all(noisy <= exact)
+        assert np.all(noisy >= 0)
+
+    def test_gaussian_results_are_floats(self, rng):
+        truth = repro.sample_ground_truth(100, 20, rng)
+        graph = repro.sample_pooling_graph(100, 30, rng=rng)
+        noisy = measure(graph, truth, repro.GaussianQueryNoise(2.0), rng).results
+        assert noisy.dtype == np.float64
+
+    def test_determinism(self):
+        truth = repro.sample_ground_truth(100, 20, 5)
+        graph = repro.sample_pooling_graph(100, 30, rng=6)
+        a = measure(graph, truth, repro.ZChannel(0.2), rng=7).results
+        b = measure(graph, truth, repro.ZChannel(0.2), rng=7).results
+        assert np.array_equal(a, b)
+
+    def test_results_shape_validation(self, small_instance):
+        truth, graph, _ = small_instance
+        with pytest.raises(ValueError):
+            Measurements(
+                graph=graph,
+                truth=truth,
+                channel=repro.NoiselessChannel(),
+                results=np.zeros(graph.m + 1),
+            )
+
+
+class TestMeasureQuery:
+    def test_matches_graph_measurement_noiseless(self, rng):
+        truth = repro.sample_ground_truth(100, 10, rng)
+        graph = repro.sample_pooling_graph(100, 5, rng=rng)
+        channel = repro.NoiselessChannel()
+        for j in range(graph.m):
+            agents, counts = graph.query(j)
+            result = measure_query(agents, counts, truth.sigma, channel, graph.gamma, rng)
+            assert result == graph.edges_into_ones(truth.sigma)[j]
+
+    def test_gaussian_single_query(self, rng):
+        truth = repro.sample_ground_truth(100, 10, rng)
+        graph = repro.sample_pooling_graph(100, 1, rng=rng)
+        agents, counts = graph.query(0)
+        result = measure_query(
+            agents, counts, truth.sigma, repro.GaussianQueryNoise(1.0), graph.gamma, rng
+        )
+        assert isinstance(result, float)

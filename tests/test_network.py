@@ -1,0 +1,86 @@
+"""Tests for the synchronous message-passing network simulator."""
+
+from typing import List
+
+import pytest
+
+from repro.distributed.messages import Envelope, RankAnnouncementMessage
+from repro.distributed.network import Network, Node
+
+
+class Echo(Node):
+    """Test node: forwards every received announcement once to a target."""
+
+    def __init__(self, name: str, target: str = None, hops: int = 0):
+        super().__init__(name)
+        self.target = target
+        self.hops_left = hops
+        self.received: List[Envelope] = []
+
+    def on_round(self, round_no, inbox, net):
+        self.received.extend(inbox)
+        if self.hops_left > 0 and self.target is not None:
+            net.send(self.name, self.target, RankAnnouncementMessage(agent_id=0))
+            self.hops_left -= 1
+
+    def is_idle(self):
+        return self.hops_left == 0
+
+
+class TestNetwork:
+    def test_delivery_next_round(self):
+        net = Network()
+        a = Echo("a", target="b", hops=1)
+        b = Echo("b")
+        net.add_node(a)
+        net.add_node(b)
+        net.run_round()  # a sends
+        assert b.received == []
+        net.run_round()  # b receives
+        assert len(b.received) == 1
+        assert b.received[0].sender == "a"
+
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.add_node(Echo("a"))
+        with pytest.raises(ValueError):
+            net.add_node(Echo("a"))
+
+    def test_unknown_recipient_rejected(self):
+        net = Network()
+        net.add_node(Echo("a", target="ghost", hops=1))
+        with pytest.raises(KeyError):
+            net.run_round()
+
+    def test_run_until_quiescent(self):
+        net = Network()
+        net.add_node(Echo("a", target="b", hops=3))
+        net.add_node(Echo("b"))
+        rounds = net.run()
+        assert rounds >= 4
+        assert len(net.node("b").received) == 3
+
+    def test_run_raises_on_livelock(self):
+        class Chatter(Node):
+            def on_round(self, round_no, inbox, net):
+                net.send(self.name, self.name, RankAnnouncementMessage(agent_id=0))
+
+        net = Network()
+        net.add_node(Chatter("loop"))
+        with pytest.raises(RuntimeError):
+            net.run(max_rounds=10)
+
+    def test_metrics(self):
+        net = Network()
+        net.add_node(Echo("a", target="b", hops=2))
+        net.add_node(Echo("b"))
+        net.run()
+        assert net.metrics.messages == 2
+        assert net.metrics.bits == 2 * 64
+        assert sum(net.metrics.messages_per_round) == 2
+
+    def test_node_names(self):
+        net = Network()
+        net.add_node(Echo("x"))
+        net.add_node(Echo("y"))
+        assert set(net.node_names) == {"x", "y"}

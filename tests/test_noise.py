@@ -1,0 +1,215 @@
+"""Unit + statistical tests for repro.core.noise."""
+
+import numpy as np
+import pytest
+
+from repro.core.noise import (
+    GaussianQueryNoise,
+    NoiselessChannel,
+    NoisyChannel,
+    ZChannel,
+    effective_channel_regime,
+    make_channel,
+)
+
+
+class TestNoiselessChannel:
+    def test_identity(self, rng):
+        ch = NoiselessChannel()
+        e1 = np.array([0, 3, 7, 10])
+        assert np.array_equal(ch.measure(e1, 10, rng), e1)
+
+    def test_contributions(self, rng):
+        ch = NoiselessChannel()
+        out = ch.measure_contributions(np.array([2, 3]), np.array([1, 0]), rng)
+        assert np.array_equal(out, np.array([2, 0]))
+
+    def test_edge_mean(self):
+        assert NoiselessChannel().edge_mean(0.3) == pytest.approx(0.3)
+
+    def test_integer_valued(self):
+        assert NoiselessChannel().integer_valued
+
+    def test_no_query_level_noise(self, rng):
+        assert NoiselessChannel().query_level_noise(rng) == 0.0
+
+
+class TestNoisyChannel:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NoisyChannel(0.6, 0.5)  # p + q >= 1
+        with pytest.raises(ValueError):
+            NoisyChannel(1.0, 0.0)  # p must be < 1
+        with pytest.raises(ValueError):
+            NoisyChannel(-0.1, 0.0)
+        with pytest.raises(TypeError):
+            NoisyChannel("0.1", 0.0)
+
+    def test_zero_noise_is_identity(self, rng):
+        ch = NoisyChannel(0.0, 0.0)
+        e1 = np.array([0, 5, 9])
+        assert np.array_equal(ch.measure(e1, 9, rng), e1)
+
+    def test_results_within_range(self, rng):
+        ch = NoisyChannel(0.2, 0.1)
+        results = ch.measure(np.full(100, 30), 60, rng)
+        assert np.all(results >= 0)
+        assert np.all(results <= 60)
+
+    def test_e1_out_of_range_rejected(self, rng):
+        ch = NoisyChannel(0.2, 0.1)
+        with pytest.raises(ValueError):
+            ch.measure(np.array([61]), 60, rng)
+        with pytest.raises(ValueError):
+            ch.measure(np.array([-1]), 60, rng)
+
+    def test_measure_mean(self):
+        # E[result] = e1 (1-p) + (gamma - e1) q
+        gen = np.random.default_rng(11)
+        p, q, e1, gamma, trials = 0.3, 0.05, 40, 100, 4000
+        ch = NoisyChannel(p, q)
+        samples = ch.measure(np.full(trials, e1), gamma, gen)
+        expected = e1 * (1 - p) + (gamma - e1) * q
+        assert abs(samples.mean() - expected) < 0.3
+
+    def test_measure_variance(self):
+        gen = np.random.default_rng(12)
+        p, q, e1, gamma, trials = 0.3, 0.05, 40, 100, 20000
+        ch = NoisyChannel(p, q)
+        samples = ch.measure(np.full(trials, e1), gamma, gen)
+        expected_var = e1 * (1 - p) * p + (gamma - e1) * q * (1 - q)
+        assert abs(samples.var() - expected_var) < 0.08 * expected_var + 0.5
+
+    def test_contributions_law(self):
+        # Per-agent contributions ~ Bin(c, 1-p) for 1-agents, Bin(c, q) for 0.
+        gen = np.random.default_rng(13)
+        ch = NoisyChannel(0.25, 0.1)
+        counts = np.array([10, 10])
+        bits = np.array([1, 0])
+        sums = np.zeros(2)
+        trials = 3000
+        for _ in range(trials):
+            sums += ch.measure_contributions(counts, bits, gen)
+        means = sums / trials
+        assert abs(means[0] - 10 * 0.75) < 0.15
+        assert abs(means[1] - 10 * 0.1) < 0.15
+
+    def test_contributions_sum_law_matches_measure_law(self):
+        # The sum of per-edge contributions must have the same law as
+        # the aggregated measure() output.
+        gen = np.random.default_rng(14)
+        ch = NoisyChannel(0.2, 0.05)
+        counts = np.array([3, 4, 5, 8])
+        bits = np.array([1, 0, 1, 0])
+        e1 = int(np.sum(counts * bits))
+        gamma = int(counts.sum())
+        trials = 6000
+        sums_edge = np.array(
+            [ch.measure_contributions(counts, bits, gen).sum() for _ in range(trials)]
+        )
+        sums_agg = ch.measure(np.full(trials, e1), gamma, gen)
+        assert abs(sums_edge.mean() - sums_agg.mean()) < 0.15
+        assert abs(sums_edge.var() - sums_agg.var()) < 0.3
+
+    def test_edge_mean(self):
+        ch = NoisyChannel(0.2, 0.1)
+        prior = 0.3
+        assert ch.edge_mean(prior) == pytest.approx(0.1 + 0.3 * 0.7)
+
+    def test_is_z_channel_flag(self):
+        assert NoisyChannel(0.2, 0.0).is_z_channel
+        assert not NoisyChannel(0.2, 0.01).is_z_channel
+
+
+class TestZChannel:
+    def test_q_is_zero(self):
+        ch = ZChannel(0.3)
+        assert ch.q == 0.0
+        assert ch.is_z_channel
+
+    def test_zero_agents_never_flip(self, rng):
+        ch = ZChannel(0.3)
+        # e1 = 0: no ones present; Z-channel must report exactly 0.
+        results = ch.measure(np.zeros(100, dtype=np.int64), 50, rng)
+        assert np.all(results == 0)
+
+    def test_describe_mentions_z(self):
+        assert "z-channel" in ZChannel(0.1).describe()
+
+
+class TestGaussianQueryNoise:
+    def test_zero_lambda_is_identity(self, rng):
+        ch = GaussianQueryNoise(0.0)
+        e1 = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(ch.measure(e1, 10, rng), e1)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianQueryNoise(-1.0)
+
+    def test_moments(self):
+        gen = np.random.default_rng(15)
+        lam, trials = 2.0, 20000
+        ch = GaussianQueryNoise(lam)
+        samples = ch.measure(np.full(trials, 5.0), 10, gen)
+        assert abs(samples.mean() - 5.0) < 0.05
+        assert abs(samples.std() - lam) < 0.05
+
+    def test_not_integer_valued(self):
+        assert not GaussianQueryNoise(1.0).integer_valued
+
+    def test_contributions_are_exact(self, rng):
+        ch = GaussianQueryNoise(3.0)
+        out = ch.measure_contributions(np.array([2, 5]), np.array([1, 0]), rng)
+        assert np.array_equal(out, np.array([2.0, 0.0]))
+
+    def test_query_level_noise_distribution(self):
+        gen = np.random.default_rng(16)
+        ch = GaussianQueryNoise(1.5)
+        noise = np.array([ch.query_level_noise(gen) for _ in range(5000)])
+        assert abs(noise.mean()) < 0.07
+        assert abs(noise.std() - 1.5) < 0.07
+
+    def test_edge_mean(self):
+        assert GaussianQueryNoise(2.0).edge_mean(0.4) == pytest.approx(0.4)
+
+
+class TestMakeChannel:
+    def test_noiseless(self):
+        assert isinstance(make_channel("noiseless"), NoiselessChannel)
+
+    def test_z(self):
+        ch = make_channel("z", p=0.2)
+        assert isinstance(ch, ZChannel)
+        assert ch.p == 0.2
+
+    def test_general(self):
+        ch = make_channel("channel", p=0.2, q=0.1)
+        assert isinstance(ch, NoisyChannel)
+        assert (ch.p, ch.q) == (0.2, 0.1)
+
+    def test_gaussian(self):
+        ch = make_channel("gaussian", lam=2.5)
+        assert isinstance(ch, GaussianQueryNoise)
+        assert ch.lam == 2.5
+
+    def test_case_insensitive(self):
+        assert isinstance(make_channel("Z", p=0.1), ZChannel)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_channel("bogus")
+
+
+class TestEffectiveChannelRegime:
+    def test_zero_q_is_like_z(self):
+        assert effective_channel_regime(0.0, 10, 10_000) == "like-z"
+
+    def test_tiny_q_is_like_z(self):
+        assert effective_channel_regime(1e-8, 10, 10_000) == "like-z"
+
+    def test_large_q_is_positive(self):
+        assert effective_channel_regime(0.1, 10, 10_000) == "like-positive-q"
+
+    def test_borderline_is_intermediate(self):
+        assert effective_channel_regime(0.001, 10, 10_000) == "intermediate"

@@ -1,0 +1,79 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plots import MARKERS, ascii_plot, plot_figure_result
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            {"a": [(1, 1), (2, 2), (3, 3)]}, width=20, height=5, title="T"
+        )
+        assert "T" in text
+        assert "o=a" in text
+        assert text.count("o") >= 3
+
+    def test_log_axes(self):
+        text = ascii_plot(
+            {"s": [(10, 100), (100, 1000), (1000, 10000)]},
+            log_x=True,
+            log_y=True,
+            width=30,
+            height=6,
+        )
+        assert "1e+03" in text or "1000" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 1)]}, log_x=True)
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot(
+            {"a": [(0, 0)], "b": [(1, 1)], "c": [(2, 2)]}, width=10, height=4
+        )
+        for i, label in enumerate("abc"):
+            assert f"{MARKERS[i]}={label}" in text
+
+    def test_none_y_skipped(self):
+        text = ascii_plot({"a": [(1, None), (2, 5)]}, width=10, height=4)
+        assert text.count("o") >= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+
+    def test_constant_series_no_crash(self):
+        text = ascii_plot({"a": [(1, 5), (2, 5)]}, width=10, height=4)
+        assert "o" in text
+
+
+class TestPlotFigureResult:
+    def test_from_figure_rows(self):
+        result = FigureResult(
+            figure="figX",
+            description="demo",
+            params={},
+            rows=[
+                {"series": "a", "n": 10, "y": 1.0},
+                {"series": "a", "n": 100, "y": 2.0},
+                {"series": "b", "n": 10, "y": 3.0},
+            ],
+        )
+        text = plot_figure_result(result, x_key="n", y_key="y", log_x=True)
+        assert "figX" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_missing_y_rows_skipped(self):
+        result = FigureResult(
+            figure="figY",
+            description="demo",
+            params={},
+            rows=[
+                {"series": "a", "n": 10, "y": 1.0},
+                {"series": "theory", "n": 10, "y": None},
+            ],
+        )
+        text = plot_figure_result(result, x_key="n", y_key="y")
+        assert "o=a" in text

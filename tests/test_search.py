@@ -1,0 +1,91 @@
+"""Tests for the success-probability threshold search."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments.search import (
+    ThresholdEstimate,
+    compare_algorithm_thresholds,
+    success_probability_threshold,
+)
+
+
+class TestSuccessProbabilityThreshold:
+    def test_finds_threshold_noiseless(self):
+        est = success_probability_threshold(
+            200, 4, repro.NoiselessChannel(), trials=10, seed=0
+        )
+        assert est.found
+        # sanity: threshold should be in a plausible band
+        assert 8 <= est.threshold_m <= 400
+        assert est.probes  # bracket + bisection probes recorded
+
+    def test_threshold_increases_with_noise(self):
+        clean = success_probability_threshold(
+            200, 4, repro.NoiselessChannel(), trials=10, seed=1
+        )
+        noisy = success_probability_threshold(
+            200, 4, repro.ZChannel(0.4), trials=10, seed=1
+        )
+        assert noisy.threshold_m > clean.threshold_m
+
+    def test_cap_reported_as_not_found(self):
+        est = success_probability_threshold(
+            200, 4, repro.ZChannel(0.3), trials=5, seed=2, m_init=2, m_cap=4
+        )
+        assert not est.found
+        assert est.threshold_m is None
+
+    def test_higher_level_needs_more_queries(self):
+        low = success_probability_threshold(
+            200, 4, repro.ZChannel(0.2), level=0.3, trials=15, seed=3
+        )
+        high = success_probability_threshold(
+            200, 4, repro.ZChannel(0.2), level=0.9, trials=15, seed=3
+        )
+        assert high.threshold_m >= low.threshold_m - 8  # allow tolerance slack
+
+    def test_tolerance_respected(self):
+        est = success_probability_threshold(
+            200, 4, repro.NoiselessChannel(), trials=8, seed=4, tolerance=16
+        )
+        # final bracket width <= tolerance implies probe grid is coarse
+        assert est.found
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            success_probability_threshold(
+                100, 3, repro.NoiselessChannel(), level=1.5
+            )
+        with pytest.raises(ValueError):
+            success_probability_threshold(
+                100, 3, repro.NoiselessChannel(), trials=0
+            )
+
+
+class TestCompareAlgorithmThresholds:
+    def test_amp_threshold_below_greedy(self):
+        out = compare_algorithm_thresholds(
+            400,
+            4,
+            repro.ZChannel(0.1),
+            ["greedy", "amp"],
+            trials=10,
+            seed=5,
+        )
+        assert set(out) == {"greedy", "amp"}
+        assert out["amp"].found and out["greedy"].found
+        # Figure 6's headline, as thresholds.
+        assert out["amp"].threshold_m <= out["greedy"].threshold_m
+
+    def test_twostage_between_greedy_and_amp(self):
+        out = compare_algorithm_thresholds(
+            400,
+            4,
+            repro.ZChannel(0.2),
+            ["greedy", "twostage"],
+            trials=10,
+            seed=6,
+        )
+        assert out["twostage"].threshold_m <= out["greedy"].threshold_m + 8

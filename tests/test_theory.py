@@ -1,0 +1,316 @@
+"""Tests for the analysis toolbox: bounds sanity + simulation agreement."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.theory.concentration import (
+    chernoff_lower_tail,
+    chernoff_two_sided,
+    chernoff_upper_tail,
+    gaussian_tail_exact,
+    gaussian_tail_lower,
+    gaussian_tail_upper,
+)
+from repro.theory.degrees import (
+    degree_interval,
+    distinct_degree_interval,
+    distinct_to_multi_ratio,
+    expected_distinct_degree,
+    expected_multi_degree,
+)
+from repro.theory.neighborhood import (
+    gaussian_noise_std,
+    neighborhood_moments,
+    second_neighborhood_size,
+)
+
+
+class TestChernoff:
+    def test_bounds_in_unit_interval(self):
+        for eps in (0.1, 0.5, 1.0, 3.0):
+            for mean in (1.0, 10.0, 1000.0):
+                assert 0 <= chernoff_upper_tail(eps, mean) <= 1
+                assert 0 <= chernoff_lower_tail(eps, mean) <= 1
+
+    def test_decreasing_in_mean(self):
+        assert chernoff_upper_tail(0.5, 100) < chernoff_upper_tail(0.5, 10)
+
+    def test_decreasing_in_eps(self):
+        assert chernoff_upper_tail(1.0, 50) < chernoff_upper_tail(0.1, 50)
+
+    def test_eps_zero_trivial(self):
+        assert chernoff_upper_tail(0.0, 100) == 1.0
+        assert chernoff_lower_tail(0.0, 100) == 1.0
+
+    def test_upper_tail_actually_bounds_binomial(self):
+        # Empirical check: Bin(n, p) upper tail below the Chernoff bound.
+        gen = np.random.default_rng(0)
+        n_trials, p, eps = 500, 0.3, 0.4
+        mean = n_trials * p
+        samples = gen.binomial(n_trials, p, size=20_000)
+        empirical = np.mean(samples >= (1 + eps) * mean)
+        assert empirical <= chernoff_upper_tail(eps, mean) + 0.01
+
+    def test_lower_tail_actually_bounds_binomial(self):
+        gen = np.random.default_rng(1)
+        n_trials, p, eps = 500, 0.3, 0.4
+        mean = n_trials * p
+        samples = gen.binomial(n_trials, p, size=20_000)
+        empirical = np.mean(samples <= (1 - eps) * mean)
+        assert empirical <= chernoff_lower_tail(eps, mean) + 0.01
+
+    def test_two_sided_is_sum(self):
+        assert chernoff_two_sided(0.3, 50) == pytest.approx(
+            min(1.0, chernoff_upper_tail(0.3, 50) + chernoff_lower_tail(0.3, 50))
+        )
+
+
+class TestGaussianTails:
+    @pytest.mark.parametrize("y,lam", [(1.0, 1.0), (2.5, 1.0), (5.0, 2.0), (10.0, 3.0)])
+    def test_sandwich(self, y, lam):
+        exact = gaussian_tail_exact(y, lam)
+        assert gaussian_tail_lower(y, lam) <= exact <= gaussian_tail_upper(y, lam)
+
+    def test_lower_bound_clamped_at_zero(self):
+        # For y <= lam the Mill prefactor is negative; must clamp to 0.
+        assert gaussian_tail_lower(0.5, 1.0) == 0.0
+
+    def test_upper_bound_tightens_with_y(self):
+        assert gaussian_tail_upper(5.0, 1.0) < gaussian_tail_upper(2.0, 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gaussian_tail_upper(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_tail_upper(1.0, 0.0)
+
+
+class TestDegreeMoments:
+    def test_expected_multi_degree_paper_value(self):
+        # Delta = m Gamma / n = m / 2 for Gamma = n/2.
+        assert expected_multi_degree(1000, 80, 500) == pytest.approx(40.0)
+
+    def test_expected_distinct_degree_limit(self):
+        # For Gamma = n/2, E[Delta*] -> (1 - e^{-1/2}) m.
+        n, m = 100_000, 200
+        expected = (1 - math.exp(-0.5)) * m
+        assert expected_distinct_degree(n, m, n // 2) == pytest.approx(
+            expected, rel=1e-4
+        )
+
+    def test_distinct_below_multi(self):
+        assert expected_distinct_degree(1000, 50, 500) < expected_multi_degree(
+            1000, 50, 500
+        )
+
+    def test_ratio_approaches_two_gamma(self):
+        # Lemma 4: Delta*/Delta -> 2(1 - e^{-1/2}) for Gamma = n/2.
+        ratio = distinct_to_multi_ratio(1_000_000, 500_000)
+        assert ratio == pytest.approx(2 * repro.GAMMA_CONST, rel=1e-4)
+
+    def test_empirical_degrees_match(self):
+        gen = np.random.default_rng(5)
+        n, m = 2000, 300
+        g = repro.sample_pooling_graph(n, m, rng=gen)
+        delta = g.multi_degrees()
+        delta_star = g.distinct_degrees()
+        assert delta.mean() == pytest.approx(
+            expected_multi_degree(n, m, g.gamma), rel=0.02
+        )
+        assert delta_star.mean() == pytest.approx(
+            expected_distinct_degree(n, m, g.gamma), rel=0.02
+        )
+
+    def test_lemma3_concentration_holds_empirically(self):
+        gen = np.random.default_rng(6)
+        n, m = 2000, 400
+        g = repro.sample_pooling_graph(n, m, rng=gen)
+        lo, hi = degree_interval(n, m, g.gamma)
+        delta = g.multi_degrees()
+        assert delta.min() >= lo
+        assert delta.max() <= hi
+
+    def test_corollary5_concentration_holds_empirically(self):
+        gen = np.random.default_rng(7)
+        n, m = 2000, 400
+        g = repro.sample_pooling_graph(n, m, rng=gen)
+        lo, hi = distinct_degree_interval(n, m, g.gamma)
+        delta_star = g.distinct_degrees()
+        assert delta_star.min() >= lo
+        assert delta_star.max() <= hi
+
+
+class TestNeighborhoodMoments:
+    def test_second_neighborhood_size(self):
+        assert second_neighborhood_size(10, 20, 50) == 10 * 50 - 20
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_moments(
+                100, 10, 1, delta=50, delta_star=2, channel=repro.NoiselessChannel()
+            )
+
+    def test_noiseless_mean_gap_structure(self):
+        n, k, gamma = 1000, 10, 500
+        delta, delta_star = 50.0, 40.0
+        mom = neighborhood_moments(
+            n, k, gamma, delta, delta_star, repro.NoiselessChannel()
+        )
+        nj = second_neighborhood_size(delta_star, delta, gamma)
+        expected_gap = delta - nj / (n - 1)
+        assert mom.mean_gap == pytest.approx(expected_gap)
+
+    def test_gaussian_adds_noise_variance(self):
+        base = neighborhood_moments(
+            1000, 10, 500, 50.0, 40.0, repro.NoiselessChannel()
+        )
+        noisy = neighborhood_moments(
+            1000, 10, 500, 50.0, 40.0, repro.GaussianQueryNoise(2.0)
+        )
+        assert noisy.var_one == pytest.approx(base.var_one + 4.0 * 40.0)
+        assert noisy.mean_one == pytest.approx(base.mean_one)
+
+    def test_unsupported_channel_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            neighborhood_moments(100, 5, 50, 10.0, 8.0, Weird())
+
+    def test_gaussian_noise_std(self):
+        assert gaussian_noise_std(2.0, 25.0) == pytest.approx(10.0)
+        assert gaussian_noise_std(2.0, 0.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            repro.NoiselessChannel(),
+            repro.ZChannel(0.2),
+            repro.NoisyChannel(0.2, 0.1),
+            repro.GaussianQueryNoise(1.5),
+        ],
+    )
+    def test_simulation_agrees_with_lemma8(self, channel):
+        """Empirical conditional means of Psi must match Lemma 8 / Cor. 9."""
+        gen = np.random.default_rng(8)
+        n, k, m = 600, 60, 150
+        trials = 60
+        psi_one, psi_zero = [], []
+        d_one, d_zero, ds_one, ds_zero = [], [], [], []
+        for _ in range(trials):
+            truth = repro.sample_ground_truth(n, k, gen)
+            graph = repro.sample_pooling_graph(n, m, rng=gen)
+            meas = repro.measure(graph, truth, channel, gen)
+            psi = graph.neighborhood_sums(meas.results)
+            ones = truth.sigma == 1
+            psi_one.append(psi[ones].mean())
+            psi_zero.append(psi[~ones].mean())
+            delta = graph.multi_degrees()
+            delta_star = graph.distinct_degrees()
+            d_one.append(delta[ones].mean())
+            d_zero.append(delta[~ones].mean())
+            ds_one.append(delta_star[ones].mean())
+            ds_zero.append(delta_star[~ones].mean())
+
+        mom_one = neighborhood_moments(
+            n, k, graph.gamma, np.mean(d_one), np.mean(ds_one), channel
+        )
+        mom_zero = neighborhood_moments(
+            n, k, graph.gamma, np.mean(d_zero), np.mean(ds_zero), channel
+        )
+        assert np.mean(psi_one) == pytest.approx(mom_one.mean_one, rel=0.02)
+        assert np.mean(psi_zero) == pytest.approx(mom_zero.mean_zero, rel=0.02)
+
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            repro.ZChannel(0.2),
+            repro.NoisyChannel(0.2, 0.1),
+            repro.GaussianQueryNoise(2.0),
+        ],
+    )
+    def test_degree_centered_variance_agrees_with_lemma8(self, channel):
+        """Variance of the degree-centered neighborhood sum.
+
+        The closed form of :func:`neighborhood_moments` conditions on
+        the degrees; the raw Psi variance across instances is dominated
+        by Delta* fluctuations times the squared mean query result.
+        Centering by ``Delta* * E[query result]`` cancels that leading
+        term, leaving (approximately) the Lemma 8 variance.
+        """
+        from repro.core.scores import expected_query_result
+
+        gen = np.random.default_rng(77)
+        n, k, m = 500, 50, 120
+        trials = 500
+        expected_res = expected_query_result(channel, n, k, n // 2)
+        centered = []
+        deltas, dstars = [], []
+        for _ in range(trials):
+            truth = repro.sample_ground_truth(n, k, gen)
+            graph = repro.sample_pooling_graph(n, m, rng=gen)
+            meas = repro.measure(graph, truth, channel, gen)
+            psi = graph.neighborhood_sums(meas.results)
+            a = int(truth.ones[0])
+            dstar = graph.distinct_degrees()[a]
+            centered.append(psi[a] - dstar * expected_res)
+            deltas.append(graph.multi_degrees()[a])
+            dstars.append(dstar)
+        mom = neighborhood_moments(
+            n, k, n // 2, float(np.mean(deltas)), float(np.mean(dstars)), channel
+        )
+        empirical_var = float(np.var(centered, ddof=1))
+        assert empirical_var == pytest.approx(mom.var_one, rel=0.35)
+
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            repro.ZChannel(0.2),
+            repro.NoisyChannel(0.2, 0.1),
+        ],
+    )
+    def test_conditional_noise_variance_exact(self, channel):
+        """Given the graph AND the truth, Var(Psi_a) is exactly the sum
+        over the agent's distinct queries of the per-query flip
+        variance ``E1 p(1-p) + (Gamma - E1) q(1-q)``."""
+        gen = np.random.default_rng(88)
+        n, k, m = 200, 20, 60
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph(n, m, rng=gen)
+        agent = int(truth.ones[0])
+        member = np.zeros(m, dtype=bool)
+        for j in range(m):
+            agents, _ = graph.query(j)
+            member[j] = agent in agents
+        e1 = graph.edges_into_ones(truth.sigma)
+        p, q = channel.p, channel.q
+        predicted = float(
+            np.sum(
+                member
+                * (e1 * p * (1 - p) + (graph.gamma - e1) * q * (1 - q))
+            )
+        )
+        samples = []
+        for _ in range(3000):
+            meas = repro.measure(graph, truth, channel, gen)
+            samples.append(graph.neighborhood_sums(meas.results)[agent])
+        assert np.var(samples, ddof=1) == pytest.approx(predicted, rel=0.12)
+
+    def test_conditional_gaussian_variance_exact(self):
+        """Given graph and truth, Var(Psi_a) = lambda^2 * Delta*_a."""
+        gen = np.random.default_rng(89)
+        lam = 2.0
+        n, k, m = 200, 20, 60
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph(n, m, rng=gen)
+        channel = repro.GaussianQueryNoise(lam)
+        agent = int(truth.ones[0])
+        predicted = lam**2 * graph.distinct_degrees()[agent]
+        samples = []
+        for _ in range(3000):
+            meas = repro.measure(graph, truth, channel, gen)
+            samples.append(graph.neighborhood_sums(meas.results)[agent])
+        assert np.var(samples, ddof=1) == pytest.approx(predicted, rel=0.12)

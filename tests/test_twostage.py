@@ -1,0 +1,157 @@
+"""Tests for the two-stage (greedy + local correction) extension."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.twostage import (
+    TwoStageConfig,
+    channel_corrected_results,
+    two_stage_reconstruct,
+)
+
+
+def _measurements(seed, n=300, k=5, m=150, channel=None):
+    gen = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_pooling_graph(n, m, rng=gen)
+    channel = channel if channel is not None else repro.ZChannel(0.2)
+    return repro.measure(graph, truth, channel, gen)
+
+
+class TestChannelCorrectedResults:
+    def test_noiseless_identity(self, rng):
+        meas = _measurements(0, channel=repro.NoiselessChannel())
+        y = channel_corrected_results(meas.results, meas.graph.gamma, meas.channel)
+        assert np.array_equal(y, meas.results)
+
+    def test_noisy_channel_unbiased(self):
+        gen = np.random.default_rng(1)
+        n, k, m = 300, 30, 60
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph(n, m, rng=gen)
+        channel = repro.NoisyChannel(0.2, 0.1)
+        exact = graph.edges_into_ones(truth.sigma)
+        corrected = np.mean(
+            [
+                channel_corrected_results(
+                    repro.measure(graph, truth, channel, gen).results,
+                    graph.gamma,
+                    channel,
+                )
+                for _ in range(400)
+            ],
+            axis=0,
+        )
+        assert np.allclose(corrected, exact, atol=1.5)
+
+    def test_unsupported_channel(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            channel_corrected_results(np.zeros(3), 10, Weird())
+
+
+class TestTwoStageConfig:
+    def test_defaults_valid(self):
+        TwoStageConfig()
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            TwoStageConfig(max_rounds=0)
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            TwoStageConfig(step_size=0.0)
+
+
+class TestTwoStageReconstruct:
+    def test_easy_instance_exact(self):
+        meas = _measurements(2, m=250)
+        result = two_stage_reconstruct(meas)
+        assert result.exact
+        assert result.meta["algorithm"] == "two-stage"
+
+    def test_estimate_weight_is_k(self):
+        meas = _measurements(3, m=40)
+        result = two_stage_reconstruct(meas)
+        assert result.estimate.sum() == meas.k
+
+    def test_zero_queries_rejected(self, rng):
+        truth = repro.sample_ground_truth(20, 2, rng)
+        graph = repro.sample_pooling_graph(20, 0, rng=rng)
+        meas = repro.measure(graph, truth, rng=rng)
+        with pytest.raises(ValueError):
+            two_stage_reconstruct(meas)
+
+    def test_never_worse_than_greedy_when_greedy_exact(self):
+        # If stage 1 already solves the instance, stage 2 must keep it.
+        for seed in range(6):
+            meas = _measurements(100 + seed, m=300)
+            greedy = repro.greedy_reconstruct(meas)
+            if greedy.exact:
+                assert two_stage_reconstruct(meas).exact
+
+    def test_beats_greedy_in_transition_window(self):
+        """The paper's open question: local correction recovers the
+        remaining mistakes near the threshold."""
+        greedy_wins, twostage_wins = 0, 0
+        for seed in range(12):
+            meas = _measurements(
+                200 + seed, n=600, k=5, m=120, channel=repro.ZChannel(0.3)
+            )
+            greedy_wins += repro.greedy_reconstruct(meas).exact
+            twostage_wins += two_stage_reconstruct(meas).exact
+        assert twostage_wins > greedy_wins
+
+    def test_rounds_bounded_and_recorded(self):
+        meas = _measurements(4, m=200)
+        config = TwoStageConfig(max_rounds=3, stop_when_stable=False)
+        result = two_stage_reconstruct(meas, config=config)
+        assert result.meta["rounds"] == 3
+        assert len(result.meta["support_changes"]) == 3
+
+    def test_early_stop_on_stability(self):
+        meas = _measurements(5, m=300)
+        result = two_stage_reconstruct(meas)
+        # Easy instance: support stabilizes well before the budget.
+        assert result.meta["rounds"] <= TwoStageConfig().max_rounds
+        assert result.meta["support_changes"][-1] == 0
+
+    def test_custom_step_size(self):
+        meas = _measurements(6, m=200)
+        result = two_stage_reconstruct(
+            meas, config=TwoStageConfig(step_size=0.001)
+        )
+        assert result.meta["step_size"] == 0.001
+
+    def test_gaussian_channel(self):
+        meas = _measurements(7, m=250, channel=repro.GaussianQueryNoise(1.0))
+        result = two_stage_reconstruct(meas)
+        assert result.estimate.sum() == meas.k
+
+    def test_gnc_channel(self):
+        meas = _measurements(8, m=250, channel=repro.NoisyChannel(0.1, 0.01))
+        result = two_stage_reconstruct(meas)
+        assert result.estimate.sum() == meas.k
+
+    def test_determinism(self):
+        a = two_stage_reconstruct(_measurements(9))
+        b = two_stage_reconstruct(_measurements(9))
+        assert np.array_equal(a.estimate, b.estimate)
+
+    def test_stage1_exact_flag(self):
+        meas = _measurements(10, m=300)
+        result = two_stage_reconstruct(meas)
+        assert isinstance(result.meta["stage1_exact"], bool)
+
+    def test_available_via_harness(self):
+        from repro.experiments.runner import success_rate_curve
+
+        curve = success_rate_curve(
+            200, 4, repro.ZChannel(0.2), [120], algorithm="twostage",
+            trials=5, seed=0,
+        )
+        assert curve.algorithm == "twostage"
+        assert 0.0 <= curve.success_rates[0] <= 1.0

@@ -1,0 +1,76 @@
+"""Unit tests for result types and estimate evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    ReconstructionResult,
+    RequiredQueriesResult,
+    evaluate_estimate,
+)
+
+
+class TestEvaluateEstimate:
+    def test_exact_match(self):
+        truth = np.array([1, 0, 1, 0])
+        out = evaluate_estimate(truth.copy(), truth)
+        assert out["exact"]
+        assert out["overlap"] == 1.0
+        assert out["hamming_errors"] == 0
+
+    def test_single_swap(self):
+        truth = np.array([1, 0, 1, 0])
+        est = np.array([1, 1, 0, 0])
+        out = evaluate_estimate(est, truth)
+        assert not out["exact"]
+        assert out["overlap"] == 0.5
+        assert out["hamming_errors"] == 2
+
+    def test_overlap_counts_only_ones(self):
+        truth = np.array([1, 1, 0, 0, 0])
+        est = np.array([1, 0, 1, 0, 0])
+        out = evaluate_estimate(est, truth)
+        assert out["overlap"] == 0.5
+
+    def test_zero_k_overlap_defined(self):
+        truth = np.zeros(4, dtype=int)
+        out = evaluate_estimate(truth.copy(), truth)
+        assert out["overlap"] == 1.0
+
+    def test_separation_from_scores(self):
+        truth = np.array([1, 0])
+        scores = np.array([5.0, 1.0])
+        out = evaluate_estimate(truth.copy(), truth, scores)
+        assert out["separated"]
+        out2 = evaluate_estimate(truth.copy(), truth, scores[::-1].copy())
+        assert not out2["separated"]
+
+    def test_degenerate_truth_is_separated(self):
+        truth = np.ones(3, dtype=int)
+        out = evaluate_estimate(truth.copy(), truth, np.zeros(3))
+        assert out["separated"]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_estimate(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            evaluate_estimate(np.zeros(3), np.zeros(3), np.zeros(2))
+
+
+class TestReconstructionResult:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ReconstructionResult(estimate=np.zeros(3), scores=np.zeros(4))
+
+    def test_meta_defaults_empty(self):
+        r = ReconstructionResult(estimate=np.zeros(2), scores=np.zeros(2))
+        assert r.meta == {}
+        assert r.exact is None
+
+
+class TestRequiredQueriesResult:
+    def test_fields(self):
+        r = RequiredQueriesResult(required_m=42, n=100, k=5, succeeded=True)
+        assert r.required_m == 42
+        assert r.succeeded
+        assert r.checks == 0
