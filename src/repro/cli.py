@@ -53,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper's full grids (n up to 1e5, 100 trials)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("batch", "legacy"),
+        default="batch",
+        help="simulation engine: vectorized batch (default) or the "
+        "original per-query/per-trial loops",
+    )
     parser.add_argument("--out", type=str, default=None, help="save JSON/CSV here")
     parser.add_argument(
         "--plot",
@@ -74,7 +81,7 @@ _PLOT_AXES = {
 
 
 def _figure_kwargs(args: argparse.Namespace, name: str) -> dict:
-    kwargs: dict = {"seed": args.seed}
+    kwargs: dict = {"seed": args.seed, "engine": args.engine}
     if args.full_scale:
         if name in ("fig2", "fig3", "fig4"):
             kwargs["n_values"] = geometric_space(100, 100_000, 13)

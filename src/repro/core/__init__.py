@@ -30,10 +30,16 @@ from repro.core.ground_truth import (
     sample_sublinear,
     sublinear_k,
 )
+from repro.core.batch import (
+    BatchTrialRunner,
+    first_success_m,
+    sample_pooling_graph_batch,
+)
 from repro.core.estimation import (
     channel_moments,
     effective_read_rate,
     estimate_effective_rate,
+    measurement_sizes,
     estimate_gaussian_noise,
     estimate_general_channel,
     estimate_symmetric_channel,
@@ -96,9 +102,13 @@ __all__ = [
     "PoolingGraph",
     "PoolingGraphBuilder",
     "sample_pooling_graph",
+    "sample_pooling_graph_batch",
     "sample_query",
     "sample_regular_design",
     "default_gamma",
+    # batch engine
+    "BatchTrialRunner",
+    "first_success_m",
     # noise
     "Channel",
     "NoiselessChannel",
@@ -114,6 +124,7 @@ __all__ = [
     # channel estimation
     "channel_moments",
     "effective_read_rate",
+    "measurement_sizes",
     "estimate_effective_rate",
     "estimate_z_channel",
     "estimate_symmetric_channel",

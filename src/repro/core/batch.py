@@ -1,0 +1,511 @@
+"""Vectorized batch simulation engine for the paper's experiments.
+
+The figure pipelines (Figs. 2-5) historically simulated one query node
+at a time: :func:`~repro.core.pooling.sample_pooling_graph` runs one
+``np.unique`` per query, and
+:meth:`~repro.core.incremental.IncrementalDecoder.add_query` makes one
+RNG call per query. Both loops dominate every benchmark. This module
+replaces them with batched equivalents:
+
+* :func:`sample_pooling_graph_batch` draws all ``m * gamma`` edges with
+  a **single** ``rng.integers`` call and assembles the CSR layout with
+  one (radix) sort + a vectorized boundary scan instead of ``m``
+  Python iterations;
+* :class:`BatchTrialRunner` runs many independent trials
+  (graph -> measure -> score -> decode) with per-trial child seeds,
+  stacking the decode/evaluate stages into single array operations
+  across trials, and provides a **chunked** incremental simulator that
+  samples queries in geometric-growth blocks while still reporting the
+  *exact* first-success stopping ``m`` (the paper's query-by-query
+  stopping semantics) via a certificate-pruned prefix scan;
+* :func:`first_success_m` replays pre-measured data and reports the
+  first query count with strictly separated scores — the scan core
+  shared with the chunked simulator.
+
+Seed compatibility
+------------------
+NumPy's ``Generator`` draws bounded integers, binomials and normals
+element by element from the underlying bit stream, so one batched call
+consumes the stream exactly like the equivalent sequence of per-query
+calls.  Consequently:
+
+* ``sample_pooling_graph_batch(n, m, gamma, rng)`` returns the *same
+  graph* as the legacy per-query ``sample_pooling_graph`` for the same
+  seed;
+* ``BatchTrialRunner.run_trials`` reproduces the legacy
+  truth/graph/measure/decode trial loop bit for bit (same per-trial
+  spawned seeds, same results);
+* the chunked simulator reproduces the legacy per-query
+  ``required_queries`` stopping ``m`` exactly for channels that draw no
+  per-query noise (the noiseless channel).  Channels that do draw
+  noise consume the stream in block order rather than query order, so
+  the chunked run is a different — equally valid and deterministic —
+  sample of the same process.
+
+``tests/test_batch.py`` pins all of these equivalences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ground_truth import GroundTruth, sample_ground_truth
+from repro.core.incremental import default_max_queries
+from repro.core.noise import Channel, NoiselessChannel
+from repro.core.pooling import PoolingGraph, default_gamma, sample_pooling_graph
+from repro.core.scores import expected_query_result
+from repro.core.types import ReconstructionResult, RequiredQueriesResult
+from repro.utils.rng import RngLike, normalize_rng, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+#: soft cap on incidence-array elements a chunked block may touch;
+#: bounds the peak memory of a block at a few dozen MiB.
+DEFAULT_BLOCK_ELEMENTS = 2**22
+
+#: first block size of the chunked incremental simulator; blocks then
+#: grow geometrically (doubling) up to the element cap.
+DEFAULT_INITIAL_BLOCK = 32
+
+
+def _csr_from_draws(draws: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse raw edge draws ``(b, gamma)`` into the CSR triple.
+
+    Each row is sorted, and runs of equal values become one distinct
+    incidence with a multiplicity — the batched equivalent of the
+    per-query ``np.unique(..., return_counts=True)``. Agent ids below
+    2**16 take a radix-sort fast path (roughly 2x faster than the
+    comparison sort for the paper's dense ``gamma = n/2`` queries).
+    """
+    b, gamma = draws.shape
+    if n <= 2**16:
+        flat = np.sort(draws.astype(np.uint16), axis=1, kind="stable").ravel()
+    else:
+        flat = np.sort(draws, axis=1).ravel()
+    starts = np.empty(flat.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=starts[1:])
+    starts[::gamma] = True  # value runs never cross query boundaries
+    idx = np.flatnonzero(starts)
+    agents = flat[idx].astype(np.int64)
+    counts = np.diff(idx, append=flat.size)
+    indptr = np.empty(b + 1, dtype=np.int64)
+    indptr[0] = 0
+    indptr[1:] = np.searchsorted(idx, np.arange(gamma, b * gamma + 1, gamma))
+    return indptr, agents, counts
+
+
+def sample_pooling_graph_batch(
+    n: int,
+    m: int,
+    gamma: Optional[int] = None,
+    rng: RngLike = None,
+    *,
+    with_replacement: bool = True,
+) -> PoolingGraph:
+    """Draw a pooling graph from the paper's model in one vectorized pass.
+
+    Seed-compatible with :func:`~repro.core.pooling.sample_pooling_graph`:
+    for the same ``rng`` state both functions return identical graphs,
+    because a single ``integers`` call of shape ``(m, gamma)`` consumes
+    the generator exactly like ``m`` sequential per-query calls.
+
+    The ``with_replacement=False`` ablation design draws each query
+    without replacement; that path has no batched ``Generator``
+    primitive with the same stream, so it delegates to the legacy
+    per-query sampler to keep seed compatibility.
+    """
+    n = check_positive_int(n, "n")
+    m = check_positive_int(m, "m", minimum=0)
+    gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+    if not with_replacement:
+        return sample_pooling_graph(n, m, gamma, rng, with_replacement=False)
+    if m == 0:
+        return PoolingGraph(
+            n=n,
+            gamma=gamma,
+            indptr=np.zeros(1, dtype=np.int64),
+            agents=np.zeros(0, dtype=np.int64),
+            counts=np.zeros(0, dtype=np.int64),
+        )
+    gen = normalize_rng(rng)
+    draws = gen.integers(0, n, size=(m, gamma))
+    indptr, agents, counts = _csr_from_draws(draws, n)
+    # The construction guarantees the CSR invariants, so skip the
+    # multi-pass __post_init__ validation on this hot path.
+    return PoolingGraph._unchecked(n, gamma, indptr, agents, counts)
+
+
+class _SuccessScanner:
+    """Exact first-success scan with a lazy zeros-maximum certificate.
+
+    Checking strict score separation after every query costs O(n) per
+    query in the legacy loop, and a dense O(block x n) cumulative
+    matrix would make blocks no cheaper. The scanner instead tracks,
+    per block of queries:
+
+    * exact prefix scores of all ``k`` 1-agents (a ``(b, k)``
+      cumulative sum — ``k`` is tiny in every regime of the paper), and
+    * exact prefix scores of one *champion* 0-agent (the current
+      zeros-argmax).
+
+    The zeros maximum is always >= the champion's score, so every
+    prefix whose 1-agent minimum does not beat the champion is
+    certified unsuccessful without touching the other ``n - k - 1``
+    agents. Only prefixes that do beat the champion get an exact
+    O(n + incidences) check, and a failed check promotes that prefix's
+    zeros-argmax to champion — each exact check either terminates the
+    run or strictly improves the certificate, so pre-threshold blocks
+    cost O(incidences) total.
+
+    Within a block, the suspicion test and the exact check use the same
+    floating-point groupings (partial sum plus carried-in scores), so
+    the certificate itself has no rounding slack. Across blocks the
+    carried scores are accumulated blockwise (``s + sum(block)``)
+    rather than query by query, which is exact — and hence identical
+    to :class:`~repro.core.incremental.IncrementalDecoder` — whenever
+    the deltas are half-integers (integer-valued channels under
+    ``half_k`` centering). For float deltas (Gaussian noise, oracle
+    centering) scores agree only up to ~1 ulp of associativity error,
+    so a stopping decision sitting within rounding of a score tie may
+    in principle differ from the sequential scan or vary with the
+    block size.
+    """
+
+    def __init__(self, truth: GroundTruth):
+        self.n = truth.n
+        self.ones_idx = truth.ones
+        self.zeros_idx = truth.zeros
+        self.scores = np.zeros(self.n, dtype=np.float64)
+        self._one_col = np.zeros(self.n, dtype=np.int64)
+        self._one_col[self.ones_idx] = np.arange(self.ones_idx.size)
+        self._one_flag = np.zeros(self.n, dtype=bool)
+        self._one_flag[self.ones_idx] = True
+
+    def scan(
+        self,
+        indptr: np.ndarray,
+        agents: np.ndarray,
+        deltas: np.ndarray,
+        checkable: np.ndarray,
+    ) -> Optional[int]:
+        """Scan one block; return the first successful prefix index.
+
+        ``deltas`` are the per-query centered result increments and
+        ``checkable[t]`` flags the prefixes where the stopping rule may
+        fire (the ``check_every`` stride). On success, returns the
+        0-based block index ``t`` (scores are left untouched — the run
+        is over); otherwise ingests the whole block into ``scores`` and
+        returns ``None``.
+        """
+        b = indptr.size - 1
+        rows = np.repeat(np.arange(b), np.diff(indptr))
+        d_inc = deltas[rows]
+        if self.ones_idx.size == 0 or self.zeros_idx.size == 0:
+            # Degenerate truths separate vacuously (margin +inf).
+            hits = np.flatnonzero(checkable)
+            if hits.size:
+                return int(hits[0])
+        else:
+            k = self.ones_idx.size
+            sel = self._one_flag[agents]
+            ones_prefix = np.zeros((b, k), dtype=np.float64)
+            ones_prefix[rows[sel], self._one_col[agents[sel]]] = d_inc[sel]
+            np.cumsum(ones_prefix, axis=0, out=ones_prefix)
+            ones_prefix += self.scores[self.ones_idx]
+            ones_min = ones_prefix.min(axis=1)
+            champion = self.zeros_idx[np.argmax(self.scores[self.zeros_idx])]
+            t0 = 0
+            ts = np.arange(b)
+            while True:
+                champ_sel = agents == champion
+                champ_prefix = np.zeros(b, dtype=np.float64)
+                champ_prefix[rows[champ_sel]] = d_inc[champ_sel]
+                np.cumsum(champ_prefix, out=champ_prefix)
+                champ_prefix += self.scores[champion]
+                cand = np.flatnonzero(checkable & (ones_min > champ_prefix) & (ts >= t0))
+                if cand.size == 0:
+                    break
+                t = int(cand[0])
+                hi = int(indptr[t + 1])
+                scores_t = self.scores + np.bincount(
+                    agents[:hi], weights=d_inc[:hi], minlength=self.n
+                )
+                if scores_t[self.ones_idx].min() > scores_t[self.zeros_idx].max():
+                    return t
+                champion = self.zeros_idx[np.argmax(scores_t[self.zeros_idx])]
+                t0 = t + 1
+        self.scores += np.bincount(agents, weights=d_inc, minlength=self.n)
+        return None
+
+
+def first_success_m(
+    graph: PoolingGraph,
+    truth: GroundTruth,
+    results: np.ndarray,
+    *,
+    centering: str = "half_k",
+    channel: Optional[Channel] = None,
+    check_every: int = 1,
+    block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+) -> Optional[int]:
+    """Replay pre-measured data; return the first separated query count.
+
+    Scans the queries of ``graph`` in order, maintaining the running
+    centered scores, and returns the smallest ``m`` (a multiple of
+    ``check_every``) at which the scores of 1-agents and 0-agents are
+    strictly separated — what feeding the data query by query into
+    :class:`~repro.core.incremental.IncrementalDecoder` and checking
+    ``is_successful`` after each step reports; the match is exact for
+    half-integer deltas (integer-valued channels under ``half_k``
+    centering) and up to floating-point associativity (~1 ulp of the
+    scores) otherwise (see :class:`_SuccessScanner`). Returns ``None``
+    when no checked prefix separates.
+    """
+    check_every = check_positive_int(check_every, "check_every")
+    if graph.n != truth.n:
+        raise ValueError(f"graph has n={graph.n} agents but truth has n={truth.n}")
+    results = np.asarray(results, dtype=np.float64)
+    if results.shape != (graph.m,):
+        raise ValueError(f"results must have shape ({graph.m},), got {results.shape}")
+    if centering == "half_k":
+        offset = truth.k / 2.0
+    elif centering == "oracle":
+        if channel is None:
+            raise ValueError("oracle centering requires the channel")
+        offset = expected_query_result(channel, graph.n, truth.k, graph.gamma)
+    else:
+        raise ValueError(
+            f"unknown centering {centering!r}; valid: ('half_k', 'oracle')"
+        )
+    deltas = results - offset
+    scanner = _SuccessScanner(truth)
+    block = max(1, block_elements // max(int(graph.gamma), truth.k, 1))
+    for lo in range(0, graph.m, block):
+        hi = min(lo + block, graph.m)
+        e_lo = int(graph.indptr[lo])
+        e_hi = int(graph.indptr[hi])
+        ms = np.arange(lo + 1, hi + 1)
+        t = scanner.scan(
+            graph.indptr[lo : hi + 1] - e_lo,
+            graph.agents[e_lo:e_hi],
+            deltas[lo:hi],
+            ms % check_every == 0,
+        )
+        if t is not None:
+            return int(ms[t])
+    return None
+
+
+class BatchTrialRunner:
+    """Vectorized many-trial simulation for one ``(n, k, channel)`` cell.
+
+    Two entry points, both returning the same result types as the
+    legacy per-query code paths:
+
+    * :meth:`run_trials` — fixed-``m`` reconstruction trials
+      (graph -> measure -> score -> decode), sampled with per-trial
+      child seeds and decoded/evaluated as one stacked computation.
+      Bit-for-bit identical to running the legacy
+      truth/graph/measure/:func:`~repro.core.greedy.greedy_reconstruct`
+      loop over ``spawn_rngs(seed, trials)``.
+    * :meth:`required_queries` — the chunked incremental simulator:
+      queries are sampled in geometric-growth blocks (one RNG call per
+      block instead of per query) and the exact stopping ``m`` is
+      located with the certificate-pruned prefix scan of
+      :class:`_SuccessScanner`, preserving the paper's query-by-query
+      stopping semantics.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        channel: Optional[Channel] = None,
+        *,
+        gamma: Optional[int] = None,
+        centering: str = "half_k",
+        initial_block: int = DEFAULT_INITIAL_BLOCK,
+        block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+    ):
+        self.n = check_positive_int(n, "n")
+        self.k = check_positive_int(k, "k")
+        self.channel = channel if channel is not None else NoiselessChannel()
+        self.gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+        if centering not in ("half_k", "oracle"):
+            raise ValueError(
+                f"unknown centering {centering!r}; valid: ('half_k', 'oracle')"
+            )
+        self.centering = centering
+        self._initial_block = check_positive_int(initial_block, "initial_block")
+        self._block_elements = check_positive_int(block_elements, "block_elements")
+
+    def _offset(self) -> float:
+        if self.centering == "oracle":
+            return expected_query_result(self.channel, self.n, self.k, self.gamma)
+        return self.k / 2.0
+
+    # -- fixed-m stacked trials -----------------------------------------
+
+    def run_trials(
+        self, m: int, trials: int, seed: RngLike = 0
+    ) -> List[ReconstructionResult]:
+        """Run ``trials`` independent fixed-``m`` greedy reconstructions.
+
+        Sampling stays per-trial (each trial owns a spawned child seed,
+        so any single trial can be reproduced in isolation), but
+        top-``k`` decoding and evaluation run stacked across all trials.
+        """
+        m = check_positive_int(m, "m", minimum=0)
+        check_positive_int(trials, "trials")
+        n, k, offset = self.n, self.k, self._offset()
+        scores = np.empty((trials, n), dtype=np.float64)
+        sigma = np.empty((trials, n), dtype=np.int8)
+        for t, gen in enumerate(spawn_rngs(seed, trials)):
+            truth = sample_ground_truth(n, k, gen)
+            graph = sample_pooling_graph_batch(n, m, self.gamma, gen)
+            e1 = graph.edges_into_ones(truth.sigma)
+            results = self.channel.measure(e1, graph.query_sizes(), gen)
+            psi = graph.neighborhood_sums(results)
+            delta_star = graph.distinct_degrees()
+            scores[t] = psi - delta_star.astype(np.float64) * offset
+            sigma[t] = truth.sigma
+        # Stacked decode: stable sort on (-score, id) row-wise, exactly
+        # the tie-breaking rule of scores.top_k_estimate.
+        order = np.argsort(-scores, axis=1, kind="stable")
+        estimate = np.zeros((trials, n), dtype=np.int8)
+        np.put_along_axis(estimate, order[:, :k], np.int8(1), axis=1)
+        # Stacked evaluation.
+        ones = sigma == 1
+        errors = np.count_nonzero(estimate != sigma, axis=1)
+        overlap = np.count_nonzero((estimate == 1) & ones, axis=1) / k
+        one_scores = np.where(ones, scores, np.inf)
+        zero_scores = np.where(ones, -np.inf, scores)
+        margins = one_scores.min(axis=1) - zero_scores.max(axis=1)
+        out: List[ReconstructionResult] = []
+        for t in range(trials):
+            margin = float(margins[t]) if 0 < k < n else float("inf")
+            out.append(
+                ReconstructionResult(
+                    estimate=estimate[t],
+                    scores=scores[t],
+                    exact=bool(errors[t] == 0),
+                    overlap=float(overlap[t]),
+                    separated=bool(margin > 0.0),
+                    hamming_errors=int(errors[t]),
+                    meta={
+                        "algorithm": "greedy",
+                        "engine": "batch",
+                        "centering": self.centering,
+                        "n": n,
+                        "m": m,
+                        "k": k,
+                        "channel": self.channel.describe(),
+                        "separation_margin": margin,
+                    },
+                )
+            )
+        return out
+
+    # -- chunked incremental simulation ---------------------------------
+
+    def required_queries(
+        self,
+        rng: RngLike = None,
+        *,
+        max_m: Optional[int] = None,
+        check_every: int = 1,
+        truth: Optional[GroundTruth] = None,
+    ) -> RequiredQueriesResult:
+        """Chunked required-number-of-queries run (Figures 2-5).
+
+        Samples query blocks of geometrically growing size with one RNG
+        call per block, measures them through the channel in one
+        vectorized call, and locates the exact first query count with
+        strictly separated scores — the same stopping rule (and, for
+        channels that draw no per-query noise, the same stopping ``m``
+        for the same seed) as the legacy per-query
+        :func:`~repro.core.incremental.required_queries`.
+        """
+        check_every = check_positive_int(check_every, "check_every")
+        gen = normalize_rng(rng)
+        if truth is None:
+            truth = sample_ground_truth(self.n, self.k, gen)
+        elif truth.n != self.n or truth.k != self.k:
+            raise ValueError(
+                f"provided truth has (n={truth.n}, k={truth.k}), expected "
+                f"(n={self.n}, k={self.k})"
+            )
+        if max_m is None:
+            max_m = default_max_queries(self.n, self.k, self.channel)
+        offset = self._offset()
+        sigma64 = truth.sigma.astype(np.int64)
+        scanner = _SuccessScanner(truth)
+        # Bound the per-block incidence arrays (b * gamma) AND the
+        # scanner's (b, k) ones-prefix matrix.
+        cap = max(1, self._block_elements // max(self.gamma, truth.k, 1))
+        block = min(self._initial_block, cap)
+        meta = {
+            "channel": self.channel.describe(),
+            "gamma": self.gamma,
+            "max_m": max_m,
+            "engine": "batch",
+        }
+        m_done = 0
+        checks = 0
+        while m_done < max_m:
+            b = min(block, max_m - m_done)
+            draws = gen.integers(0, self.n, size=(b, self.gamma))
+            indptr, agents, counts = _csr_from_draws(draws, self.n)
+            weighted = counts * sigma64[agents]
+            e1 = np.add.reduceat(weighted, indptr[:-1])
+            results = self.channel.measure(e1, self.gamma, gen)
+            deltas = np.asarray(results, dtype=np.float64) - offset
+            ms = np.arange(m_done + 1, m_done + b + 1)
+            checkable = ms % check_every == 0
+            t = scanner.scan(indptr, agents, deltas, checkable)
+            if t is not None:
+                return RequiredQueriesResult(
+                    required_m=int(ms[t]),
+                    n=self.n,
+                    k=self.k,
+                    succeeded=True,
+                    checks=checks + int(np.count_nonzero(checkable[: t + 1])),
+                    meta=meta,
+                )
+            checks += int(np.count_nonzero(checkable))
+            m_done += b
+            block = min(block * 2, cap)
+        return RequiredQueriesResult(
+            required_m=None,
+            n=self.n,
+            k=self.k,
+            succeeded=False,
+            checks=checks,
+            meta=meta,
+        )
+
+    def required_queries_trials(
+        self,
+        trials: int,
+        seed: RngLike = 0,
+        *,
+        max_m: Optional[int] = None,
+        check_every: int = 1,
+    ) -> List[RequiredQueriesResult]:
+        """Repeated chunked runs on independent per-trial child seeds."""
+        check_positive_int(trials, "trials")
+        return [
+            self.required_queries(gen, max_m=max_m, check_every=check_every)
+            for gen in spawn_rngs(seed, trials)
+        ]
+
+
+__all__ = [
+    "DEFAULT_BLOCK_ELEMENTS",
+    "DEFAULT_INITIAL_BLOCK",
+    "sample_pooling_graph_batch",
+    "first_success_m",
+    "BatchTrialRunner",
+]

@@ -57,6 +57,50 @@ def _moments(results: np.ndarray) -> Tuple[float, float]:
     return float(results.mean()), float(results.var(ddof=1))
 
 
+def _normalize_sizes(gamma, results: np.ndarray):
+    """Coerce ``gamma`` into either a scalar size or a per-query array.
+
+    Estimators accept the nominal scalar ``Gamma`` (the paper's
+    fixed-size design — the fast path, no per-query bookkeeping) or an
+    array of realized per-query sizes for variable-size designs.
+    Empty queries (size 0) are valid data — a regular design routinely
+    leaves some queries without agents. Returns ``(sizes, scalar)``
+    where ``scalar`` is the uniform size or ``None`` when sizes
+    genuinely vary.
+    """
+    if np.ndim(gamma) == 0:
+        return None, check_positive_int(gamma, "gamma")
+    sizes = np.asarray(gamma)
+    if sizes.shape != np.shape(results):
+        raise ValueError(
+            f"per-query sizes must match results shape {np.shape(results)}, "
+            f"got {sizes.shape}"
+        )
+    if sizes.size and sizes.min() < 0:
+        raise ValueError("per-query sizes must be >= 0")
+    if not np.all(np.mod(sizes, 1) == 0):
+        raise TypeError("per-query sizes must be integers")
+    sizes = sizes.astype(np.float64)
+    if sizes.size and sizes[0] >= 1 and np.all(sizes == sizes[0]):
+        return None, int(sizes[0])
+    return sizes, None
+
+
+def measurement_sizes(measurements: Measurements):
+    """The realized per-query sizes of a measurement set.
+
+    Returns the scalar ``gamma`` when all queries have the nominal
+    fixed size (the paper's design — lets estimators take their
+    closed-form fast path) and the full ``query_sizes()`` array
+    otherwise (variable-size designs such as
+    :func:`~repro.core.pooling.sample_regular_design`, where using the
+    nominal expected size would bias every moment-based estimator).
+    """
+    sizes = measurements.graph.query_sizes()
+    _, scalar = _normalize_sizes(sizes, sizes)
+    return scalar if scalar is not None else sizes
+
+
 def effective_read_rate(p: float, q: float, kappa: float) -> float:
     """``r = q + kappa (1 - p - q)``: the per-edge observed-one rate."""
     return q + kappa * (1.0 - p - q)
@@ -70,18 +114,34 @@ def channel_moments(
     return gamma * r, gamma * r * (1.0 - r)
 
 
-def estimate_effective_rate(results: np.ndarray, gamma: int) -> float:
-    """The always-identifiable parameter: ``r_hat = mean / Gamma``."""
-    gamma = check_positive_int(gamma, "gamma")
-    mean, _ = _moments(results)
-    return float(np.clip(mean / gamma, 0.0, 1.0))
+def estimate_effective_rate(results: np.ndarray, gamma) -> float:
+    """The always-identifiable parameter: ``r_hat = sum(s) / sum(sizes)``.
+
+    ``gamma`` is the scalar query size for the paper's fixed design
+    (where the estimator reduces to ``mean / Gamma``) or the array of
+    realized per-query sizes for variable-size designs — the ratio
+    estimator stays unbiased there, whereas dividing by the nominal
+    expected size would not.
+    """
+    sizes, scalar = _normalize_sizes(gamma, results)
+    if scalar is not None:
+        mean, _ = _moments(results)
+        return float(np.clip(mean / scalar, 0.0, 1.0))
+    if np.size(results) < 2:
+        raise ValueError("need at least 2 query results to estimate a channel")
+    total = sizes.sum()
+    if total == 0:
+        raise ValueError("all queries are empty; cannot estimate a read rate")
+    return float(np.clip(np.asarray(results, dtype=np.float64).sum() / total, 0.0, 1.0))
 
 
-def estimate_z_channel(results: np.ndarray, gamma: int, k: int, n: int) -> float:
+def estimate_z_channel(results: np.ndarray, gamma, k: int, n: int) -> float:
     """Estimate the Z-channel flip rate ``p`` from the result mean.
 
     With ``q = 0``, ``r = kappa (1 - p)`` so
     ``p_hat = 1 - r_hat / kappa``, clipped into ``[0, 1)``.
+    ``gamma`` may be the scalar fixed query size or the realized
+    per-query sizes (see :func:`estimate_effective_rate`).
     """
     k = check_positive_int(k, "k")
     n = check_positive_int(n, "n")
@@ -91,12 +151,14 @@ def estimate_z_channel(results: np.ndarray, gamma: int, k: int, n: int) -> float
 
 
 def estimate_symmetric_channel(
-    results: np.ndarray, gamma: int, k: int, n: int
+    results: np.ndarray, gamma, k: int, n: int
 ) -> float:
     """Estimate ``p = q`` from the result mean.
 
     ``r = p + kappa (1 - 2p)`` gives
     ``p_hat = (r_hat - kappa) / (1 - 2 kappa)`` (``kappa != 1/2``).
+    ``gamma`` may be the scalar fixed query size or the realized
+    per-query sizes (see :func:`estimate_effective_rate`).
     """
     k = check_positive_int(k, "k")
     n = check_positive_int(n, "n")
@@ -141,8 +203,25 @@ def estimate_general_channel(
         raise ValueError(
             "need >= 2 queries with varying E1_hat to fit the regression"
         )
-    slope, intercept = np.polyfit(e1_hat, results, deg=1)
-    q_hat = intercept / graph.gamma
+    sizes, scalar = _normalize_sizes(graph.query_sizes(), results)
+    if scalar is not None:
+        # Fixed-size fast path: E[s | E1] = q Gamma + (1 - p - q) E1 is
+        # a line in E1 whose intercept is q times the realized size.
+        slope, intercept = np.polyfit(e1_hat, results, deg=1)
+        q_hat = intercept / scalar
+    else:
+        # Variable-size designs: the intercept itself scales with the
+        # per-query size, E[s_j] = q size_j + (1 - p - q) E1_j, so fit
+        # both regressors without a free intercept.
+        design = np.column_stack([e1_hat, sizes])
+        if np.linalg.matrix_rank(design) < 2:
+            # e.g. sigma_hat = all-ones makes E1_hat == sizes; the
+            # minimum-norm lstsq split would silently return garbage.
+            raise ValueError(
+                "need E1_hat varying independently of the query sizes to "
+                "fit the regression"
+            )
+        (slope, q_hat), *_ = np.linalg.lstsq(design, results, rcond=None)
     p_hat = 1.0 - slope - q_hat
     q_hat = float(np.clip(q_hat, 0.0, 1.0 - 1e-6))
     p_hat = float(np.clip(p_hat, 0.0, 1.0 - 1e-6))
@@ -154,21 +233,31 @@ def estimate_general_channel(
 
 
 def estimate_gaussian_noise(
-    results: np.ndarray, gamma: int, k: int, n: int
+    results: np.ndarray, gamma, k: int, n: int
 ) -> float:
     """Estimate ``lambda`` from the excess result variance.
 
-    The exact sum is ``Bin(Gamma, kappa)`` with variance
-    ``Gamma kappa (1 - kappa)``; anything above it is measurement
-    noise: ``lambda_hat^2 = Var[s] - Gamma kappa (1 - kappa)``,
-    floored at 0.
+    Fixed-size fast path (scalar ``gamma``): the exact sum is
+    ``Bin(Gamma, kappa)`` with variance ``Gamma kappa (1 - kappa)``;
+    anything above it is measurement noise, so
+    ``lambda_hat^2 = Var[s] - Gamma kappa (1 - kappa)``, floored at 0.
+
+    With realized per-query sizes (array ``gamma``) the exact sum is a
+    size mixture: conditionally ``Bin(size_j, kappa)``, so the baseline
+    becomes ``mean(size) kappa (1 - kappa) + kappa^2 Var[size]`` (law of
+    total variance) — using the nominal expected size would misattribute
+    the size fluctuations to the Gaussian term.
     """
-    gamma = check_positive_int(gamma, "gamma")
     k = check_positive_int(k, "k")
     n = check_positive_int(n, "n")
     _, var = _moments(results)
     kappa = k / n
-    lam2 = var - gamma * kappa * (1.0 - kappa)
+    sizes, scalar = _normalize_sizes(gamma, results)
+    if scalar is not None:
+        baseline = scalar * kappa * (1.0 - kappa)
+    else:
+        baseline = sizes.mean() * kappa * (1.0 - kappa) + kappa**2 * sizes.var(ddof=1)
+    lam2 = var - baseline
     return float(np.sqrt(max(lam2, 0.0)))
 
 
@@ -185,9 +274,15 @@ def fit_channel(
     :func:`estimate_general_channel`). Returns a ready-to-use
     :class:`Channel` — e.g. for noise-aware (oracle) score centering
     without assuming known parameters.
+
+    Estimation runs against the *realized* per-query sizes
+    (:meth:`~repro.core.pooling.PoolingGraph.query_sizes`): for the
+    paper's fixed design that collapses to the scalar ``gamma`` fast
+    path, while variable-size designs (``sample_regular_design``) get
+    unbiased moments instead of the nominal expected size.
     """
     results = measurements.results
-    gamma, k, n = measurements.graph.gamma, measurements.k, measurements.n
+    gamma, k, n = measurement_sizes(measurements), measurements.k, measurements.n
     kind = kind.lower()
     if kind == "z":
         return ZChannel(estimate_z_channel(results, gamma, k, n))
@@ -212,6 +307,7 @@ def fit_channel(
 __all__ = [
     "effective_read_rate",
     "channel_moments",
+    "measurement_sizes",
     "estimate_effective_rate",
     "estimate_z_channel",
     "estimate_symmetric_channel",

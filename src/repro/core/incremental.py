@@ -85,7 +85,13 @@ class IncrementalDecoder:
         gen = normalize_rng(rng)
         agents, counts = sample_query(self.n, self.gamma, gen)
         e1 = int(np.dot(counts, self._sigma64[agents]))
-        result = float(self.channel.measure(np.asarray([e1]), self.gamma, gen)[0])
+        # The channel must see the *actual* number of edges, not the
+        # nominal gamma: for the paper's with-replacement design they
+        # coincide (counts.sum() == gamma), but variable-size designs
+        # (e.g. sample_regular_design) would otherwise get the wrong
+        # Bin(gamma - e1, q) noise law.
+        size = int(counts.sum())
+        result = float(self.channel.measure(np.asarray([e1]), size, gen)[0])
         self.ingest_query(agents, counts, result)
         return result
 
@@ -178,6 +184,7 @@ def required_queries(
     check_every: int = 1,
     truth: Optional[GroundTruth] = None,
     centering: str = "half_k",
+    engine: str = "per-query",
 ) -> RequiredQueriesResult:
     """Run the paper's required-number-of-queries procedure once.
 
@@ -196,6 +203,13 @@ def required_queries(
         of the reported ``required_m`` for speed).
     truth:
         Optional pre-sampled ground truth (else drawn from the model).
+    engine:
+        ``"per-query"`` (this module's reference loop, one query per
+        step; ``"legacy"`` is accepted as an alias, matching the
+        experiments layer) or ``"batch"`` (the chunked vectorized
+        simulator of :class:`~repro.core.batch.BatchTrialRunner`,
+        which samples geometric-growth blocks but reports the same
+        exact stopping rule).
 
     Returns
     -------
@@ -204,6 +218,17 @@ def required_queries(
     n = check_positive_int(n, "n")
     k = check_positive_int(k, "k")
     check_every = check_positive_int(check_every, "check_every")
+    if engine == "batch":
+        from repro.core.batch import BatchTrialRunner
+
+        runner = BatchTrialRunner(n, k, channel, gamma=gamma, centering=centering)
+        return runner.required_queries(
+            rng, max_m=max_m, check_every=check_every, truth=truth
+        )
+    if engine not in ("per-query", "legacy"):
+        raise ValueError(
+            f"unknown engine {engine!r}; valid: ('per-query', 'legacy', 'batch')"
+        )
     gen = normalize_rng(rng)
     if truth is None:
         truth = sample_ground_truth(n, k, gen)

@@ -2,8 +2,11 @@
 
 This is the glue between the pooling design (:mod:`repro.core.pooling`),
 the noise substrate (:mod:`repro.core.noise`) and the decoders. It
-produces the query-result vector ``sigma_hat`` the paper calls
-``\\hat\\sigma``.
+produces the vector of per-*query* results, written ``\\hat\\sigma`` in
+the paper — one (noisy) measured sum per query node. Despite the
+similar notation this is *not* the reconstructed bit estimate of the
+hidden vector ``sigma``; decoders consume :class:`Measurements` and
+produce that estimate separately.
 """
 
 from __future__ import annotations
@@ -81,17 +84,26 @@ def measure_query(
     counts: np.ndarray,
     sigma: np.ndarray,
     channel: Channel,
-    gamma: int,
+    gamma: Optional[int] = None,
     rng: RngLike = None,
 ) -> float:
     """Measure a single query (used by the incremental simulator).
 
     Parameters mirror one row of the CSR pooling graph. Returns the
     (possibly noisy) query result.
+
+    The noise law is driven by the query's *actual* edge count
+    ``counts.sum()``, not the design's nominal ``gamma``: the two
+    coincide for the paper's fixed-size design, but variable-size
+    designs (e.g. :func:`~repro.core.pooling.sample_regular_design`)
+    would otherwise draw ``Bin(gamma - e1, q)`` with the wrong size.
+    ``gamma`` is retained for call-site compatibility and ignored.
     """
     gen = normalize_rng(rng)
+    counts = np.asarray(counts, dtype=np.int64)
     e1 = int(np.dot(counts, sigma[agents].astype(np.int64)))
-    result = channel.measure(np.asarray([e1]), gamma, gen)[0]
+    size = int(counts.sum())
+    result = channel.measure(np.asarray([e1]), size, gen)[0]
     return float(result)
 
 

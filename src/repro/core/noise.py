@@ -35,6 +35,17 @@ from repro.utils.rng import RngLike, normalize_rng
 from repro.utils.validation import check_non_negative, check_probability
 
 
+def _check_e1_range(e1: np.ndarray, gamma) -> None:
+    """Reject edges-into-ones counts outside ``[0, gamma]``.
+
+    Every channel performs this check so that corrupted replay data
+    (or a caller passing the wrong per-query sizes) fails loudly
+    instead of silently producing impossible measurements.
+    """
+    if np.any(e1 < 0) or np.any(e1 > gamma):
+        raise ValueError("e1 entries must lie in [0, gamma]")
+
+
 class Channel(ABC):
     """Abstract noise channel applied to pooled-query measurements."""
 
@@ -96,6 +107,7 @@ class NoiselessChannel(Channel):
 
     def measure(self, e1, gamma, rng=None):
         e1 = np.asarray(e1, dtype=np.int64)
+        _check_e1_range(e1, np.asarray(gamma, dtype=np.int64))
         return e1.copy()
 
     def measure_contributions(self, counts, bits, rng=None):
@@ -128,8 +140,7 @@ class NoisyChannel(Channel):
     def measure(self, e1, gamma, rng=None):
         e1 = np.asarray(e1, dtype=np.int64)
         gamma = np.asarray(gamma, dtype=np.int64)
-        if np.any(e1 < 0) or np.any(e1 > gamma):
-            raise ValueError("e1 entries must lie in [0, gamma]")
+        _check_e1_range(e1, gamma)
         gen = normalize_rng(rng)
         from_ones = gen.binomial(e1, 1.0 - self.p)
         from_zeros = gen.binomial(gamma - e1, self.q)
@@ -174,6 +185,10 @@ class GaussianQueryNoise(Channel):
 
     def measure(self, e1, gamma, rng=None):
         e1 = np.asarray(e1, dtype=np.float64)
+        # Same sanity check as the noisy channel: the exact sum can
+        # never exceed the number of edges, so out-of-range e1 means
+        # corrupted inputs and must not be silently smeared by noise.
+        _check_e1_range(e1, np.asarray(gamma, dtype=np.float64))
         gen = normalize_rng(rng)
         if self.lam == 0.0:
             return e1.copy()

@@ -93,6 +93,30 @@ class PoolingGraph:
         object.__setattr__(self, "agents", agents)
         object.__setattr__(self, "counts", counts)
 
+    @classmethod
+    def _unchecked(
+        cls,
+        n: int,
+        gamma: int,
+        indptr: np.ndarray,
+        agents: np.ndarray,
+        counts: np.ndarray,
+    ) -> "PoolingGraph":
+        """Internal constructor skipping ``__post_init__`` validation.
+
+        Only for callers that guarantee the CSR invariants by
+        construction (the batch sampler): validation costs several full
+        passes over the incidence arrays, which is significant on the
+        hot sampling path.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "gamma", gamma)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "agents", agents)
+        object.__setattr__(self, "counts", counts)
+        return self
+
     # -- basic shape ----------------------------------------------------
 
     @property
@@ -118,7 +142,15 @@ class PoolingGraph:
             yield self.query(j)
 
     def query_sizes(self) -> np.ndarray:
-        """Number of edges (with multiplicity) per query; all equal gamma."""
+        """Number of edges (with multiplicity) per query.
+
+        For the paper's design every query has exactly ``gamma`` edges,
+        but variable-size designs (e.g. the constant-column-weight
+        design of :func:`sample_regular_design`) have random per-query
+        sizes whose *expectation* is the stored ``gamma`` — consumers
+        that need the realized sizes (noise laws, channel estimators)
+        must use this method rather than the ``gamma`` attribute.
+        """
         sizes = np.zeros(self.m, dtype=np.int64)
         nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
         if nonempty.size:

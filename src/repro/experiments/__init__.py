@@ -15,6 +15,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.runner import (
     ALGORITHMS,
+    ENGINES,
     RequiredQueriesSample,
     SuccessCurve,
     required_queries_trials,
@@ -49,6 +50,7 @@ __all__ = [
     "FIGURES",
     "run_figure",
     "ALGORITHMS",
+    "ENGINES",
     "RequiredQueriesSample",
     "SuccessCurve",
     "required_queries_trials",

@@ -92,6 +92,7 @@ def figure2(
     check_every: int = 1,
     bound_p: float = 0.1,
     bound_eps: float = 0.05,
+    engine: str = "batch",
 ) -> FigureResult:
     """Figure 2: required queries vs n for the Z-channel.
 
@@ -104,7 +105,13 @@ def figure2(
         for n in n_values:
             k = sublinear_k(n, theta)
             sample = required_queries_trials(
-                n, k, channel, trials=trials, seed=seed, check_every=check_every
+                n,
+                k,
+                channel,
+                trials=trials,
+                seed=seed,
+                check_every=check_every,
+                engine=engine,
             )
             rows.append(
                 {
@@ -151,6 +158,7 @@ def figure3(
     check_every: int = 1,
     include_bound: bool = True,
     bound_eps: float = 0.05,
+    engine: str = "batch",
 ) -> FigureResult:
     """Figure 3: required queries vs n, noisy query model vs noiseless."""
     rows: List[Dict[str, object]] = []
@@ -160,7 +168,13 @@ def figure3(
         for n in n_values:
             k = sublinear_k(n, theta)
             sample = required_queries_trials(
-                n, k, channel, trials=trials, seed=seed, check_every=check_every
+                n,
+                k,
+                channel,
+                trials=trials,
+                seed=seed,
+                check_every=check_every,
+                engine=engine,
             )
             rows.append(
                 {
@@ -207,6 +221,7 @@ def figure4(
     include_bounds: bool = True,
     bound_eps: float = 0.05,
     centering: str = "oracle",
+    engine: str = "batch",
 ) -> FigureResult:
     """Figure 4: required queries vs n, general noisy channel with p = q.
 
@@ -235,6 +250,7 @@ def figure4(
                 seed=seed,
                 check_every=check_every,
                 centering=centering,
+                engine=engine,
             )
             rows.append(
                 {
@@ -282,6 +298,7 @@ def figure5(
     trials: int = 20,
     seed: RngLike = 2022,
     check_every: int = 1,
+    engine: str = "batch",
 ) -> FigureResult:
     """Figure 5: boxplots of the required m per configuration and n.
 
@@ -302,7 +319,13 @@ def figure5(
         k = sublinear_k(n, theta)
         for label, channel in configs:
             sample = required_queries_trials(
-                n, k, channel, trials=trials, seed=seed, check_every=check_every
+                n,
+                k,
+                channel,
+                trials=trials,
+                seed=seed,
+                check_every=check_every,
+                engine=engine,
             )
             if not sample.values:
                 continue
@@ -346,6 +369,7 @@ def figure6(
     algorithms: Sequence[str] = ("greedy", "amp"),
     bound_p: float = 0.1,
     bound_eps: float = 0.1,
+    engine: str = "batch",
 ) -> FigureResult:
     """Figure 6: success rate vs m at n=1000, greedy vs AMP, Z-channel.
 
@@ -366,6 +390,7 @@ def figure6(
                 algorithm=algorithm,
                 trials=trials,
                 seed=seed,
+                engine=engine,
             )
             for m, rate in zip(curve.m_values, curve.success_rates):
                 rows.append(
@@ -413,6 +438,7 @@ def figure7(
     seed: RngLike = 2022,
     bound_p: float = 0.1,
     bound_eps: float = 0.1,
+    engine: str = "batch",
 ) -> FigureResult:
     """Figure 7: overlap (fraction of identified 1-agents) vs m, greedy."""
     if m_values is None:
@@ -421,7 +447,14 @@ def figure7(
     rows: List[Dict[str, object]] = []
     for p in ps:
         curve = success_rate_curve(
-            n, k, ZChannel(p), m_values, algorithm="greedy", trials=trials, seed=seed
+            n,
+            k,
+            ZChannel(p),
+            m_values,
+            algorithm="greedy",
+            trials=trials,
+            seed=seed,
+            engine=engine,
         )
         for m, overlap, rate in zip(
             curve.m_values, curve.overlaps, curve.success_rates

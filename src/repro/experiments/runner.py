@@ -11,6 +11,15 @@ All experiment entry points funnel through two primitives:
 Each trial gets an independent child generator spawned from the root
 seed (see :mod:`repro.utils.rng`), so experiments are reproducible and
 embarrassingly parallel in structure.
+
+Both primitives default to the vectorized batch engine
+(:mod:`repro.core.batch`): graphs are sampled in one RNG call, the
+incremental procedure runs in geometric-growth blocks, and fixed-``m``
+greedy trials are scored/decoded as stacked computations. Pass
+``engine="legacy"`` to force the original per-query/per-trial loops —
+the batch greedy path is bit-for-bit seed-compatible with them, and the
+chunked incremental path is seed-compatible for channels that draw no
+per-query noise (see ``tests/test_batch.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.amp import run_amp
+from repro.core.batch import BatchTrialRunner
 from repro.core.greedy import greedy_reconstruct
 from repro.core.incremental import required_queries
 from repro.core.measurement import measure
@@ -34,6 +44,19 @@ from repro.utils.validation import check_positive_int
 
 #: algorithms runnable by the harness
 ALGORITHMS = ("greedy", "amp", "distributed", "twostage")
+
+#: simulation engines: the vectorized batch engine vs the per-query loops
+ENGINES = ("batch", "legacy")
+
+
+def _check_engine(engine: str) -> str:
+    if engine == "per-query":  # the core-layer name for the same loop
+        return "legacy"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; valid: {ENGINES + ('per-query',)}"
+        )
+    return engine
 
 
 def _run_algorithm(
@@ -86,22 +109,39 @@ def required_queries_trials(
     check_every: int = 1,
     gamma: Optional[int] = None,
     centering: str = "half_k",
+    engine: str = "batch",
 ) -> RequiredQueriesSample:
-    """Run the incremental procedure ``trials`` times, collect required m."""
+    """Run the incremental procedure ``trials`` times, collect required m.
+
+    ``engine="batch"`` (default) runs the chunked vectorized simulator;
+    ``engine="legacy"`` runs the original per-query loop. Both apply the
+    paper's exact query-by-query stopping rule.
+    """
     check_positive_int(trials, "trials")
+    engine = _check_engine(engine)
     values: List[int] = []
     failures = 0
+    runner = (
+        BatchTrialRunner(n, k, channel, gamma=gamma, centering=centering)
+        if engine == "batch"
+        else None
+    )
     for gen in spawn_rngs(seed, trials):
-        result = required_queries(
-            n,
-            k,
-            channel,
-            gen,
-            max_m=max_m,
-            check_every=check_every,
-            gamma=gamma,
-            centering=centering,
-        )
+        if runner is not None:
+            result = runner.required_queries(
+                gen, max_m=max_m, check_every=check_every
+            )
+        else:
+            result = required_queries(
+                n,
+                k,
+                channel,
+                gen,
+                max_m=max_m,
+                check_every=check_every,
+                gamma=gamma,
+                centering=centering,
+            )
         if result.succeeded:
             values.append(int(result.required_m))
         else:
@@ -144,17 +184,34 @@ def success_rate_curve(
     seed: RngLike = 0,
     gamma: Optional[int] = None,
     algorithm_kwargs: Optional[dict] = None,
+    engine: str = "batch",
 ) -> SuccessCurve:
     """Estimate success rate and overlap per query count ``m``.
 
     For every ``m`` in the grid, ``trials`` independent instances are
     drawn (fresh truth, graph and noise each time, matching the paper's
     "100 independent simulation runs" per data point).
+
+    With ``engine="batch"`` the greedy trials run through
+    :class:`~repro.core.batch.BatchTrialRunner` — seed-compatible with
+    the legacy per-trial loop, so both engines (and the distributed
+    runtime, which shares the loop) report identical curves for the
+    same seed. Algorithms without a batch implementation (AMP,
+    distributed, two-stage) always use the per-trial loop.
     """
     check_positive_int(trials, "trials")
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; valid: {ALGORITHMS}")
+    engine = _check_engine(engine)
     algorithm_kwargs = algorithm_kwargs or {}
+    use_batch = (
+        engine == "batch"
+        and algorithm == "greedy"
+        and set(algorithm_kwargs) <= {"centering"}
+        # the batch runner supports only these centerings; anything else
+        # (e.g. "none") falls back to the seed-compatible legacy loop
+        and algorithm_kwargs.get("centering", "half_k") in ("half_k", "oracle")
+    )
     success_rates: List[float] = []
     overlaps: List[float] = []
     rngs = spawn_rngs(seed, len(m_values))
@@ -162,13 +219,25 @@ def success_rate_curve(
         m = int(m)
         successes = 0
         overlap_sum = 0.0
-        for gen in spawn_rngs(m_rng, trials):
-            truth = sample_ground_truth(n, k, gen)
-            graph = sample_pooling_graph(n, m, gamma, gen)
-            measurements = measure(graph, truth, channel, gen)
-            result = _run_algorithm(algorithm, measurements, **algorithm_kwargs)
-            successes += bool(result.exact)
-            overlap_sum += float(result.overlap)
+        if use_batch:
+            runner = BatchTrialRunner(
+                n,
+                k,
+                channel,
+                gamma=gamma,
+                centering=algorithm_kwargs.get("centering", "half_k"),
+            )
+            for result in runner.run_trials(m, trials, seed=m_rng):
+                successes += bool(result.exact)
+                overlap_sum += float(result.overlap)
+        else:
+            for gen in spawn_rngs(m_rng, trials):
+                truth = sample_ground_truth(n, k, gen)
+                graph = sample_pooling_graph(n, m, gamma, gen)
+                measurements = measure(graph, truth, channel, gen)
+                result = _run_algorithm(algorithm, measurements, **algorithm_kwargs)
+                successes += bool(result.exact)
+                overlap_sum += float(result.overlap)
         success_rates.append(successes / trials)
         overlaps.append(overlap_sum / trials)
     return SuccessCurve(
@@ -196,6 +265,7 @@ def run_many(
 
 __all__ = [
     "ALGORITHMS",
+    "ENGINES",
     "RequiredQueriesSample",
     "required_queries_trials",
     "SuccessCurve",

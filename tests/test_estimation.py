@@ -154,6 +154,97 @@ class TestGaussianEstimation:
         assert lam_hat < 1.0  # sampling noise only
 
 
+def _regular_measurements(channel, seed=0, n=600, k=60, m=120, agent_degree=24):
+    """Variable-size measurements from the constant-column-weight design."""
+    gen = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_regular_design(n, m, agent_degree, rng=gen)
+    assert np.ptp(graph.query_sizes()) > 0  # genuinely variable sizes
+    return repro.measure(graph, truth, channel, gen)
+
+
+class TestVariableSizeEstimation:
+    """Regression tests: estimators must use realized query sizes, not
+    the nominal expected ``gamma`` of variable-size designs."""
+
+    def test_effective_rate_accepts_size_array(self):
+        meas = _regular_measurements(repro.NoisyChannel(0.3, 0.02), seed=2)
+        sizes = meas.graph.query_sizes()
+        r_hat = estimate_effective_rate(meas.results, sizes)
+        r = effective_read_rate(0.3, 0.02, meas.k / meas.n)
+        assert r_hat == pytest.approx(r, abs=0.02)
+
+    def test_size_array_shape_validated(self):
+        with pytest.raises(ValueError):
+            estimate_effective_rate(np.zeros(5), np.full(4, 10))
+        with pytest.raises(ValueError):
+            estimate_effective_rate(np.zeros(5), np.zeros(5))  # all empty
+        with pytest.raises(ValueError):
+            estimate_effective_rate(np.zeros(5), np.full(5, -1))  # sizes >= 0
+
+    def test_non_integer_scalar_gamma_rejected(self):
+        # A float nominal size (e.g. n * agent_degree / m) must raise,
+        # not be silently truncated into a biased estimate.
+        with pytest.raises(TypeError):
+            estimate_effective_rate(np.full(10, 5.0), 10.7)
+        with pytest.raises(TypeError):
+            estimate_effective_rate(np.full(10, 5.0), np.full(10, 10.7))
+
+    def test_collinear_e1_and_sizes_rejected(self):
+        # sigma_hat = all-ones makes E1_hat == query sizes: the
+        # two-regressor fit is rank deficient and must fail loudly like
+        # the fixed-size path does for constant E1_hat.
+        meas = _regular_measurements(repro.NoisyChannel(0.2, 0.05), seed=9)
+        with pytest.raises(ValueError):
+            estimate_general_channel(meas, np.ones(meas.n, dtype=np.int8))
+
+    def test_empty_queries_are_tolerated(self):
+        # Regular designs routinely leave some queries without agents;
+        # a 0-size query is valid data (its exact sum is always 0).
+        gen = np.random.default_rng(13)
+        truth = repro.sample_ground_truth(20, 2, gen)
+        graph = repro.sample_regular_design(20, 60, agent_degree=3, rng=gen)
+        assert graph.query_sizes().min() == 0  # genuinely has empty queries
+        meas = repro.measure(graph, truth, repro.ZChannel(0.2), gen)
+        fitted = fit_channel("z", meas)
+        assert 0.0 <= fitted.p < 1.0
+        r_hat = estimate_effective_rate(meas.results, graph.query_sizes())
+        assert 0.0 <= r_hat <= 1.0
+
+    def test_fit_z_on_regular_design(self):
+        meas = _regular_measurements(repro.ZChannel(0.2), seed=5)
+        fitted = fit_channel("z", meas)
+        assert fitted.p == pytest.approx(0.2, abs=0.04)
+
+    def test_gaussian_noise_on_regular_design(self):
+        lam = 3.0
+        meas = _regular_measurements(
+            repro.GaussianQueryNoise(lam), seed=7, m=2000, agent_degree=100
+        )
+        lam_hat = estimate_gaussian_noise(
+            meas.results, meas.graph.query_sizes(), meas.k, meas.n
+        )
+        assert lam_hat == pytest.approx(lam, abs=0.8)
+
+    def test_general_channel_on_regular_design(self):
+        meas = _regular_measurements(
+            repro.NoisyChannel(0.2, 0.05), seed=9, m=3000, agent_degree=150
+        )
+        p_hat, q_hat = estimate_general_channel(meas, meas.truth.sigma)
+        assert p_hat == pytest.approx(0.2, abs=0.06)
+        assert q_hat == pytest.approx(0.05, abs=0.04)
+
+    def test_scalar_fast_path_unchanged(self):
+        # For the fixed-size design the array path must collapse to the
+        # legacy scalar formulas exactly.
+        meas = _measurements(repro.ZChannel(0.2), seed=11)
+        scalar = estimate_z_channel(meas.results, meas.graph.gamma, meas.k, meas.n)
+        array = estimate_z_channel(
+            meas.results, meas.graph.query_sizes(), meas.k, meas.n
+        )
+        assert scalar == array
+
+
 class TestFitChannel:
     def test_fit_z(self):
         meas = _measurements(repro.ZChannel(0.2), seed=5)

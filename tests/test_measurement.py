@@ -81,3 +81,34 @@ class TestMeasureQuery:
             agents, counts, truth.sigma, repro.GaussianQueryNoise(1.0), graph.gamma, rng
         )
         assert isinstance(result, float)
+
+    def test_variable_size_query_uses_actual_edge_count(self, rng):
+        # Regression: the noise law must be driven by counts.sum(), not
+        # the nominal gamma. With q close to 1 almost every 0-edge reads
+        # as 1, so a 3-edge query measured under a nominal gamma of
+        # 1000 would report ~ Bin(1000, q) ~ 900 instead of <= 3.
+        sigma = np.zeros(50, dtype=np.int8)
+        agents = np.array([0])
+        counts = np.array([3])
+        channel = repro.NoisyChannel(0.0, 0.9)
+        for _ in range(20):
+            result = measure_query(agents, counts, sigma, channel, 1000, rng)
+            assert 0 <= result <= 3
+
+    def test_variable_size_matches_batch_measure(self, rng):
+        # measure() and measure_query() must apply the same noise law on
+        # the variable-size regular design.
+        truth = repro.sample_ground_truth(60, 6, rng)
+        graph = repro.sample_regular_design(60, 12, agent_degree=4, rng=rng)
+        sizes = graph.query_sizes()
+        assert sizes.min() != sizes.max()  # genuinely variable
+        channel = repro.NoisyChannel(0.0, 1 - 1e-12)
+        batch = measure(graph, truth, channel, rng).results
+        # with q ~ 1 every 0-edge flips: results == sizes almost surely
+        assert np.array_equal(batch, sizes)
+        for j in range(graph.m):
+            agents, counts = graph.query(j)
+            result = measure_query(
+                agents, counts, truth.sigma, channel, graph.gamma, rng
+            )
+            assert result == counts.sum()

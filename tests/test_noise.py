@@ -19,6 +19,12 @@ class TestNoiselessChannel:
         e1 = np.array([0, 3, 7, 10])
         assert np.array_equal(ch.measure(e1, 10, rng), e1)
 
+    def test_e1_out_of_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NoiselessChannel().measure(np.array([11]), 10, rng)
+        with pytest.raises(ValueError):
+            NoiselessChannel().measure(np.array([-1]), 10, rng)
+
     def test_contributions(self, rng):
         ch = NoiselessChannel()
         out = ch.measure_contributions(np.array([2, 3]), np.array([1, 0]), rng)
@@ -142,6 +148,22 @@ class TestGaussianQueryNoise:
         ch = GaussianQueryNoise(0.0)
         e1 = np.array([1.0, 2.0, 3.0])
         assert np.array_equal(ch.measure(e1, 10, rng), e1)
+
+    def test_e1_out_of_range_rejected(self, rng):
+        # Regression: the Gaussian channel must validate like the noisy
+        # channel so corrupted replay data fails loudly everywhere.
+        ch = GaussianQueryNoise(1.0)
+        with pytest.raises(ValueError):
+            ch.measure(np.array([11.0]), 10, rng)
+        with pytest.raises(ValueError):
+            ch.measure(np.array([-0.5]), 10, rng)
+        # per-query sizes: each e1 is checked against its own size
+        with pytest.raises(ValueError):
+            ch.measure(np.array([3.0, 8.0]), np.array([5, 7]), rng)
+
+    def test_zero_lambda_still_validates(self, rng):
+        with pytest.raises(ValueError):
+            GaussianQueryNoise(0.0).measure(np.array([11.0]), 10, rng)
 
     def test_negative_lambda_rejected(self):
         with pytest.raises(ValueError):

@@ -55,6 +55,37 @@ def test_pooling_graph_degree_identities(n, m, seed):
 
 @COMMON_SETTINGS
 @given(
+    n=st.integers(2, 50),
+    m=st.integers(1, 20),
+    seed=st.integers(0, 2**31 - 1),
+    data=st.data(),
+)
+def test_query_sizes_sum_to_total_edges_across_designs(n, m, seed, data):
+    """query_sizes().sum() == total_edges for every pooling design."""
+    gamma = data.draw(st.integers(1, 40))
+    agent_degree = data.draw(st.integers(1, m))
+    graphs = [
+        repro.sample_pooling_graph(n, m, gamma, rng=seed),
+        repro.sample_pooling_graph_batch(n, m, gamma, rng=seed),
+        repro.sample_pooling_graph(
+            n, m, min(gamma, n), rng=seed, with_replacement=False
+        ),
+        repro.sample_regular_design(n, m, agent_degree, rng=seed),
+    ]
+    for g in graphs:
+        sizes = g.query_sizes()
+        assert sizes.sum() == g.total_edges
+        assert sizes.shape == (g.m,)
+        assert np.all(sizes >= 0)
+    # the fixed-size designs additionally have all sizes equal gamma
+    assert np.all(graphs[0].query_sizes() == gamma)
+    assert np.all(graphs[1].query_sizes() == gamma)
+    # the regular design conserves total mass n * agent_degree
+    assert graphs[3].total_edges == n * agent_degree
+
+
+@COMMON_SETTINGS
+@given(
     n=st.integers(1, 60),
     k_frac=st.floats(0.0, 1.0),
     seed=st.integers(0, 2**31 - 1),
