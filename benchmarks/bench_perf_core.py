@@ -1,14 +1,24 @@
-"""Micro-benchmarks of the library's hot paths (pytest-benchmark).
+"""Micro-benchmarks of the library's hot paths.
 
-These are classical throughput benchmarks (many rounds, statistics in
-the benchmark table): pooling-graph sampling, measurement, decoding,
-the incremental step, AMP, and sorting-network generation.
+Two entry modes:
 
-The ``*_batch`` entries benchmark the vectorized engine of
-:mod:`repro.core.batch` against their legacy per-query counterparts —
-compare e.g. ``sample_pooling_graph`` vs ``sample_pooling_graph_batch``
-and ``incremental_step`` vs ``required_queries_chunked`` rows in the
-table to read off the speedup.
+* **pytest-benchmark** (``pytest benchmarks/bench_perf_core.py``):
+  classical throughput benchmarks (many rounds, statistics in the
+  benchmark table): pooling-graph sampling, measurement, decoding,
+  the incremental step, AMP, and sorting-network generation. The
+  ``*_batch`` entries benchmark the vectorized engine of
+  :mod:`repro.core.batch` against their legacy per-query counterparts.
+
+* **perf-trajectory script** (``python benchmarks/bench_perf_core.py``):
+  runs the end-to-end performance suite — dense-regime CSR
+  construction (counting vs sort at the paper's ``Gamma = n/2``,
+  ``n = 10^5``), a fig2-style required-queries sweep (legacy engine vs
+  batch, serial vs sharded across ``--workers`` processes), and a
+  full-scale sparse AMP run with the dense path poisoned — and appends
+  one machine-readable entry (per-case wall time, speedup vs baseline,
+  workers used, host info) to ``BENCH_perf_core.json`` at the repo
+  root, so regressions across PRs stay visible. ``--smoke`` shrinks
+  every case for CI time budgets.
 """
 
 import numpy as np
@@ -110,3 +120,273 @@ def test_perf_amp_full_run(benchmark):
 
 def test_perf_batcher_schedule_generation(benchmark):
     benchmark(lambda: odd_even_mergesort(1024))
+
+
+# Dense-regime CSR construction beyond the uint16 radix fast path:
+# compare the counting-sort construction (dispatched automatically for
+# n > 2**16, gamma >= n/8) against the comparison-sort construction it
+# replaces.
+
+
+def test_perf_csr_dense_counting(benchmark):
+    from repro.core.batch import _csr_from_draws_counting
+
+    draws = np.random.default_rng(6).integers(0, 100_000, size=(64, 50_000))
+    benchmark(lambda: _csr_from_draws_counting(draws, 100_000))
+
+
+def test_perf_csr_dense_sort(benchmark):
+    draws = np.random.default_rng(6).integers(0, 100_000, size=(64, 50_000))
+    benchmark(lambda: _legacy_sort_csr(draws, 50_000))
+
+
+# ---------------------------------------------------------------------
+# Perf-trajectory script mode: python benchmarks/bench_perf_core.py
+# ---------------------------------------------------------------------
+
+BENCH_JSON_SCHEMA = 1
+
+
+def _timed(fn, repeats=1):
+    """Best-of-``repeats`` wall time of ``fn()`` (returns seconds, result)."""
+    import time
+
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _legacy_sort_csr(draws, gamma):
+    """The pre-counting construction at n > 2**16: int64 comparison sort."""
+    flat = np.sort(draws, axis=1).ravel()
+    starts = np.empty(flat.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=starts[1:])
+    starts[::gamma] = True
+    idx = np.flatnonzero(starts)
+    return flat[idx].astype(np.int64), np.diff(idx, append=flat.size)
+
+
+def _case_csr_dense(smoke):
+    """Counting vs old sort CSR construction at Gamma = n/2, n beyond uint16.
+
+    On memory-bandwidth-starved hosts the two are near time-parity; the
+    counting construction additionally avoids the sort's full ``(m,
+    gamma)`` int64 sorted copy (recorded as ``sort_copy_mib_avoided``),
+    which is the memory half of the dense-regime sampling ceiling.
+    """
+    from repro.core.batch import _csr_from_draws_counting, _use_counting_csr
+
+    n = 70_000 if smoke else 100_000
+    m = 64 if smoke else 400
+    gamma = n // 2
+    assert _use_counting_csr(n, gamma)
+    draws = np.random.default_rng(6).integers(0, n, size=(m, gamma))
+    repeats = 1 if smoke else 3
+    baseline_s, (sort_agents, sort_counts) = _timed(
+        lambda: _legacy_sort_csr(draws, gamma), repeats
+    )
+    wall_s, (_, agents, counts) = _timed(
+        lambda: _csr_from_draws_counting(draws, n), repeats
+    )
+    assert np.array_equal(agents, sort_agents)
+    assert np.array_equal(counts, sort_counts)
+    return {
+        "case": "csr_dense_gamma_half_counting",
+        "n": n,
+        "m": m,
+        "gamma": gamma,
+        "wall_s": round(wall_s, 4),
+        "baseline": "int64 comparison-sort CSR (pre-PR construction)",
+        "baseline_s": round(baseline_s, 4),
+        "speedup": round(baseline_s / wall_s, 3) if wall_s else None,
+        "sort_copy_mib_avoided": round(m * gamma * 8 / 2**20, 1),
+    }
+
+
+def _case_csr_sparse_u32(smoke):
+    """uint32-narrowed sort vs old int64 sort in the sparse n > 2**16 regime."""
+    from repro.core.batch import _csr_from_draws, _use_counting_csr
+
+    n = 70_000 if smoke else 100_000
+    m = 500 if smoke else 2000
+    gamma = 1000
+    assert not _use_counting_csr(n, gamma)
+    draws = np.random.default_rng(7).integers(0, n, size=(m, gamma))
+    repeats = 2 if smoke else 3
+    baseline_s, (sort_agents, sort_counts) = _timed(
+        lambda: _legacy_sort_csr(draws, gamma), repeats
+    )
+    wall_s, (_, agents, counts) = _timed(
+        lambda: _csr_from_draws(draws, n), repeats
+    )
+    assert np.array_equal(agents, sort_agents)
+    assert np.array_equal(counts, sort_counts)
+    return {
+        "case": "csr_sparse_uint32_sort",
+        "n": n,
+        "m": m,
+        "gamma": gamma,
+        "wall_s": round(wall_s, 4),
+        "baseline": "int64 comparison-sort CSR (pre-PR construction)",
+        "baseline_s": round(baseline_s, 4),
+        "speedup": round(baseline_s / wall_s, 3) if wall_s else None,
+    }
+
+
+def _case_fig2_sweep(smoke, workers):
+    """Fig2-style required-queries sweep: legacy vs batch vs sharded."""
+    from repro.experiments import shutdown_pool
+    from repro.experiments.runner import required_queries_trials
+
+    n_values = (400, 1000) if smoke else (1000, 3000, 10_000)
+    trials = 3 if smoke else 10
+    channel = repro.ZChannel(0.1)
+
+    def sweep(engine, w):
+        out = []
+        for n in n_values:
+            k = repro.sublinear_k(n, 0.25)
+            out.append(
+                required_queries_trials(
+                    n, k, channel, trials=trials, seed=2022,
+                    engine=engine, workers=w,
+                ).values
+            )
+        return out
+
+    legacy_s, legacy_vals = _timed(lambda: sweep("legacy", 1))
+    serial_s, serial_vals = _timed(lambda: sweep("batch", 1))
+    # Warm the pool outside the timed region: interpreter start-up is a
+    # one-time cost per session, not a per-sweep cost.
+    required_queries_trials(
+        100, 3, channel, trials=workers, seed=0, workers=workers
+    )
+    sharded_s, sharded_vals = _timed(lambda: sweep("batch", workers))
+    shutdown_pool()
+    assert sharded_vals == serial_vals  # bit-identical sharding
+    return {
+        "case": "fig2_sweep",
+        "n_values": list(n_values),
+        "trials": trials,
+        "workers": workers,
+        "wall_s": round(sharded_s, 4),
+        "serial_batch_s": round(serial_s, 4),
+        "baseline": "legacy engine, serial",
+        "baseline_s": round(legacy_s, 4),
+        "speedup": round(legacy_s / sharded_s, 3) if sharded_s else None,
+        "speedup_vs_serial_batch": (
+            round(serial_s / sharded_s, 3) if sharded_s else None
+        ),
+    }
+
+
+def _case_amp_sparse(smoke):
+    """Full-scale sparse AMP with the dense path poisoned."""
+    from repro.amp import AMPConfig
+
+    n = 20_000 if smoke else 100_000
+    m = 100 if smoke else 300
+    gen = np.random.default_rng(8)
+    truth = repro.sample_ground_truth(n, repro.sublinear_k(n, 0.25), gen)
+    graph = repro.sample_pooling_graph_batch(n, m, rng=gen)
+    meas = repro.measure(graph, truth, repro.ZChannel(0.1), gen)
+
+    def poisoned(self, dtype=np.float64):
+        raise AssertionError("dense adjacency materialized on the AMP hot path")
+
+    original = repro.PoolingGraph.adjacency_dense
+    repro.PoolingGraph.adjacency_dense = poisoned
+    try:
+        wall_s, result = _timed(
+            lambda: run_amp(meas, config=AMPConfig(max_iter=5))
+        )
+    finally:
+        repro.PoolingGraph.adjacency_dense = original
+    return {
+        "case": "amp_sparse_full_scale",
+        "n": n,
+        "m": m,
+        "iterations": result.meta["iterations"],
+        "dense_materialized": False,
+        "wall_s": round(wall_s, 4),
+    }
+
+
+def run_perf_suite(smoke=False, workers=4):
+    """Run the perf-trajectory cases; returns one JSON-ready entry."""
+    import os
+    import platform
+    import subprocess
+    import time
+
+    cases = [
+        _case_csr_dense(smoke),
+        _case_csr_sparse_u32(smoke),
+        _case_fig2_sweep(smoke, workers),
+        _case_amp_sparse(smoke),
+    ]
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=os.path.dirname(__file__),
+        ).stdout.strip() or None
+    except OSError:
+        commit = None
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": commit,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": bool(smoke),
+        "workers": workers,
+        "cases": cases,
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import os
+
+    default_out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_perf_core.json",
+    )
+    parser = argparse.ArgumentParser(
+        description="Append a perf-trajectory entry to BENCH_perf_core.json"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrunken cases for CI time budgets (~1 min)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes for the sharded sweep case (default 4)",
+    )
+    parser.add_argument("--out", default=default_out, help="trajectory file")
+    args = parser.parse_args(argv)
+
+    entry = run_perf_suite(smoke=args.smoke, workers=args.workers)
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            payload = json.load(fh)
+    else:
+        payload = {"schema": BENCH_JSON_SCHEMA, "entries": []}
+    payload["entries"].append(entry)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(entry, indent=2))
+    print(f"appended entry #{len(payload['entries'])} to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

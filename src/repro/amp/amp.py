@@ -107,16 +107,12 @@ def standardize_system(
     return a_s, y
 
 
-#: above this many adjacency entries run_amp defaults to the sparse path
-_SPARSE_THRESHOLD = 4_000_000
-
-
 def run_amp(
     measurements: Measurements,
     *,
     denoiser: Optional[Denoiser] = None,
     config: Optional[AMPConfig] = None,
-    sparse: Optional[bool] = None,
+    sparse: Optional[bool] = True,
 ) -> ReconstructionResult:
     """Run AMP on a set of pooled measurements and decode by top-k.
 
@@ -132,10 +128,13 @@ def run_amp(
         Iteration parameters.
     sparse:
         Represent the pooling matrix sparsely and apply the centering
-        as a rank-one correction on the fly (never materializing the
-        dense centered matrix). Default: automatic, chosen by problem
-        size. Both paths compute identical iterates up to float
-        round-off.
+        as a rank-one correction on the fly, never materializing any
+        dense ``m x n`` matrix — the default, which keeps AMP viable at
+        the paper's full scale (``n = 10^5``, where the dense adjacency
+        alone would be tens of GiB). Pass ``False`` to force the dense
+        path (small-problem debugging; both paths compute identical
+        iterates up to float round-off). ``None`` — the pre-sparse-era
+        "choose automatically" sentinel — now also means sparse.
 
     Returns
     -------
@@ -152,7 +151,7 @@ def run_amp(
         pi = min(max(k / n, 1e-12), 1 - 1e-12)
         denoiser = BayesBernoulliDenoiser(pi)
     if sparse is None:
-        sparse = n * m > _SPARSE_THRESHOLD
+        sparse = True
 
     # Standardization (see module docstring). The centered, scaled
     # matrix is A_s = (A - c) / s; both products are applied as the raw

@@ -6,7 +6,9 @@ Regenerates any paper figure's data from the terminal, e.g.::
     python -m repro fig6 --trials 25 --out results/
 
 Use ``--full-scale`` to run the paper's complete grids (slow: the
-original sweeps extend to n = 10^5).
+original sweeps extend to n = 10^5) and ``--workers N`` to shard the
+trials over N processes (``0`` = one per CPU) with bit-identical
+output.
 """
 
 from __future__ import annotations
@@ -60,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine: vectorized batch (default) or the "
         "original per-query/per-trial loops",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for trial sharding; 0 = one per CPU "
+        "(default: the REPRO_WORKERS env var, else 1 = serial); "
+        "results are bit-identical for any worker count",
+    )
     parser.add_argument("--out", type=str, default=None, help="save JSON/CSV here")
     parser.add_argument(
         "--plot",
@@ -81,7 +91,11 @@ _PLOT_AXES = {
 
 
 def _figure_kwargs(args: argparse.Namespace, name: str) -> dict:
-    kwargs: dict = {"seed": args.seed, "engine": args.engine}
+    kwargs: dict = {
+        "seed": args.seed,
+        "engine": args.engine,
+        "workers": args.workers,
+    }
     if args.full_scale:
         if name in ("fig2", "fig3", "fig4"):
             kwargs["n_values"] = geometric_space(100, 100_000, 13)

@@ -35,6 +35,7 @@ from repro.core.batch import (
     first_success_m,
     sample_pooling_graph_batch,
 )
+from repro.core.chunking import chunk_bounds, chunk_sequence
 from repro.core.estimation import (
     channel_moments,
     effective_read_rate,
@@ -109,6 +110,9 @@ __all__ = [
     # batch engine
     "BatchTrialRunner",
     "first_success_m",
+    # chunking (sharded execution support)
+    "chunk_bounds",
+    "chunk_sequence",
     # noise
     "Channel",
     "NoiselessChannel",

@@ -1,0 +1,53 @@
+"""Deterministic contiguous chunking for sharded trial execution.
+
+The experiment harness shards embarrassingly-parallel trial lists
+across worker processes (:mod:`repro.experiments.parallel`). Because
+every trial owns an independent pre-spawned child seed, the *only*
+requirement on the partition is that it preserves trial order, so that
+concatenating the chunk results reproduces the serial output exactly.
+These helpers produce that canonical partition: contiguous chunks whose
+sizes differ by at most one, larger chunks first.
+
+The helpers are pure and deterministic — the same ``(total, chunks)``
+always yields the same bounds — which keeps sharded runs bit-identical
+regardless of worker count, scheduling order, or platform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["chunk_bounds", "chunk_sequence"]
+
+
+def chunk_bounds(total: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous spans.
+
+    Returns ``(start, stop)`` half-open bounds covering ``0..total`` in
+    order, with no empty spans: when ``total < chunks`` only ``total``
+    spans are produced. Sizes differ by at most one and the larger
+    spans come first, so ``chunk_bounds(10, 4)`` is
+    ``[(0, 3), (3, 6), (6, 8), (8, 10)]``.
+    """
+    total = check_non_negative_int(total, "total")
+    chunks = check_positive_int(chunks, "chunks")
+    chunks = min(chunks, total)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        size = total // chunks + (1 if i < total % chunks else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def chunk_sequence(items: Sequence, chunks: int) -> List[Sequence]:
+    """Partition ``items`` into at most ``chunks`` order-preserving slices.
+
+    ``sum(chunk_sequence(items, c), start=[])`` equals ``list(items)``
+    for any ``c >= 1`` — the property the sharded schedulers rely on
+    when merging worker results back into trial order.
+    """
+    return [items[lo:hi] for lo, hi in chunk_bounds(len(items), chunks)]

@@ -13,6 +13,11 @@ from repro.experiments.figures import (
     figure7,
     run_figure,
 )
+from repro.experiments.parallel import (
+    WORKERS_ENV,
+    resolve_workers,
+    shutdown_pool,
+)
 from repro.experiments.runner import (
     ALGORITHMS,
     ENGINES,
@@ -56,6 +61,9 @@ __all__ = [
     "required_queries_trials",
     "success_rate_curve",
     "run_many",
+    "WORKERS_ENV",
+    "resolve_workers",
+    "shutdown_pool",
     "ThresholdEstimate",
     "success_probability_threshold",
     "compare_algorithm_thresholds",

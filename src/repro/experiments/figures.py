@@ -93,6 +93,7 @@ def figure2(
     bound_p: float = 0.1,
     bound_eps: float = 0.05,
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Figure 2: required queries vs n for the Z-channel.
 
@@ -112,6 +113,7 @@ def figure2(
                 seed=seed,
                 check_every=check_every,
                 engine=engine,
+                workers=workers,
             )
             rows.append(
                 {
@@ -159,6 +161,7 @@ def figure3(
     include_bound: bool = True,
     bound_eps: float = 0.05,
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Figure 3: required queries vs n, noisy query model vs noiseless."""
     rows: List[Dict[str, object]] = []
@@ -175,6 +178,7 @@ def figure3(
                 seed=seed,
                 check_every=check_every,
                 engine=engine,
+                workers=workers,
             )
             rows.append(
                 {
@@ -222,6 +226,7 @@ def figure4(
     bound_eps: float = 0.05,
     centering: str = "oracle",
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Figure 4: required queries vs n, general noisy channel with p = q.
 
@@ -251,6 +256,7 @@ def figure4(
                 check_every=check_every,
                 centering=centering,
                 engine=engine,
+                workers=workers,
             )
             rows.append(
                 {
@@ -299,6 +305,7 @@ def figure5(
     seed: RngLike = 2022,
     check_every: int = 1,
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Figure 5: boxplots of the required m per configuration and n.
 
@@ -326,6 +333,7 @@ def figure5(
                 seed=seed,
                 check_every=check_every,
                 engine=engine,
+                workers=workers,
             )
             if not sample.values:
                 continue
@@ -370,6 +378,7 @@ def figure6(
     bound_p: float = 0.1,
     bound_eps: float = 0.1,
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Figure 6: success rate vs m at n=1000, greedy vs AMP, Z-channel.
 
@@ -391,6 +400,7 @@ def figure6(
                 trials=trials,
                 seed=seed,
                 engine=engine,
+                workers=workers,
             )
             for m, rate in zip(curve.m_values, curve.success_rates):
                 rows.append(
@@ -439,6 +449,7 @@ def figure7(
     bound_p: float = 0.1,
     bound_eps: float = 0.1,
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Figure 7: overlap (fraction of identified 1-agents) vs m, greedy."""
     if m_values is None:
@@ -455,6 +466,7 @@ def figure7(
             trials=trials,
             seed=seed,
             engine=engine,
+            workers=workers,
         )
         for m, overlap, rate in zip(
             curve.m_values, curve.overlaps, curve.success_rates

@@ -1,0 +1,319 @@
+"""Multiprocess trial sharding for the experiment harness.
+
+The paper's figures are Monte-Carlo sweeps of independent trials, and
+every trial already owns an independent child seed spawned from the
+root seed (:func:`repro.utils.rng.spawn_rngs`). That makes the
+workload embarrassingly parallel *by construction*, and this module
+exploits it without changing a single seeded output:
+
+1. **Seed spawning** — the scheduler pre-spawns exactly the per-trial
+   child seed sequences the serial path would spawn (same
+   ``SeedSequence.spawn`` calls, in the same order);
+2. **Chunking** — the seed list is partitioned into contiguous,
+   order-preserving chunks (:func:`repro.core.chunking.chunk_bounds`);
+3. **Ordered merge** — each chunk runs through
+   :class:`~repro.core.batch.BatchTrialRunner` or the legacy per-query
+   loop inside a worker process, and the per-trial outcomes are merged
+   back in trial order.
+
+Because a trial's result is a pure function of its own seed, the merged
+output is bit-identical to the serial run for any worker count — the
+seeded-equivalence tests in ``tests/test_parallel.py`` pin this for the
+greedy, AMP and distributed algorithms on both engines.
+
+Workers are plain module-level functions and every payload (channel,
+seeds, kwargs) is picklable, so the pool runs under the ``spawn`` start
+method — the only method available on Windows, and the one immune to
+fork-in-threaded-process hazards everywhere else. The executor is
+cached between calls (``spawn`` pays an interpreter start-up per
+worker, which would otherwise recur for every sweep cell); call
+:func:`shutdown_pool` to release it explicitly.
+
+When parallelism helps
+----------------------
+Sharding pays off when per-trial work dominates the per-task dispatch
+overhead (pickling + IPC, ~1 ms per chunk): large ``n``, dense
+``gamma``, many trials. For small instances (``n`` in the hundreds)
+or very few trials the serial engine is usually faster — keep
+``workers=1`` (the default) there.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chunking import chunk_bounds
+from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
+from repro.utils.validation import check_non_negative_int
+
+#: environment variable consulted when ``workers`` is not given
+#: explicitly; lets CI (and users) shard whole test/benchmark runs
+#: without touching call sites.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: pool start method: ``spawn`` is Windows-safe and gives identical
+#: behaviour on every platform (workers re-import the library instead
+#: of inheriting forked state).
+START_METHOD = "spawn"
+
+#: chunks submitted per worker for uneven workloads (required-queries
+#: trials vary widely in duration); more chunks -> better balance,
+#: at ~1 ms dispatch cost each.
+_OVERSUBSCRIBE = 4
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a ``workers`` request into an actual worker count.
+
+    ``None`` falls back to the ``REPRO_WORKERS`` environment variable
+    (default ``1`` — serial); ``0`` means "one worker per CPU"
+    (``os.cpu_count()``). Anything else must be a non-negative integer,
+    validated with the library's standard parameter errors.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    workers = check_non_negative_int(workers, "workers")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+# -- cached executor ----------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: Optional[int] = None
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    # A crashed worker (OOM kill, segfault) breaks the executor for
+    # good; hand out a fresh pool instead of the broken one so a
+    # single lost worker doesn't disable sharding for the session.
+    broken = _pool is not None and getattr(_pool, "_broken", False)
+    if _pool is None or _pool_workers != workers or broken:
+        shutdown_pool()
+        _pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(START_METHOD),
+        )
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Shut down the cached worker pool (no-op when none is running)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+        _pool_workers = None
+
+
+atexit.register(shutdown_pool)
+
+
+# -- worker functions (module-level: picklable under spawn) -------------
+
+
+def _required_queries_chunk(
+    spec: Dict[str, object], seeds: Sequence[np.random.SeedSequence]
+) -> List[Tuple[bool, Optional[int]]]:
+    """Run one contiguous chunk of required-queries trials.
+
+    Returns ``(succeeded, required_m)`` per trial, in chunk order.
+    """
+    out: List[Tuple[bool, Optional[int]]] = []
+    if spec["engine"] == "batch":
+        from repro.core.batch import BatchTrialRunner
+
+        runner = BatchTrialRunner(
+            spec["n"],
+            spec["k"],
+            spec["channel"],
+            gamma=spec["gamma"],
+            centering=spec["centering"],
+        )
+        for seq in seeds:
+            result = runner.required_queries(
+                np.random.default_rng(seq),
+                max_m=spec["max_m"],
+                check_every=spec["check_every"],
+            )
+            out.append((result.succeeded, result.required_m))
+    else:
+        from repro.core.incremental import required_queries
+
+        for seq in seeds:
+            result = required_queries(
+                spec["n"],
+                spec["k"],
+                spec["channel"],
+                np.random.default_rng(seq),
+                max_m=spec["max_m"],
+                check_every=spec["check_every"],
+                gamma=spec["gamma"],
+                centering=spec["centering"],
+            )
+            out.append((result.succeeded, result.required_m))
+    return out
+
+
+def _fixed_m_chunk(
+    spec: Dict[str, object], m: int, seeds: Sequence[np.random.SeedSequence]
+) -> List[Tuple[bool, float]]:
+    """Run one chunk of fixed-``m`` reconstruction trials.
+
+    Returns ``(exact, overlap)`` per trial, in chunk order. The heavy
+    per-trial artifacts (score vectors, estimates) stay in the worker —
+    only the curve statistics cross the process boundary.
+    """
+    if spec["use_batch"]:
+        from repro.core.batch import BatchTrialRunner
+
+        runner = BatchTrialRunner(
+            spec["n"],
+            spec["k"],
+            spec["channel"],
+            gamma=spec["gamma"],
+            centering=spec["algorithm_kwargs"].get("centering", "half_k"),
+        )
+        return [
+            (bool(r.exact), float(r.overlap))
+            for r in runner.run_trials_seeded(m, list(seeds))
+        ]
+    from repro.core.ground_truth import sample_ground_truth
+    from repro.core.measurement import measure
+    from repro.core.pooling import sample_pooling_graph
+    from repro.experiments.runner import _run_algorithm
+
+    out: List[Tuple[bool, float]] = []
+    for seq in seeds:
+        gen = np.random.default_rng(seq)
+        truth = sample_ground_truth(spec["n"], spec["k"], gen)
+        graph = sample_pooling_graph(spec["n"], m, spec["gamma"], gen)
+        measurements = measure(graph, truth, spec["channel"], gen)
+        result = _run_algorithm(
+            spec["algorithm"], measurements, **spec["algorithm_kwargs"]
+        )
+        out.append((bool(result.exact), float(result.overlap)))
+    return out
+
+
+# -- sharded schedulers -------------------------------------------------
+
+
+def required_queries_outcomes(
+    n: int,
+    k: int,
+    channel,
+    *,
+    trials: int,
+    seed: RngLike,
+    workers: int,
+    max_m: Optional[int] = None,
+    check_every: int = 1,
+    gamma: Optional[int] = None,
+    centering: str = "half_k",
+    engine: str = "batch",
+) -> List[Tuple[bool, Optional[int]]]:
+    """Sharded required-queries trials; outcomes in trial order.
+
+    Spawns the serial path's per-trial child seeds, shards them into
+    contiguous chunks, runs each chunk in a worker, and concatenates
+    the chunk outcomes — bit-identical to the serial trial loop.
+    """
+    spec = {
+        "n": n,
+        "k": k,
+        "channel": channel,
+        "gamma": gamma,
+        "centering": centering,
+        "engine": engine,
+        "max_m": max_m,
+        "check_every": check_every,
+    }
+    seeds = spawn_seeds(seed, trials)
+    pool = _get_pool(workers)
+    futures = [
+        pool.submit(_required_queries_chunk, spec, seeds[lo:hi])
+        for lo, hi in chunk_bounds(trials, workers * _OVERSUBSCRIBE)
+    ]
+    outcomes: List[Tuple[bool, Optional[int]]] = []
+    for future in futures:
+        outcomes.extend(future.result())
+    return outcomes
+
+
+def success_curve_outcomes(
+    n: int,
+    k: int,
+    channel,
+    m_values: Sequence[int],
+    *,
+    trials: int,
+    seed: RngLike,
+    workers: int,
+    algorithm: str = "greedy",
+    algorithm_kwargs: Optional[dict] = None,
+    gamma: Optional[int] = None,
+    use_batch: bool = True,
+) -> List[List[Tuple[bool, float]]]:
+    """Sharded fixed-``m`` trials for a whole m-grid.
+
+    Returns one ``(exact, overlap)`` list per ``m`` value, each in
+    trial order. Seed derivation mirrors the serial curve exactly: one
+    child generator per grid point, then per-trial seeds spawned from
+    it — so every trial sees the same seed it would serially. All
+    ``(m, chunk)`` tasks share one pool submission wave, which keeps
+    the workers busy across grid points instead of draining per point.
+    """
+    spec = {
+        "n": n,
+        "k": k,
+        "channel": channel,
+        "gamma": gamma,
+        "algorithm": algorithm,
+        "algorithm_kwargs": algorithm_kwargs or {},
+        "use_batch": use_batch,
+    }
+    pool = _get_pool(workers)
+    per_m_futures = []
+    for m, m_rng in zip(m_values, spawn_rngs(seed, len(m_values))):
+        seeds = spawn_seeds(m_rng, trials)
+        per_m_futures.append(
+            [
+                pool.submit(_fixed_m_chunk, spec, int(m), seeds[lo:hi])
+                for lo, hi in chunk_bounds(trials, workers * _OVERSUBSCRIBE)
+            ]
+        )
+    outcomes: List[List[Tuple[bool, float]]] = []
+    for futures in per_m_futures:
+        per_trial: List[Tuple[bool, float]] = []
+        for future in futures:
+            per_trial.extend(future.result())
+        outcomes.append(per_trial)
+    return outcomes
+
+
+__all__ = [
+    "WORKERS_ENV",
+    "START_METHOD",
+    "resolve_workers",
+    "shutdown_pool",
+    "required_queries_outcomes",
+    "success_curve_outcomes",
+]

@@ -20,6 +20,25 @@ greedy trials are scored/decoded as stacked computations. Pass
 the batch greedy path is bit-for-bit seed-compatible with them, and the
 chunked incremental path is seed-compatible for channels that draw no
 per-query noise (see ``tests/test_batch.py``).
+
+Multiprocess trial sharding
+---------------------------
+Both primitives accept ``workers`` (default ``None``: the
+``REPRO_WORKERS`` environment variable, else serial; ``0`` means one
+worker per CPU). With ``workers > 1`` the trial list is sharded across
+a process pool by :mod:`repro.experiments.parallel` in three steps —
+**seed spawning** (the scheduler pre-spawns exactly the per-trial child
+seeds the serial loop would draw), **chunking** (contiguous,
+order-preserving partitions of the seed list), and **ordered merge**
+(per-trial outcomes concatenated back in trial order, then folded with
+the serial accumulation code). Every trial is a pure function of its
+own child seed, so sharded results are bit-identical to serial ones for
+any worker count, algorithm and engine.
+
+Sharding helps when per-trial work dominates dispatch overhead (large
+``n``, dense ``gamma``, many trials); for small instances or few trials
+the serial path is faster — the pool pays a one-time ``spawn`` start-up
+per worker plus ~1 ms of pickling per chunk.
 """
 
 from __future__ import annotations
@@ -39,6 +58,7 @@ from repro.core.pooling import sample_pooling_graph
 from repro.core.ground_truth import sample_ground_truth
 from repro.core.types import ReconstructionResult
 from repro.distributed.runner import run_distributed_algorithm1
+from repro.experiments import parallel
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive_int
 
@@ -48,14 +68,21 @@ ALGORITHMS = ("greedy", "amp", "distributed", "twostage")
 #: simulation engines: the vectorized batch engine vs the per-query loops
 ENGINES = ("batch", "legacy")
 
+#: accepted aliases (the core layer calls the legacy loop "per-query")
+_ENGINE_ALIASES = {"per-query": "legacy"}
+
 
 def _check_engine(engine: str) -> str:
-    if engine == "per-query":  # the core-layer name for the same loop
-        return "legacy"
+    if engine in _ENGINE_ALIASES:
+        return _ENGINE_ALIASES[engine]
     if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; valid: {ENGINES + ('per-query',)}"
+        # List every canonical engine once, then any alias not already
+        # named — naive tuple concatenation would repeat an alias that
+        # is also canonical.
+        valid = ENGINES + tuple(
+            alias for alias in _ENGINE_ALIASES if alias not in ENGINES
         )
+        raise ValueError(f"unknown engine {engine!r}; valid: {valid}")
     return engine
 
 
@@ -110,40 +137,62 @@ def required_queries_trials(
     gamma: Optional[int] = None,
     centering: str = "half_k",
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> RequiredQueriesSample:
     """Run the incremental procedure ``trials`` times, collect required m.
 
     ``engine="batch"`` (default) runs the chunked vectorized simulator;
     ``engine="legacy"`` runs the original per-query loop. Both apply the
-    paper's exact query-by-query stopping rule.
+    paper's exact query-by-query stopping rule. ``workers > 1`` shards
+    the trials across a process pool with bit-identical output (see
+    the module docstring and :mod:`repro.experiments.parallel`).
     """
     check_positive_int(trials, "trials")
     engine = _check_engine(engine)
+    workers = parallel.resolve_workers(workers)
+    if workers > 1:
+        outcomes = parallel.required_queries_outcomes(
+            n,
+            k,
+            channel,
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            max_m=max_m,
+            check_every=check_every,
+            gamma=gamma,
+            centering=centering,
+            engine=engine,
+        )
+    else:
+        runner = (
+            BatchTrialRunner(n, k, channel, gamma=gamma, centering=centering)
+            if engine == "batch"
+            else None
+        )
+        outcomes = []
+        for gen in spawn_rngs(seed, trials):
+            if runner is not None:
+                result = runner.required_queries(
+                    gen, max_m=max_m, check_every=check_every
+                )
+            else:
+                result = required_queries(
+                    n,
+                    k,
+                    channel,
+                    gen,
+                    max_m=max_m,
+                    check_every=check_every,
+                    gamma=gamma,
+                    centering=centering,
+                )
+            outcomes.append((result.succeeded, result.required_m))
     values: List[int] = []
     failures = 0
-    runner = (
-        BatchTrialRunner(n, k, channel, gamma=gamma, centering=centering)
-        if engine == "batch"
-        else None
-    )
-    for gen in spawn_rngs(seed, trials):
-        if runner is not None:
-            result = runner.required_queries(
-                gen, max_m=max_m, check_every=check_every
-            )
-        else:
-            result = required_queries(
-                n,
-                k,
-                channel,
-                gen,
-                max_m=max_m,
-                check_every=check_every,
-                gamma=gamma,
-                centering=centering,
-            )
-        if result.succeeded:
-            values.append(int(result.required_m))
+    for succeeded, required_m in outcomes:
+        if succeeded:
+            values.append(int(required_m))
         else:
             failures += 1
     return RequiredQueriesSample(
@@ -185,6 +234,7 @@ def success_rate_curve(
     gamma: Optional[int] = None,
     algorithm_kwargs: Optional[dict] = None,
     engine: str = "batch",
+    workers: Optional[int] = None,
 ) -> SuccessCurve:
     """Estimate success rate and overlap per query count ``m``.
 
@@ -198,11 +248,17 @@ def success_rate_curve(
     runtime, which shares the loop) report identical curves for the
     same seed. Algorithms without a batch implementation (AMP,
     distributed, two-stage) always use the per-trial loop.
+
+    ``workers > 1`` shards every grid point's trials across a process
+    pool; the per-trial outcomes are merged in trial order and folded
+    with the same accumulation as the serial loop, so the reported
+    curves are bit-identical (see :mod:`repro.experiments.parallel`).
     """
     check_positive_int(trials, "trials")
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; valid: {ALGORITHMS}")
     engine = _check_engine(engine)
+    workers = parallel.resolve_workers(workers)
     algorithm_kwargs = algorithm_kwargs or {}
     use_batch = (
         engine == "batch"
@@ -212,32 +268,54 @@ def success_rate_curve(
         # (e.g. "none") falls back to the seed-compatible legacy loop
         and algorithm_kwargs.get("centering", "half_k") in ("half_k", "oracle")
     )
+    if workers > 1:
+        per_m_outcomes = parallel.success_curve_outcomes(
+            n,
+            k,
+            channel,
+            m_values,
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            algorithm=algorithm,
+            algorithm_kwargs=algorithm_kwargs,
+            gamma=gamma,
+            use_batch=use_batch,
+        )
+    else:
+        per_m_outcomes = []
+        rngs = spawn_rngs(seed, len(m_values))
+        for m, m_rng in zip(m_values, rngs):
+            m = int(m)
+            outcomes: List[tuple] = []
+            if use_batch:
+                runner = BatchTrialRunner(
+                    n,
+                    k,
+                    channel,
+                    gamma=gamma,
+                    centering=algorithm_kwargs.get("centering", "half_k"),
+                )
+                for result in runner.run_trials(m, trials, seed=m_rng):
+                    outcomes.append((bool(result.exact), float(result.overlap)))
+            else:
+                for gen in spawn_rngs(m_rng, trials):
+                    truth = sample_ground_truth(n, k, gen)
+                    graph = sample_pooling_graph(n, m, gamma, gen)
+                    measurements = measure(graph, truth, channel, gen)
+                    result = _run_algorithm(
+                        algorithm, measurements, **algorithm_kwargs
+                    )
+                    outcomes.append((bool(result.exact), float(result.overlap)))
+            per_m_outcomes.append(outcomes)
     success_rates: List[float] = []
     overlaps: List[float] = []
-    rngs = spawn_rngs(seed, len(m_values))
-    for m, m_rng in zip(m_values, rngs):
-        m = int(m)
+    for outcomes in per_m_outcomes:
         successes = 0
         overlap_sum = 0.0
-        if use_batch:
-            runner = BatchTrialRunner(
-                n,
-                k,
-                channel,
-                gamma=gamma,
-                centering=algorithm_kwargs.get("centering", "half_k"),
-            )
-            for result in runner.run_trials(m, trials, seed=m_rng):
-                successes += bool(result.exact)
-                overlap_sum += float(result.overlap)
-        else:
-            for gen in spawn_rngs(m_rng, trials):
-                truth = sample_ground_truth(n, k, gen)
-                graph = sample_pooling_graph(n, m, gamma, gen)
-                measurements = measure(graph, truth, channel, gen)
-                result = _run_algorithm(algorithm, measurements, **algorithm_kwargs)
-                successes += bool(result.exact)
-                overlap_sum += float(result.overlap)
+        for exact, overlap in outcomes:
+            successes += exact
+            overlap_sum += overlap
         success_rates.append(successes / trials)
         overlaps.append(overlap_sum / trials)
     return SuccessCurve(

@@ -262,6 +262,37 @@ class TestRunAMP:
         r2 = run_amp(meas2)
         assert np.allclose(r1.scores, r2.scores)
 
+    def test_sparse_default_never_materializes_dense(self, monkeypatch):
+        # The hot path must stay sparse at every size: poison the dense
+        # conversion and check the default still runs (and is flagged
+        # sparse in the metadata).
+        gen = np.random.default_rng(91)
+        truth = repro.sample_ground_truth(300, 5, gen)
+        graph = repro.sample_pooling_graph(300, 120, rng=gen)
+        meas = repro.measure(graph, truth, repro.ZChannel(0.1), gen)
+        monkeypatch.setattr(
+            repro.PoolingGraph,
+            "adjacency_dense",
+            lambda self, dtype=np.float64: (_ for _ in ()).throw(
+                AssertionError("dense adjacency materialized on the AMP hot path")
+            ),
+        )
+        result = run_amp(meas)
+        assert result.meta["sparse"] is True
+        assert result.scores.shape == (300,)
+        # the legacy "auto" sentinel must also stay off the dense path
+        assert run_amp(meas, sparse=None).meta["sparse"] is True
+
+    def test_dense_override_matches_sparse(self):
+        gen = np.random.default_rng(93)
+        truth = repro.sample_ground_truth(150, 4, gen)
+        graph = repro.sample_pooling_graph(150, 80, rng=gen)
+        meas = repro.measure(graph, truth, rng=gen)
+        sparse = run_amp(meas)
+        dense = run_amp(meas, sparse=False)
+        assert dense.meta["sparse"] is False
+        assert np.allclose(sparse.scores, dense.scores, atol=1e-9)
+
 
 class TestStateEvolution:
     def test_mse_decreases_noiseless_easy(self):

@@ -76,6 +76,99 @@ class TestGraphEquivalence:
         assert g.total_edges == 25 * 50
 
 
+class TestCountingCsr:
+    """The dense-regime counting-sort CSR construction."""
+
+    def test_dispatch_rule(self):
+        from repro.core.batch import _use_counting_csr
+
+        # counting needs BOTH density (gamma >= n/8) and n beyond the
+        # uint16 radix fast path
+        assert _use_counting_csr(70_000, 35_000)
+        assert _use_counting_csr(100_000, 12_500)
+        assert not _use_counting_csr(70_000, 100)  # too sparse
+        assert not _use_counting_csr(10_000, 5_000)  # radix still wins
+        assert not _use_counting_csr(65_536, 32_768)  # boundary: radix
+
+    @pytest.mark.parametrize("n,m,gamma", [(70_000, 6, 35_000), (66_000, 9, 9_000)])
+    def test_identical_to_sort_construction(self, n, m, gamma):
+        from repro.core.batch import (
+            _csr_from_draws_counting,
+            _use_counting_csr,
+        )
+
+        assert _use_counting_csr(n, gamma)
+        draws = np.random.default_rng(13).integers(0, n, size=(m, gamma))
+        flat = np.sort(draws, axis=1).ravel()
+        starts = np.empty(flat.size, dtype=bool)
+        starts[0] = True
+        np.not_equal(flat[1:], flat[:-1], out=starts[1:])
+        starts[::gamma] = True
+        idx = np.flatnonzero(starts)
+        indptr, agents, counts = _csr_from_draws_counting(draws, n)
+        assert np.array_equal(agents, flat[idx])
+        assert np.array_equal(counts, np.diff(idx, append=flat.size))
+        expected_indptr = np.concatenate(
+            ([0], np.searchsorted(idx, np.arange(gamma, m * gamma + 1, gamma)))
+        )
+        assert np.array_equal(indptr, expected_indptr)
+        assert counts.sum() == m * gamma
+
+    def test_seed_identical_to_legacy_sampler_dense_regime(self):
+        # The counting path must return the same *graph* (not just the
+        # same edge multiset) as the legacy per-query sampler.
+        n, m = 70_000, 5
+        g1 = sample_pooling_graph(n, m, None, np.random.default_rng(41))
+        g2 = sample_pooling_graph_batch(n, m, None, np.random.default_rng(41))
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.agents, g2.agents)
+        assert np.array_equal(g1.counts, g2.counts)
+
+    def test_many_rows_match_legacy(self):
+        n, m = 66_000, 40
+        g1 = sample_pooling_graph_batch(n, m, n // 8, np.random.default_rng(5))
+        g2 = sample_pooling_graph(n, m, n // 8, np.random.default_rng(5))
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.agents, g2.agents)
+        assert np.array_equal(g1.counts, g2.counts)
+
+    def test_sparse_uint32_sort_path_matches_legacy(self):
+        # n > 2**16 but too sparse for counting: the uint32-narrowed
+        # comparison sort must still return the legacy graph.
+        n, m, gamma = 70_000, 30, 500
+        g1 = sample_pooling_graph(n, m, gamma, np.random.default_rng(19))
+        g2 = sample_pooling_graph_batch(n, m, gamma, np.random.default_rng(19))
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.agents, g2.agents)
+        assert np.array_equal(g1.counts, g2.counts)
+        assert g2.agents.dtype == np.int64
+
+
+class TestRunTrialsSeeded:
+    def test_chunked_seeds_match_run_trials(self):
+        from repro.core.chunking import chunk_sequence
+        from repro.utils.rng import spawn_seeds
+
+        runner = BatchTrialRunner(120, 4, repro.ZChannel(0.2))
+        whole = runner.run_trials(60, trials=7, seed=3)
+        seeds = spawn_seeds(3, 7)
+        chunked = [
+            r
+            for part in chunk_sequence(seeds, 3)
+            for r in runner.run_trials_seeded(60, part)
+        ]
+        assert len(chunked) == len(whole)
+        for a, b in zip(whole, chunked):
+            assert a.exact == b.exact
+            assert a.overlap == b.overlap
+            assert np.array_equal(a.scores, b.scores)
+            assert np.array_equal(a.estimate, b.estimate)
+
+    def test_empty_seed_list(self):
+        runner = BatchTrialRunner(50, 3)
+        assert runner.run_trials_seeded(10, []) == []
+
+
 class TestRunTrialsEquivalence:
     @pytest.mark.parametrize(
         "channel",

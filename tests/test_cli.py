@@ -23,6 +23,11 @@ class TestParser:
         assert args.n_max == 500
         assert args.seed == 7
 
+    def test_workers_flag(self):
+        assert build_parser().parse_args(["fig2"]).workers is None
+        args = build_parser().parse_args(["fig2", "--workers", "4"])
+        assert args.workers == 4
+
 
 class TestMain:
     def test_fig2_tiny(self, capsys):
@@ -38,3 +43,16 @@ class TestMain:
         assert rc == 0
         assert (tmp_path / "fig7.json").exists()
         assert (tmp_path / "fig7.csv").exists()
+
+    def test_fig2_tiny_sharded_matches_serial(self, tmp_path, capsys):
+        common = ["fig2", "--trials", "2", "--n-min", "60", "--n-max", "120",
+                  "--n-points", "2"]
+        rc = main(common + ["--out", str(tmp_path / "serial")])
+        out_serial = capsys.readouterr().out
+        assert rc == 0
+        rc = main(common + ["--workers", "2", "--out", str(tmp_path / "sharded")])
+        out_sharded = capsys.readouterr().out
+        assert rc == 0
+        serial = (tmp_path / "serial" / "fig2.csv").read_text()
+        sharded = (tmp_path / "sharded" / "fig2.csv").read_text()
+        assert serial == sharded

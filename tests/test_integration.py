@@ -89,13 +89,14 @@ class TestAlgorithmFrontendsAgree:
             assert np.array_equal(dense.estimate, sparse.estimate)
             assert sparse.meta["sparse"] and not dense.meta["sparse"]
 
-    def test_amp_auto_sparse_threshold(self):
+    def test_amp_sparse_by_default(self):
         gen = np.random.default_rng(9)
         truth = repro.sample_ground_truth(100, 3, gen)
         graph = repro.sample_pooling_graph(100, 20, rng=gen)
         meas = repro.measure(graph, truth, rng=gen)
-        # 100 * 20 entries is far below the auto threshold -> dense.
-        assert not run_amp(meas).meta["sparse"]
+        # Sparse is the default at every size; dense is opt-in only.
+        assert run_amp(meas).meta["sparse"]
+        assert not run_amp(meas, sparse=False).meta["sparse"]
 
 
 class TestPhaseConsistency:

@@ -1,0 +1,212 @@
+"""Seeded-equivalence tests for the multiprocess trial-sharding subsystem.
+
+The contract under test: sharding trials across worker processes
+(``workers > 1``) returns *bit-identical* results to the serial path —
+same ``RequiredQueriesSample`` values, same success-rate/overlap
+arrays — for every algorithm and engine, because the scheduler spawns
+the same per-trial child seeds, chunks them order-preservingly, and
+merges outcomes in trial order.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.chunking import chunk_bounds, chunk_sequence
+from repro.experiments import parallel
+from repro.experiments.runner import (
+    required_queries_trials,
+    success_rate_curve,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pool_after():
+    yield
+    parallel.shutdown_pool()
+
+
+class TestChunking:
+    def test_bounds_cover_range_in_order(self):
+        assert chunk_bounds(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_no_empty_chunks(self):
+        assert chunk_bounds(2, 5) == [(0, 1), (1, 2)]
+        assert chunk_bounds(0, 3) == []
+
+    def test_sizes_differ_by_at_most_one(self):
+        for total in range(0, 40):
+            for chunks in range(1, 9):
+                bounds = chunk_bounds(total, chunks)
+                sizes = [hi - lo for lo, hi in bounds]
+                assert sum(sizes) == total
+                if sizes:
+                    assert max(sizes) - min(sizes) <= 1
+                    assert all(s >= 1 for s in sizes)
+                # contiguous and ordered
+                flat = [x for lo, hi in bounds for x in range(lo, hi)]
+                assert flat == list(range(total))
+
+    def test_sequence_concatenation_is_identity(self):
+        items = list(range(17))
+        for chunks in (1, 2, 5, 17, 30):
+            merged = [x for part in chunk_sequence(items, chunks) for x in part]
+            assert merged == items
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_bounds(4, 0)
+        with pytest.raises(TypeError):
+            chunk_bounds(4.0, 2)
+
+
+class TestResolveWorkers:
+    def test_explicit_value(self):
+        assert parallel.resolve_workers(3) == 3
+
+    def test_zero_means_cpu_count(self):
+        assert parallel.resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(parallel.WORKERS_ENV, raising=False)
+        assert parallel.resolve_workers(None) == 1
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "3")
+        assert parallel.resolve_workers(None) == 3
+        # explicit argument wins over the environment
+        assert parallel.resolve_workers(1) == 1
+
+    def test_env_var_invalid(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            parallel.resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            parallel.resolve_workers(-1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError, match="workers"):
+            parallel.resolve_workers(2.5)
+        with pytest.raises(TypeError, match="workers"):
+            parallel.resolve_workers(True)
+
+
+class TestStartMethod:
+    def test_spawn_is_used(self):
+        # Windows has no fork; the subsystem must not rely on it.
+        assert parallel.START_METHOD == "spawn"
+        assert "spawn" in multiprocessing.get_all_start_methods()
+
+
+class TestRequiredQueriesEquivalence:
+    @pytest.mark.parametrize("engine", ["batch", "legacy"])
+    def test_sharded_matches_serial(self, engine):
+        serial = required_queries_trials(
+            150, 4, repro.ZChannel(0.1), trials=7, seed=11, engine=engine
+        )
+        sharded = required_queries_trials(
+            150,
+            4,
+            repro.ZChannel(0.1),
+            trials=7,
+            seed=11,
+            engine=engine,
+            workers=2,
+        )
+        assert sharded.values == serial.values
+        assert sharded.failures == serial.failures
+
+    def test_failures_counted_identically(self):
+        serial = required_queries_trials(
+            200, 5, repro.ZChannel(0.1), trials=4, seed=0, max_m=2
+        )
+        sharded = required_queries_trials(
+            200, 5, repro.ZChannel(0.1), trials=4, seed=0, max_m=2, workers=2
+        )
+        assert serial.failures == sharded.failures == 4
+
+    def test_worker_count_does_not_matter(self):
+        samples = [
+            required_queries_trials(
+                120, 3, repro.NoiselessChannel(), trials=5, seed=3, workers=w
+            )
+            for w in (1, 2, 3)
+        ]
+        assert samples[0].values == samples[1].values == samples[2].values
+
+
+class TestSuccessCurveEquivalence:
+    @pytest.mark.parametrize("engine", ["batch", "legacy"])
+    def test_greedy_sharded_matches_serial(self, engine):
+        kwargs = dict(trials=8, seed=4, engine=engine)
+        serial = success_rate_curve(
+            200, 4, repro.ZChannel(0.2), [30, 120], **kwargs
+        )
+        sharded = success_rate_curve(
+            200, 4, repro.ZChannel(0.2), [30, 120], workers=2, **kwargs
+        )
+        assert sharded.success_rates == serial.success_rates
+        assert sharded.overlaps == serial.overlaps
+
+    def test_amp_sharded_matches_serial(self):
+        kwargs = dict(algorithm="amp", trials=5, seed=5)
+        serial = success_rate_curve(
+            120, 3, repro.NoiselessChannel(), [60], **kwargs
+        )
+        sharded = success_rate_curve(
+            120, 3, repro.NoiselessChannel(), [60], workers=2, **kwargs
+        )
+        assert sharded.success_rates == serial.success_rates
+        assert sharded.overlaps == serial.overlaps
+
+    def test_distributed_sharded_matches_serial(self):
+        kwargs = dict(algorithm="distributed", trials=4, seed=6)
+        serial = success_rate_curve(40, 3, repro.ZChannel(0.1), [30], **kwargs)
+        sharded = success_rate_curve(
+            40, 3, repro.ZChannel(0.1), [30], workers=2, **kwargs
+        )
+        assert sharded.success_rates == serial.success_rates
+        assert sharded.overlaps == serial.overlaps
+
+    def test_env_var_drives_sharding(self, monkeypatch):
+        serial = success_rate_curve(
+            150, 3, repro.ZChannel(0.1), [40, 80], trials=6, seed=8
+        )
+        monkeypatch.setenv(parallel.WORKERS_ENV, "2")
+        sharded = success_rate_curve(
+            150, 3, repro.ZChannel(0.1), [40, 80], trials=6, seed=8
+        )
+        assert sharded.success_rates == serial.success_rates
+        assert sharded.overlaps == serial.overlaps
+
+
+class TestSchedulerInternals:
+    def test_required_queries_outcomes_trial_order(self):
+        # Outcomes arrive in trial order regardless of chunk layout.
+        serial = required_queries_trials(
+            150, 4, repro.NoiselessChannel(), trials=6, seed=2
+        )
+        outcomes = parallel.required_queries_outcomes(
+            150,
+            4,
+            repro.NoiselessChannel(),
+            trials=6,
+            seed=2,
+            workers=2,
+        )
+        assert [m for ok, m in outcomes if ok] == serial.values
+
+    def test_pool_reuse_and_shutdown(self):
+        pool_a = parallel._get_pool(2)
+        assert parallel._get_pool(2) is pool_a
+        pool_b = parallel._get_pool(3)
+        assert pool_b is not pool_a
+        parallel.shutdown_pool()
+        assert parallel._pool is None
