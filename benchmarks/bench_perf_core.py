@@ -13,8 +13,10 @@ Two entry modes:
   runs the end-to-end performance suite — dense-regime CSR
   construction (counting vs sort at the paper's ``Gamma = n/2``,
   ``n = 10^5``), a fig2-style required-queries sweep (legacy engine vs
-  batch, serial vs sharded across ``--workers`` processes), and a
-  full-scale sparse AMP run with the dense path poisoned — and appends
+  batch, serial vs sharded across ``--workers`` processes), a
+  full-scale sparse AMP run with the dense path poisoned, batched
+  (block-diagonal) AMP sweep cells against the pre-batching per-trial
+  loop, and a full-scale stacked-AMP poison case — and appends
   one machine-readable entry (per-case wall time, speedup vs baseline,
   workers used, host info) to ``BENCH_perf_core.json`` at the repo
   root, so regressions across PRs stay visible. ``--smoke`` shrinks
@@ -116,6 +118,42 @@ def test_perf_batch_trial_runner(benchmark):
 def test_perf_amp_full_run(benchmark):
     _, _, meas = _instance(n=1000, k=6, m=300)
     benchmark(lambda: run_amp(meas))
+
+
+# Batched AMP (block-diagonal trial stacking) vs the per-trial loop on
+# the same seeds — the bit-identity of the two paths is pinned in
+# tests/test_amp_batch.py; these entries track the speed ratio.
+
+
+def test_perf_amp_trials_per_trial_loop(benchmark):
+    from repro.amp import AMPConfig
+    from repro.utils.rng import spawn_rngs
+
+    config = AMPConfig(track_history=False)
+    channel = repro.ZChannel(0.1)
+
+    def loop():
+        out = []
+        for gen in spawn_rngs(0, 16):
+            truth = repro.sample_ground_truth(1000, 6, gen)
+            graph = repro.sample_pooling_graph_batch(1000, 120, rng=gen)
+            meas = repro.measure(graph, truth, channel, gen)
+            out.append(run_amp(meas, config=config))
+        return out
+
+    benchmark(loop)
+
+
+def test_perf_amp_trials_batched(benchmark):
+    from repro.amp.batch_amp import run_amp_trials
+    from repro.utils.rng import spawn_seeds
+
+    channel = repro.ZChannel(0.1)
+    benchmark(
+        lambda: run_amp_trials(
+            1000, 6, channel, 120, spawn_seeds(0, 16)
+        )
+    )
 
 
 def test_perf_batcher_schedule_generation(benchmark):
@@ -317,6 +355,158 @@ def _case_amp_sparse(smoke):
     }
 
 
+def _pre_batch_amp_sweep(
+    n, k, channel, m, seed, trials, gamma=None, max_iter=50, tol=1e-7
+):
+    """The pre-batching AMP sweep path, reproduced faithfully.
+
+    One trial per spawned child seed through the legacy per-query
+    sampler, then the pre-PR ``run_amp``: fresh CSR build plus a
+    ``.T.tocsr()`` transpose conversion per trial and the scalar
+    (``np.linalg.norm``-based) iteration loop. This is what
+    ``success_rate_curve(algorithm="amp")`` executed per trial before
+    the block-diagonal batched runner existed.
+    """
+    from repro.amp.amp import (
+        channel_corrected_results,
+        default_denoiser,
+        standardization_constants,
+    )
+    from repro.amp.denoisers import TAU_FLOOR
+    from repro.core.scores import top_k_estimate
+    from repro.utils.rng import spawn_rngs
+
+    out = []
+    for gen in spawn_rngs(seed, trials):
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph(n, m, gamma, gen)
+        meas = repro.measure(graph, truth, channel, gen)
+        denoiser = default_denoiser(n, k)
+        y_raw = channel_corrected_results(meas.results, graph.gamma, channel)
+        c, scale = standardization_constants(n, m, graph.gamma)
+        y = (y_raw - c * k) / scale
+        adjacency = graph.adjacency_sparse()
+        adjacency_t = adjacency.T.tocsr()
+        sigma = np.zeros(n)
+        z = y.copy()
+        for _ in range(max_iter):
+            tau = max(float(np.linalg.norm(z) / np.sqrt(m)), TAU_FLOOR)
+            r = (adjacency_t @ z - c * z.sum()) / scale + sigma
+            sigma_new = denoiser(r, tau)
+            onsager = (n / m) * float(np.mean(denoiser.derivative(r, tau)))
+            z = y - (adjacency @ sigma_new - c * sigma_new.sum()) / scale + onsager * z
+            step = float(np.linalg.norm(sigma_new - sigma) / np.sqrt(n))
+            sigma = sigma_new
+            if step < tol:
+                break
+        out.append(top_k_estimate(sigma, k))
+    return out
+
+
+def _case_amp_batch_sweep(smoke):
+    """Batched AMP sweep cells vs the pre-batching per-trial loop.
+
+    Two sub-measurements of one `success_rate_curve(algorithm="amp")`
+    cell at n=4096, trials=32 (the acceptance scale): the paper's dense
+    Gamma = n/2 design (above STACK_NNZ_CUTOFF, so the engine runs
+    per-trial run_amp on batch-sampled graphs) and a sparse Gamma = 64
+    ablation design (stacked block-diagonally). Decodes are asserted
+    identical to the pre-PR loop before timing.
+    """
+    from repro.amp import AMPConfig
+    from repro.amp.batch_amp import run_amp_trials
+    from repro.utils.rng import spawn_seeds
+
+    n = 1024 if smoke else 4096
+    trials = 8 if smoke else 32
+    channel = repro.ZChannel(0.1)
+    k = repro.sublinear_k(n, 0.25)
+    config = AMPConfig(track_history=False)
+    repeats = 1 if smoke else 3
+    sub = []
+    for label, m, gamma in (
+        ("dense_gamma_half", 150 if smoke else 400, None),
+        ("sparse_gamma_64", 200 if smoke else 600, 64),
+    ):
+        def batched():
+            return run_amp_trials(
+                n, k, channel, m, spawn_seeds(2022, trials),
+                gamma=gamma, config=config,
+            )
+
+        def pre_pr():
+            return _pre_batch_amp_sweep(n, k, channel, m, 2022, trials, gamma)
+
+        baseline_s, estimates = _timed(pre_pr, repeats)
+        wall_s, results = _timed(batched, repeats)
+        assert all(
+            np.array_equal(est, r.estimate)
+            for est, r in zip(estimates, results)
+        )
+        sub.append(
+            {
+                "design": label,
+                "m": m,
+                "gamma": gamma,
+                "wall_s": round(wall_s, 4),
+                "baseline_s": round(baseline_s, 4),
+                "speedup": round(baseline_s / wall_s, 3) if wall_s else None,
+            }
+        )
+    return {
+        "case": "amp_batch_sweep_cell",
+        "n": n,
+        "trials": trials,
+        "baseline": "pre-batching AMP sweep (legacy per-query sampler + "
+        "per-trial run_amp with per-trial transpose)",
+        "designs": sub,
+    }
+
+
+def _case_amp_batch_sparse_poison(smoke):
+    """Full-scale stacked AMP with the dense path poisoned.
+
+    Forces the block-diagonal stack at the paper's n = 10^5 (the
+    harness's nnz cutoff would normally run this cell per trial) and
+    asserts no dense m x n matrix materializes anywhere in it.
+    """
+    from repro.amp import AMPConfig
+    from repro.amp.batch_amp import run_amp_batch
+    from repro.utils.rng import spawn_rngs
+
+    n = 20_000 if smoke else 100_000
+    m = 100 if smoke else 300
+    trials = 2 if smoke else 4
+    k = repro.sublinear_k(n, 0.25)
+    channel = repro.ZChannel(0.1)
+    batch = []
+    for gen in spawn_rngs(8, trials):
+        truth = repro.sample_ground_truth(n, k, gen)
+        graph = repro.sample_pooling_graph_batch(n, m, rng=gen)
+        batch.append(repro.measure(graph, truth, channel, gen))
+
+    def poisoned(self, dtype=np.float64):
+        raise AssertionError("dense adjacency materialized in batched AMP")
+
+    original = repro.PoolingGraph.adjacency_dense
+    repro.PoolingGraph.adjacency_dense = poisoned
+    try:
+        wall_s, results = _timed(
+            lambda: run_amp_batch(batch, config=AMPConfig(max_iter=5))
+        )
+    finally:
+        repro.PoolingGraph.adjacency_dense = original
+    return {
+        "case": "amp_batch_sparse_full_scale",
+        "n": n,
+        "m": m,
+        "trials": trials,
+        "iterations": [r.meta["iterations"] for r in results],
+        "dense_materialized": False,
+        "wall_s": round(wall_s, 4),
+    }
+
+
 def run_perf_suite(smoke=False, workers=4):
     """Run the perf-trajectory cases; returns one JSON-ready entry."""
     import os
@@ -329,6 +519,8 @@ def run_perf_suite(smoke=False, workers=4):
         _case_csr_sparse_u32(smoke),
         _case_fig2_sweep(smoke, workers),
         _case_amp_sparse(smoke),
+        _case_amp_batch_sweep(smoke),
+        _case_amp_batch_sparse_poison(smoke),
     ]
     try:
         commit = subprocess.run(

@@ -6,13 +6,25 @@ This package provides:
 
 * :func:`run_amp` — the Onsager-corrected AMP iteration on standardized
   pooled measurements;
+* :func:`run_amp_batch` / :func:`run_amp_trials` — the block-diagonal
+  batched runner for sweep-scale AMP (decode-identical to per-trial
+  ``run_amp`` on the same spawned seeds);
 * denoisers (:class:`BayesBernoulliDenoiser`,
   :class:`SoftThresholdDenoiser`);
 * :func:`state_evolution` — the scalar recursion predicting AMP's MSE
   trajectory.
 """
 
-from repro.amp.amp import AMPConfig, run_amp, standardize_system
+from repro.amp.amp import (
+    AMPConfig,
+    channel_corrected_results,
+    default_denoiser,
+    iterate_amp,
+    run_amp,
+    standardization_constants,
+    standardize_system,
+)
+from repro.amp.batch_amp import run_amp_batch, run_amp_trials
 from repro.amp.distributed_amp import (
     CommunicationCost,
     amp_communication_cost,
@@ -34,7 +46,13 @@ from repro.amp.state_evolution import (
 __all__ = [
     "AMPConfig",
     "run_amp",
+    "run_amp_batch",
+    "run_amp_trials",
     "standardize_system",
+    "standardization_constants",
+    "channel_corrected_results",
+    "default_denoiser",
+    "iterate_amp",
     "Denoiser",
     "BayesBernoulliDenoiser",
     "SoftThresholdDenoiser",

@@ -27,12 +27,25 @@ the textbook AMP iteration applies, with the effective noise level
 
 The final estimate is the top-``k`` of the last iterate (the number of
 1-agents is known, exactly as for the greedy decoder).
+
+Single-source kernel
+--------------------
+Standardization (:func:`channel_corrected_results`,
+:func:`standardization_constants`) and the iteration itself
+(:func:`iterate_amp`) are shared helpers: the dense and sparse paths of
+:func:`run_amp` run the kernel on a one-trial stack, and the batched
+runner (:mod:`repro.amp.batch_amp`) runs it on a ``T``-trial
+block-diagonal stack. Every kernel operation is row-independent —
+reductions along the last axis of C-contiguous arrays, elementwise
+broadcasts against per-trial ``(T, 1)`` scalars, and sequential
+per-row CSR matvecs — so a trial's iterate sequence is bit-identical
+no matter which stack (of any size) it runs in.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -75,6 +88,38 @@ class AMPConfig:
             raise ValueError(f"tol must be >= 0, got {self.tol}")
 
 
+# -- standardization (single source for dense / sparse / batched) -------
+
+
+def standardization_constants(n: int, m: int, gamma: int) -> Tuple[float, float]:
+    """Centering constant ``c = Gamma/n`` and column scale ``s``.
+
+    The standardized system is ``A_s = (A - c) / s`` with
+    ``s = sqrt(m * c * (1 - 1/n))`` (approximately unit column norms).
+    """
+    c = gamma / n
+    scale = float(np.sqrt(m * c * (1.0 - 1.0 / n)))
+    return c, scale
+
+
+def channel_corrected_results(
+    results: np.ndarray, gamma: int, channel: Channel
+) -> np.ndarray:
+    """Invert the channel's affine bias on raw query results.
+
+    Elementwise, so it applies equally to one trial's ``(m,)`` result
+    vector and to a stacked ``(T, m)`` matrix of per-trial results.
+    Returns a fresh float64 array; raises ``TypeError`` for channel
+    types AMP does not support.
+    """
+    results = np.asarray(results, dtype=np.float64)
+    if isinstance(channel, NoisyChannel):
+        return (results - channel.q * gamma) / (1.0 - channel.p - channel.q)
+    if isinstance(channel, (NoiselessChannel, GaussianQueryNoise)):
+        return results.copy()
+    raise TypeError(f"unsupported channel type: {type(channel).__name__}")
+
+
 def standardize_system(
     adjacency: np.ndarray,
     results: np.ndarray,
@@ -92,19 +137,149 @@ def standardize_system(
     m, n = adjacency.shape
     if results.shape != (m,):
         raise ValueError(f"results must have shape ({m},), got {results.shape}")
-
-    if isinstance(channel, NoisyChannel):
-        y_raw = (results - channel.q * gamma) / (1.0 - channel.p - channel.q)
-    elif isinstance(channel, (NoiselessChannel, GaussianQueryNoise)):
-        y_raw = results.copy()
-    else:
-        raise TypeError(f"unsupported channel type: {type(channel).__name__}")
-
-    mean_entry = gamma / n
-    scale = np.sqrt(m * mean_entry * (1.0 - 1.0 / n))
-    a_s = (adjacency - mean_entry) / scale
-    y = (y_raw - mean_entry * k) / scale
+    y_raw = channel_corrected_results(results, gamma, channel)
+    c, scale = standardization_constants(n, m, gamma)
+    a_s = (adjacency - c) / scale
+    y = (y_raw - c * k) / scale
     return a_s, y
+
+
+def default_denoiser(n: int, k: int) -> Denoiser:
+    """The Bayes-optimal denoiser under the problem prior ``pi = k/n``."""
+    pi = min(max(k / n, 1e-12), 1 - 1e-12)
+    return BayesBernoulliDenoiser(pi)
+
+
+# -- iteration kernel ---------------------------------------------------
+
+
+def iterate_amp(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    rmatvec: Callable[[np.ndarray], np.ndarray],
+    y: np.ndarray,
+    denoiser: Denoiser,
+    config: AMPConfig,
+    *,
+    n: int,
+    restrict: Optional[
+        Callable[[np.ndarray], Tuple[Callable, Callable]]
+    ] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[List[dict]]]]:
+    """Run the AMP iteration on a stack of ``T`` standardized systems.
+
+    Parameters
+    ----------
+    matvec, rmatvec:
+        The standardized forward map and its adjoint on *flat* stacked
+        vectors: ``matvec`` maps a ``(T*n,)`` stack of signal vectors to
+        a ``(T*m,)`` stack of measurement vectors, ``rmatvec`` the
+        reverse. For ``T = 1`` these are the ordinary per-trial maps.
+    y:
+        Standardized measurements, shape ``(T, m)`` (one row per trial).
+    denoiser:
+        Scalar denoiser; evaluated with a per-trial ``(T, 1)`` noise
+        level so each row sees exactly its own ``tau``.
+    n:
+        Signal dimension per trial.
+    restrict:
+        Optional stack compaction hook. When at most half the remaining
+        trials are still active the kernel drops converged rows and
+        calls ``restrict(live)`` — ``live`` being the original indices
+        of the surviving trials — to obtain operators for the smaller
+        stack. Compaction never changes any trial's iterates (every
+        operation is row-independent); it only stops paying matvec time
+        for trials that already froze.
+
+    Returns
+    -------
+    (sigma, iterations, converged, histories):
+        ``sigma`` is the ``(T, n)`` stack of final iterates (each
+        trial's value frozen at its own stopping iteration),
+        ``iterations``/``converged`` the per-trial counters and flags,
+        and ``histories`` one per-iteration record list per trial (or
+        ``None`` when ``config.track_history`` is off).
+
+    Per-trial convergence uses the same rule as a standalone run: a
+    trial whose step norm drops below ``config.tol`` freezes — its row
+    stops being written — while the remaining trials keep iterating.
+    """
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    total, m = y.shape
+    nm_ratio = n / m
+    sqrt_m = np.sqrt(m)
+    sqrt_n = np.sqrt(n)
+
+    live = np.arange(total)  # original trial ids of the current rows
+    active = np.ones(total, dtype=bool)  # per current row
+    sigma = np.zeros((total, n), dtype=np.float64)
+    z = y.copy()
+    out_sigma = np.zeros((total, n), dtype=np.float64)
+    iterations = np.zeros(total, dtype=np.int64)
+    converged = np.zeros(total, dtype=bool)
+    histories: Optional[List[List[dict]]] = (
+        [[] for _ in range(total)] if config.track_history else None
+    )
+
+    for t in range(config.max_iter):
+        rows = live.size
+        tau = np.maximum(np.sqrt(np.sum(z * z, axis=1)) / sqrt_m, TAU_FLOOR)
+        tau_col = tau[:, None]
+        r = rmatvec(z.reshape(-1)).reshape(rows, n) + sigma
+        sigma_new = denoiser(r, tau_col)
+        if config.damping > 0.0 and t > 0:
+            sigma_new = (1.0 - config.damping) * sigma_new + config.damping * sigma
+
+        # Onsager coefficient for the *next* residual update.
+        onsager = nm_ratio * np.mean(denoiser.derivative(r, tau_col), axis=1)
+
+        z_new = y - matvec(sigma_new.reshape(-1)).reshape(rows, m) + onsager[:, None] * z
+        if config.damping > 0.0 and t > 0:
+            z_new = (1.0 - config.damping) * z_new + config.damping * z
+
+        diff = sigma_new - sigma
+        step = np.sqrt(np.sum(diff * diff, axis=1)) / sqrt_n
+
+        # Frozen rows must stay bit-frozen: their (discarded) updates
+        # above were computed from stale state purely so the stacked
+        # operators could run unmasked.
+        inactive = ~active
+        if inactive.any():
+            sigma_new[inactive] = sigma[inactive]
+            z_new[inactive] = z[inactive]
+
+        if histories is not None:
+            z_norms = np.sqrt(np.sum(z_new * z_new, axis=1))
+            for i in np.flatnonzero(active):
+                histories[live[i]].append(
+                    {
+                        "iteration": t,
+                        "tau": float(tau[i]),
+                        "step": float(step[i]),
+                        "residual_norm": float(z_norms[i]),
+                    }
+                )
+
+        sigma = sigma_new
+        z = z_new
+        iterations[live[active]] = t + 1
+        newly = active & (step < config.tol)
+        if newly.any():
+            converged[live[newly]] = True
+            out_sigma[live[newly]] = sigma[newly]
+            active &= ~newly
+        if not active.any():
+            break
+        if restrict is not None and 2 * int(np.count_nonzero(active)) <= live.size:
+            live = live[active]
+            sigma = np.ascontiguousarray(sigma[active])
+            z = np.ascontiguousarray(z[active])
+            y = np.ascontiguousarray(y[active])
+            active = np.ones(live.size, dtype=bool)
+            matvec, rmatvec = restrict(live)
+
+    if active.any():  # trials that exhausted max_iter without converging
+        out_sigma[live[active]] = sigma[active]
+    return out_sigma, iterations, converged, histories
 
 
 def run_amp(
@@ -141,6 +316,11 @@ def run_amp(
     ReconstructionResult
         With ``meta`` recording iterations, convergence flag and the
         per-iteration history.
+
+    For sweeps over many trials use
+    :func:`repro.amp.batch_amp.run_amp_trials`, which stacks the trials
+    into one block-diagonal system and reproduces this function's
+    decode (estimate, exact, overlap, iterations) bit for bit.
     """
     config = config if config is not None else AMPConfig()
     graph = measurements.graph
@@ -148,8 +328,7 @@ def run_amp(
     if m == 0:
         raise ValueError("AMP requires at least one query")
     if denoiser is None:
-        pi = min(max(k / n, 1e-12), 1 - 1e-12)
-        denoiser = BayesBernoulliDenoiser(pi)
+        denoiser = default_denoiser(n, k)
     if sparse is None:
         sparse = True
 
@@ -157,21 +336,17 @@ def run_amp(
     # matrix is A_s = (A - c) / s; both products are applied as the raw
     # product plus a rank-one correction, which keeps the sparse path
     # free of any dense m x n intermediate.
-    if isinstance(measurements.channel, NoisyChannel):
-        ch = measurements.channel
-        y_raw = (np.asarray(measurements.results, dtype=np.float64)
-                 - ch.q * graph.gamma) / (1.0 - ch.p - ch.q)
-    elif isinstance(measurements.channel, (NoiselessChannel, GaussianQueryNoise)):
-        y_raw = np.asarray(measurements.results, dtype=np.float64).copy()
-    else:
-        raise TypeError(
-            f"unsupported channel type: {type(measurements.channel).__name__}"
-        )
-    c = graph.gamma / n
-    scale = np.sqrt(m * c * (1.0 - 1.0 / n))
+    y_raw = channel_corrected_results(
+        measurements.results, graph.gamma, measurements.channel
+    )
+    c, scale = standardization_constants(n, m, graph.gamma)
     y = (y_raw - c * k) / scale
     adjacency = graph.adjacency_sparse() if sparse else graph.adjacency_dense()
-    adjacency_t = adjacency.T.tocsr() if sparse else adjacency.T
+    # The transpose is a free view: CSC in the sparse case, whose
+    # matvec matches the converted-CSR one in speed while skipping the
+    # O(nnz) cache-hostile tocsr() conversion per call (~300 ms at the
+    # paper's full scale) that the pre-batched implementation paid.
+    adjacency_t = adjacency.T
 
     def matvec(x: np.ndarray) -> np.ndarray:
         return (adjacency @ x - c * x.sum()) / scale
@@ -179,41 +354,10 @@ def run_amp(
     def rmatvec(z: np.ndarray) -> np.ndarray:
         return (adjacency_t @ z - c * z.sum()) / scale
 
-    sigma_est = np.zeros(n, dtype=np.float64)
-    z = y.copy()
-    onsager_factor = 0.0
-    history: List[dict] = []
-    converged = False
-    iterations = 0
-
-    for t in range(config.max_iter):
-        iterations = t + 1
-        tau = max(float(np.linalg.norm(z) / np.sqrt(m)), TAU_FLOOR)
-        r = rmatvec(z) + sigma_est
-        sigma_new = denoiser(r, tau)
-        if config.damping > 0.0 and t > 0:
-            sigma_new = (1.0 - config.damping) * sigma_new + config.damping * sigma_est
-
-        # Onsager coefficient for the *next* residual update.
-        onsager_factor = (n / m) * float(np.mean(denoiser.derivative(r, tau)))
-
-        z_new = y - matvec(sigma_new) + onsager_factor * z
-        if config.damping > 0.0 and t > 0:
-            z_new = (1.0 - config.damping) * z_new + config.damping * z
-
-        step = float(np.linalg.norm(sigma_new - sigma_est) / np.sqrt(n))
-        if config.track_history:
-            history.append(
-                {"iteration": t, "tau": tau, "step": step,
-                 "residual_norm": float(np.linalg.norm(z_new))}
-            )
-        sigma_est = sigma_new
-        z = z_new
-        if step < config.tol:
-            converged = True
-            break
-
-    scores = sigma_est
+    stacked, iterations, converged, histories = iterate_amp(
+        matvec, rmatvec, y[None, :], denoiser, config, n=n
+    )
+    scores = stacked[0]
     estimate = top_k_estimate(scores, k)
     truth = measurements.truth.sigma
     quality = evaluate_estimate(estimate, truth, scores)
@@ -227,16 +371,24 @@ def run_amp(
         meta={
             "algorithm": "amp",
             "denoiser": denoiser.describe(),
-            "iterations": iterations,
-            "converged": converged,
+            "iterations": int(iterations[0]),
+            "converged": bool(converged[0]),
             "n": n,
             "m": m,
             "k": k,
             "channel": measurements.channel.describe(),
             "sparse": bool(sparse),
-            "history": history,
+            "history": histories[0] if histories is not None else [],
         },
     )
 
 
-__all__ = ["AMPConfig", "standardize_system", "run_amp"]
+__all__ = [
+    "AMPConfig",
+    "standardization_constants",
+    "channel_corrected_results",
+    "standardize_system",
+    "default_denoiser",
+    "iterate_amp",
+    "run_amp",
+]

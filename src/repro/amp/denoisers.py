@@ -32,15 +32,31 @@ TAU_FLOOR = 1e-8
 _EXP_CLIP = 500.0
 
 
+def _floor_tau(tau) -> np.ndarray:
+    """Clamp the effective noise level at :data:`TAU_FLOOR`.
+
+    ``tau`` may be a scalar (one trial) or an array broadcastable
+    against ``x`` — the stacked AMP kernel passes a per-trial ``(T, 1)``
+    column so every row of a trial stack sees exactly its own noise
+    level. Both forms produce bit-identical per-element arithmetic.
+    """
+    return np.maximum(np.asarray(tau, dtype=np.float64), TAU_FLOOR)
+
+
 class Denoiser(ABC):
-    """A scalar denoiser ``eta(x; tau)`` applied coordinate-wise."""
+    """A scalar denoiser ``eta(x; tau)`` applied coordinate-wise.
+
+    ``tau`` is the effective noise level: a scalar for a single trial,
+    or any array broadcastable against ``x`` (the batched AMP kernel
+    uses a per-trial ``(T, 1)`` column on ``(T, n)`` stacks).
+    """
 
     @abstractmethod
-    def __call__(self, x: np.ndarray, tau: float) -> np.ndarray:
+    def __call__(self, x: np.ndarray, tau) -> np.ndarray:
         """Estimate the signal from ``x ~ sigma + tau Z``."""
 
     @abstractmethod
-    def derivative(self, x: np.ndarray, tau: float) -> np.ndarray:
+    def derivative(self, x: np.ndarray, tau) -> np.ndarray:
         """``d eta / dx`` evaluated coordinate-wise (Onsager term)."""
 
     @abstractmethod
@@ -68,19 +84,19 @@ class BayesBernoulliDenoiser(Denoiser):
         self.pi = check_fraction(pi, "pi")
         self._log_odds_prior = np.log((1.0 - self.pi) / self.pi)
 
-    def __call__(self, x: np.ndarray, tau: float) -> np.ndarray:
+    def __call__(self, x: np.ndarray, tau) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        tau = max(float(tau), TAU_FLOOR)
+        tau = _floor_tau(tau)
         exponent = self._log_odds_prior + (1.0 - 2.0 * x) / (2.0 * tau * tau)
         exponent = np.clip(exponent, -_EXP_CLIP, _EXP_CLIP)
         return 1.0 / (1.0 + np.exp(exponent))
 
-    def derivative(self, x: np.ndarray, tau: float) -> np.ndarray:
-        tau = max(float(tau), TAU_FLOOR)
+    def derivative(self, x: np.ndarray, tau) -> np.ndarray:
+        tau = _floor_tau(tau)
         eta = self(x, tau)
         return eta * (1.0 - eta) / (tau * tau)
 
-    def posterior_variance(self, x: np.ndarray, tau: float) -> np.ndarray:
+    def posterior_variance(self, x: np.ndarray, tau) -> np.ndarray:
         """``Var(sigma | x) = eta (1 - eta)`` for the 0/1 prior."""
         eta = self(x, tau)
         return eta * (1.0 - eta)
@@ -99,15 +115,15 @@ class SoftThresholdDenoiser(Denoiser):
     def __init__(self, alpha: float = 1.5):
         self.alpha = check_positive(alpha, "alpha")
 
-    def __call__(self, x: np.ndarray, tau: float) -> np.ndarray:
+    def __call__(self, x: np.ndarray, tau) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        tau = max(float(tau), TAU_FLOOR)
+        tau = _floor_tau(tau)
         threshold = self.alpha * tau
         return np.sign(x) * np.maximum(np.abs(x) - threshold, 0.0)
 
-    def derivative(self, x: np.ndarray, tau: float) -> np.ndarray:
+    def derivative(self, x: np.ndarray, tau) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        tau = max(float(tau), TAU_FLOOR)
+        tau = _floor_tau(tau)
         return (np.abs(x) > self.alpha * tau).astype(np.float64)
 
     def describe(self) -> str:

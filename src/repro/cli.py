@@ -59,8 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=("batch", "legacy"),
         default="batch",
-        help="simulation engine: vectorized batch (default) or the "
-        "original per-query/per-trial loops",
+        help="simulation engine: vectorized batch (default; stacks "
+        "greedy trials and runs AMP sweeps block-diagonally) or the "
+        "original per-query/per-trial loops — both produce identical "
+        "results for the same seed",
     )
     parser.add_argument(
         "--workers",

@@ -47,18 +47,20 @@ calls.  Consequently:
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.chunking import chunk_bounds
 from repro.core.ground_truth import GroundTruth, sample_ground_truth
 from repro.core.incremental import default_max_queries
 from repro.core.noise import Channel, NoiselessChannel
 from repro.core.pooling import PoolingGraph, default_gamma, sample_pooling_graph
-from repro.core.scores import expected_query_result
+from repro.core.scores import decode_top_k_stacked, expected_query_result
 from repro.core.types import ReconstructionResult, RequiredQueriesResult
 from repro.utils.rng import RngLike, normalize_rng, spawn_rngs
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive_int, env_int
 
 #: soft cap on incidence-array elements a chunked block may touch;
 #: bounds the peak memory of a block at a few dozen MiB.
@@ -71,6 +73,34 @@ DEFAULT_INITIAL_BLOCK = 32
 #: largest agent-id value np.sort still radix-sorts (16-bit integers);
 #: above it the row sort falls back to a comparison sort
 _RADIX_MAX_N = 2**16
+
+#: environment variable bounding the threads of the counting-sort CSR
+#: scatter; ``1`` switches the threaded path off entirely.
+CSR_THREADS_ENV = "REPRO_CSR_THREADS"
+
+#: minimum per-call histogram work (``rows * (n + gamma)`` elements)
+#: before the counting scatter fans out across threads — below this the
+#: pool start-up outweighs any overlap.
+_CSR_THREAD_MIN_ELEMENTS = 2**24
+
+
+def _csr_threads() -> int:
+    """Thread budget for the counting-sort scatter.
+
+    ``REPRO_CSR_THREADS`` wins when set (``1`` = off switch, forcing
+    the serial row loop); otherwise a conservative default of up to 4
+    threads, capped at the CPU count. The scatter is embarrassingly
+    column-parallel — each row's histogram touches disjoint output —
+    so the thread count never changes the constructed triple.
+    """
+    threads = env_int(CSR_THREADS_ENV)
+    if threads is not None:
+        if threads < 1:
+            raise ValueError(
+                f"{CSR_THREADS_ENV} must be >= 1, got {threads}"
+            )
+        return threads
+    return min(4, os.cpu_count() or 1)
 
 
 def _use_counting_csr(n: int, gamma: int) -> bool:
@@ -91,6 +121,29 @@ def _use_counting_csr(n: int, gamma: int) -> bool:
     return n > _RADIX_MAX_N and 8 * gamma >= n
 
 
+def _counting_rows(
+    draws: np.ndarray, n: int, lo: int, hi: int
+) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray]:
+    """Histogram-scatter rows ``lo:hi`` of ``draws`` into CSR pieces.
+
+    Returns per-row distinct-agent and multiplicity arrays plus the
+    per-row sizes — the unit of work of the counting construction,
+    shared by the serial loop and the threaded fan-out (rows touch
+    disjoint outputs, so any row partition assembles to the same
+    triple).
+    """
+    agents_parts: List[np.ndarray] = []
+    counts_parts: List[np.ndarray] = []
+    sizes = np.empty(hi - lo, dtype=np.int64)
+    for i in range(lo, hi):
+        grid = np.bincount(draws[i], minlength=n)
+        distinct = np.flatnonzero(grid)
+        agents_parts.append(distinct)
+        counts_parts.append(grid[distinct])
+        sizes[i - lo] = distinct.size
+    return agents_parts, counts_parts, sizes
+
+
 def _csr_from_draws_counting(
     draws: np.ndarray, n: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -103,17 +156,31 @@ def _csr_from_draws_counting(
     as the sort-based construction, from the same draws. The O(n)
     histogram is transient per row, so peak memory stays at the output
     size rather than a full sorted copy of ``draws``.
+
+    Large constructions fan the row loop out across a thread pool
+    (column-parallel scatter; see :func:`_csr_threads` and the
+    ``REPRO_CSR_THREADS`` off switch). Row chunks are assembled in row
+    order, so the threaded triple is identical to the serial one.
     """
-    b, _ = draws.shape
-    agents_parts: List[np.ndarray] = []
-    counts_parts: List[np.ndarray] = []
-    sizes = np.empty(b, dtype=np.int64)
-    for i in range(b):
-        grid = np.bincount(draws[i], minlength=n)
-        distinct = np.flatnonzero(grid)
-        agents_parts.append(distinct)
-        counts_parts.append(grid[distinct])
-        sizes[i] = distinct.size
+    b, gamma = draws.shape
+    threads = _csr_threads()
+    if (
+        threads > 1
+        and b >= 2 * threads
+        and b * (n + gamma) >= _CSR_THREAD_MIN_ELEMENTS
+    ):
+        from concurrent.futures import ThreadPoolExecutor
+
+        bounds = chunk_bounds(b, threads)
+        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+            parts = list(
+                pool.map(lambda span: _counting_rows(draws, n, *span), bounds)
+            )
+        agents_parts = [arr for part in parts for arr in part[0]]
+        counts_parts = [arr for part in parts for arr in part[1]]
+        sizes = np.concatenate([part[2] for part in parts])
+    else:
+        agents_parts, counts_parts, sizes = _counting_rows(draws, n, 0, b)
     indptr = np.empty(b + 1, dtype=np.int64)
     indptr[0] = 0
     np.cumsum(sizes, out=indptr[1:])
@@ -449,21 +516,12 @@ class BatchTrialRunner:
             delta_star = graph.distinct_degrees()
             scores[t] = psi - delta_star.astype(np.float64) * offset
             sigma[t] = truth.sigma
-        # Stacked decode: stable sort on (-score, id) row-wise, exactly
-        # the tie-breaking rule of scores.top_k_estimate.
-        order = np.argsort(-scores, axis=1, kind="stable")
-        estimate = np.zeros((trials, n), dtype=np.int8)
-        np.put_along_axis(estimate, order[:, :k], np.int8(1), axis=1)
-        # Stacked evaluation.
-        ones = sigma == 1
-        errors = np.count_nonzero(estimate != sigma, axis=1)
-        overlap = np.count_nonzero((estimate == 1) & ones, axis=1) / k
-        one_scores = np.where(ones, scores, np.inf)
-        zero_scores = np.where(ones, -np.inf, scores)
-        margins = one_scores.min(axis=1) - zero_scores.max(axis=1)
+        estimate, errors, overlap, margins = decode_top_k_stacked(
+            scores, sigma, k
+        )
         out: List[ReconstructionResult] = []
         for t in range(trials):
-            margin = float(margins[t]) if 0 < k < n else float("inf")
+            margin = float(margins[t])
             out.append(
                 ReconstructionResult(
                     estimate=estimate[t],
@@ -581,6 +639,7 @@ class BatchTrialRunner:
 
 
 __all__ = [
+    "CSR_THREADS_ENV",
     "DEFAULT_BLOCK_ELEMENTS",
     "DEFAULT_INITIAL_BLOCK",
     "sample_pooling_graph_batch",

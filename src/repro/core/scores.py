@@ -113,6 +113,53 @@ def top_k_estimate(scores: np.ndarray, k: int) -> np.ndarray:
     return estimate
 
 
+def decode_top_k_stacked(
+    scores: np.ndarray, sigma: np.ndarray, k: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Row-wise top-k decode and evaluation for a stack of trials.
+
+    The stacked equivalent of :func:`top_k_estimate` plus
+    :func:`repro.core.types.evaluate_estimate`/:func:`separation_margin`
+    for ``(T, n)`` score and ground-truth matrices — the single source
+    both batched engines (greedy trials, block-diagonal AMP) decode
+    through, so the tie-breaking and evaluation semantics cannot drift
+    between the stacked and per-trial paths.
+
+    Returns ``(estimate, hamming_errors, overlap, margins)``, one
+    row/entry per trial: the stable sort on ``(-score, id)`` breaks
+    ties exactly like ``top_k_estimate``; ``margins`` is the
+    1-agents-min minus 0-agents-max score separation (``+inf`` for the
+    degenerate ``k == 0`` / ``k == n`` truths, like
+    ``separation_margin``).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    sigma = np.asarray(sigma)
+    trials, n = scores.shape
+    if sigma.shape != scores.shape:
+        raise ValueError(
+            f"sigma shape {sigma.shape} != scores shape {scores.shape}"
+        )
+    if not 0 <= k <= n:
+        raise ValueError(f"k must lie in [0, {n}], got {k}")
+    estimate = np.zeros((trials, n), dtype=np.int8)
+    if k > 0:
+        order = np.argsort(-scores, axis=1, kind="stable")
+        np.put_along_axis(estimate, order[:, :k], np.int8(1), axis=1)
+    ones = sigma == 1
+    errors = np.count_nonzero(estimate != sigma, axis=1)
+    if k > 0:
+        overlap = np.count_nonzero((estimate == 1) & ones, axis=1) / k
+    else:
+        overlap = np.ones(trials, dtype=np.float64)
+    if 0 < k < n:
+        one_scores = np.where(ones, scores, np.inf)
+        zero_scores = np.where(ones, -np.inf, scores)
+        margins = one_scores.min(axis=1) - zero_scores.max(axis=1)
+    else:
+        margins = np.full(trials, np.inf)
+    return estimate, errors, overlap, margins
+
+
 def separation_margin(scores: np.ndarray, sigma: np.ndarray) -> float:
     """``min(scores of 1-agents) - max(scores of 0-agents)``.
 
@@ -134,5 +181,6 @@ __all__ = [
     "centered_scores",
     "scores_from_measurements",
     "top_k_estimate",
+    "decode_top_k_stacked",
     "separation_margin",
 ]

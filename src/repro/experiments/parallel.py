@@ -12,9 +12,11 @@ exploits it without changing a single seeded output:
 2. **Chunking** — the seed list is partitioned into contiguous,
    order-preserving chunks (:func:`repro.core.chunking.chunk_bounds`);
 3. **Ordered merge** — each chunk runs through
-   :class:`~repro.core.batch.BatchTrialRunner` or the legacy per-query
-   loop inside a worker process, and the per-trial outcomes are merged
-   back in trial order.
+   :class:`~repro.core.batch.BatchTrialRunner`, the batched AMP stack
+   (:func:`repro.amp.batch_amp.run_amp_trials` — one block-diagonal
+   system per chunk instead of chunk-size serial runs), or the legacy
+   per-query loop inside a worker process, and the per-trial outcomes
+   are merged back in trial order.
 
 Because a trial's result is a pure function of its own seed, the merged
 output is bit-identical to the serial run for any worker count — the
@@ -50,7 +52,7 @@ import numpy as np
 
 from repro.core.chunking import chunk_bounds
 from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
-from repro.utils.validation import check_non_negative_int
+from repro.utils.validation import check_non_negative_int, env_int
 
 #: environment variable consulted when ``workers`` is not given
 #: explicitly; lets CI (and users) shard whole test/benchmark runs
@@ -77,15 +79,9 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     validated with the library's standard parameter errors.
     """
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if not raw:
+        workers = env_int(WORKERS_ENV)
+        if workers is None:
             return 1
-        try:
-            workers = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{WORKERS_ENV} must be an integer, got {raw!r}"
-            ) from None
     workers = check_non_negative_int(workers, "workers")
     if workers == 0:
         workers = os.cpu_count() or 1
@@ -179,9 +175,14 @@ def _fixed_m_chunk(
 
     Returns ``(exact, overlap)`` per trial, in chunk order. The heavy
     per-trial artifacts (score vectors, estimates) stay in the worker —
-    only the curve statistics cross the process boundary.
+    only the curve statistics cross the process boundary. A chunk runs
+    whichever stacked engine path the scheduler selected
+    (``batch_mode``): stacked greedy trials, one batched AMP stack per
+    chunk, or the legacy per-trial loop. Each trial is a pure function
+    of its own seed in every mode, so the chunk layout never shows in
+    the merged output.
     """
-    if spec["use_batch"]:
+    if spec["batch_mode"] == "greedy":
         from repro.core.batch import BatchTrialRunner
 
         runner = BatchTrialRunner(
@@ -194,6 +195,22 @@ def _fixed_m_chunk(
         return [
             (bool(r.exact), float(r.overlap))
             for r in runner.run_trials_seeded(m, list(seeds))
+        ]
+    if spec["batch_mode"] == "amp":
+        from repro.amp.batch_amp import run_amp_trials
+        from repro.experiments.runner import _amp_batch_kwargs
+
+        return [
+            (bool(r.exact), float(r.overlap))
+            for r in run_amp_trials(
+                spec["n"],
+                spec["k"],
+                spec["channel"],
+                m,
+                list(seeds),
+                gamma=spec["gamma"],
+                **_amp_batch_kwargs(spec["algorithm_kwargs"]),
+            )
         ]
     from repro.core.ground_truth import sample_ground_truth
     from repro.core.measurement import measure
@@ -270,7 +287,7 @@ def success_curve_outcomes(
     algorithm: str = "greedy",
     algorithm_kwargs: Optional[dict] = None,
     gamma: Optional[int] = None,
-    use_batch: bool = True,
+    batch_mode: Optional[str] = None,
 ) -> List[List[Tuple[bool, float]]]:
     """Sharded fixed-``m`` trials for a whole m-grid.
 
@@ -280,6 +297,12 @@ def success_curve_outcomes(
     it — so every trial sees the same seed it would serially. All
     ``(m, chunk)`` tasks share one pool submission wave, which keeps
     the workers busy across grid points instead of draining per point.
+
+    ``batch_mode`` selects the stacked chunk implementation
+    (``"greedy"`` / ``"amp"``; the scheduler trusts the caller that it
+    matches ``algorithm`` — :func:`repro.experiments.runner._batch_mode`
+    is the one place that decides). The default ``None`` runs the
+    legacy per-trial loop, which honors any ``algorithm``.
     """
     spec = {
         "n": n,
@@ -288,7 +311,7 @@ def success_curve_outcomes(
         "gamma": gamma,
         "algorithm": algorithm,
         "algorithm_kwargs": algorithm_kwargs or {},
-        "use_batch": use_batch,
+        "batch_mode": batch_mode,
     }
     pool = _get_pool(workers)
     per_m_futures = []

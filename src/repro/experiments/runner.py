@@ -12,14 +12,38 @@ Each trial gets an independent child generator spawned from the root
 seed (see :mod:`repro.utils.rng`), so experiments are reproducible and
 embarrassingly parallel in structure.
 
-Both primitives default to the vectorized batch engine
-(:mod:`repro.core.batch`): graphs are sampled in one RNG call, the
-incremental procedure runs in geometric-growth blocks, and fixed-``m``
-greedy trials are scored/decoded as stacked computations. Pass
-``engine="legacy"`` to force the original per-query/per-trial loops —
-the batch greedy path is bit-for-bit seed-compatible with them, and the
-chunked incremental path is seed-compatible for channels that draw no
-per-query noise (see ``tests/test_batch.py``).
+Both primitives default to the vectorized batch engine: graphs are
+sampled in one RNG call, the incremental procedure runs in
+geometric-growth blocks, and fixed-``m`` trials are scored/decoded as
+stacked computations. Pass ``engine="legacy"`` to force the original
+per-query/per-trial loops — every batch path is bit-for-bit
+seed-compatible with them, except the chunked incremental simulator,
+which is seed-compatible only for channels that draw no per-query
+noise (see ``tests/test_batch.py``).
+
+Algorithm × engine support
+--------------------------
+Fixed-``m`` trials (:func:`success_rate_curve`) dispatch per algorithm:
+
+==============  =======================================  ======================
+algorithm       ``engine="batch"``                       ``engine="legacy"``
+==============  =======================================  ======================
+``greedy``      stacked trials via                       per-trial loop
+                :class:`~repro.core.batch.BatchTrialRunner`
+``amp``         block-diagonal batched AMP via           per-trial
+                :func:`repro.amp.batch_amp.run_amp_trials`  :func:`~repro.amp.run_amp`
+``distributed``  per-trial loop (no batch form)          per-trial loop
+``twostage``     per-trial loop (no batch form)          per-trial loop
+==============  =======================================  ======================
+
+The batch greedy path covers ``algorithm_kwargs`` of ``centering`` in
+``("half_k", "oracle")``; the batch AMP path covers ``denoiser``,
+``config`` and the default ``sparse=True``. Any other keyword falls
+back to the seed-compatible legacy per-trial loop, so results never
+depend on which path ran. :func:`required_queries_trials` implements
+the paper's incremental stopping rule for the greedy scores only (AMP
+has no incremental form); its ``engine="batch"`` runs the chunked
+simulator of :class:`~repro.core.batch.BatchTrialRunner`.
 
 Multiprocess trial sharding
 ---------------------------
@@ -48,7 +72,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.amp import run_amp
+from repro.amp import AMPConfig, run_amp
+from repro.amp.batch_amp import run_amp_trials
 from repro.core.batch import BatchTrialRunner
 from repro.core.greedy import greedy_reconstruct
 from repro.core.incremental import required_queries
@@ -72,6 +97,44 @@ ENGINES = ("batch", "legacy")
 _ENGINE_ALIASES = {"per-query": "legacy"}
 
 
+def _batch_mode(algorithm: str, engine: str, algorithm_kwargs: dict) -> Optional[str]:
+    """Which stacked fixed-``m`` path covers this dispatch, if any.
+
+    Returns ``"greedy"`` / ``"amp"`` when the batch engine has a
+    seed-identical stacked implementation for the request, else
+    ``None`` (per-trial legacy loop). See the module docstring's
+    support matrix for the covered ``algorithm_kwargs``.
+    """
+    if engine != "batch":
+        return None
+    if (
+        algorithm == "greedy"
+        and set(algorithm_kwargs) <= {"centering"}
+        # the batch runner supports only these centerings; anything else
+        # (e.g. "none") falls back to the seed-compatible legacy loop
+        and algorithm_kwargs.get("centering", "half_k") in ("half_k", "oracle")
+    ):
+        return "greedy"
+    if (
+        algorithm == "amp"
+        and set(algorithm_kwargs) <= {"denoiser", "config", "sparse"}
+        # the stacked runner is sparse by construction; a dense
+        # override runs through the per-trial loop
+        and algorithm_kwargs.get("sparse", True) in (True, None)
+    ):
+        return "amp"
+    return None
+
+
+def _amp_batch_kwargs(algorithm_kwargs: dict) -> dict:
+    """Map harness ``algorithm_kwargs`` onto ``run_amp_trials`` kwargs."""
+    return {
+        key: value
+        for key, value in algorithm_kwargs.items()
+        if key in ("denoiser", "config")
+    }
+
+
 def _check_engine(engine: str) -> str:
     if engine in _ENGINE_ALIASES:
         return _ENGINE_ALIASES[engine]
@@ -92,6 +155,10 @@ def _run_algorithm(
     if algorithm == "greedy":
         return greedy_reconstruct(measurements, **kwargs)
     if algorithm == "amp":
+        # Sweeps keep only the decode outcome per trial; don't build
+        # O(iterations) history dicts in every result's meta (direct
+        # run_amp calls keep the track_history=True default).
+        kwargs.setdefault("config", AMPConfig(track_history=False))
         return run_amp(measurements, **kwargs)
     if algorithm == "distributed":
         return run_distributed_algorithm1(measurements, **kwargs).result
@@ -243,11 +310,14 @@ def success_rate_curve(
     "100 independent simulation runs" per data point).
 
     With ``engine="batch"`` the greedy trials run through
-    :class:`~repro.core.batch.BatchTrialRunner` — seed-compatible with
-    the legacy per-trial loop, so both engines (and the distributed
+    :class:`~repro.core.batch.BatchTrialRunner` and the AMP trials
+    through the block-diagonal stacked runner
+    (:func:`repro.amp.batch_amp.run_amp_trials`) — both seed-identical
+    to the legacy per-trial loop, so both engines (and the distributed
     runtime, which shares the loop) report identical curves for the
-    same seed. Algorithms without a batch implementation (AMP,
-    distributed, two-stage) always use the per-trial loop.
+    same seed. Algorithms without a batch implementation (distributed,
+    two-stage) always use the per-trial loop; see the module
+    docstring's support matrix.
 
     ``workers > 1`` shards every grid point's trials across a process
     pool; the per-trial outcomes are merged in trial order and folded
@@ -260,14 +330,7 @@ def success_rate_curve(
     engine = _check_engine(engine)
     workers = parallel.resolve_workers(workers)
     algorithm_kwargs = algorithm_kwargs or {}
-    use_batch = (
-        engine == "batch"
-        and algorithm == "greedy"
-        and set(algorithm_kwargs) <= {"centering"}
-        # the batch runner supports only these centerings; anything else
-        # (e.g. "none") falls back to the seed-compatible legacy loop
-        and algorithm_kwargs.get("centering", "half_k") in ("half_k", "oracle")
-    )
+    batch_mode = _batch_mode(algorithm, engine, algorithm_kwargs)
     if workers > 1:
         per_m_outcomes = parallel.success_curve_outcomes(
             n,
@@ -280,7 +343,7 @@ def success_rate_curve(
             algorithm=algorithm,
             algorithm_kwargs=algorithm_kwargs,
             gamma=gamma,
-            use_batch=use_batch,
+            batch_mode=batch_mode,
         )
     else:
         per_m_outcomes = []
@@ -288,7 +351,7 @@ def success_rate_curve(
         for m, m_rng in zip(m_values, rngs):
             m = int(m)
             outcomes: List[tuple] = []
-            if use_batch:
+            if batch_mode == "greedy":
                 runner = BatchTrialRunner(
                     n,
                     k,
@@ -297,6 +360,17 @@ def success_rate_curve(
                     centering=algorithm_kwargs.get("centering", "half_k"),
                 )
                 for result in runner.run_trials(m, trials, seed=m_rng):
+                    outcomes.append((bool(result.exact), float(result.overlap)))
+            elif batch_mode == "amp":
+                for result in run_amp_trials(
+                    n,
+                    k,
+                    channel,
+                    m,
+                    spawn_rngs(m_rng, trials),
+                    gamma=gamma,
+                    **_amp_batch_kwargs(algorithm_kwargs),
+                ):
                     outcomes.append((bool(result.exact), float(result.overlap)))
             else:
                 for gen in spawn_rngs(m_rng, trials):

@@ -77,6 +77,24 @@ def check_in_range(
     return value
 
 
+def env_int(name: str) -> Optional[int]:
+    """Parse an integer environment variable, or ``None`` when unset/blank.
+
+    Raises ``ValueError`` naming the variable for non-integer contents;
+    range rules are the caller's business (e.g. ``REPRO_WORKERS``
+    accepts 0 = one per CPU, ``REPRO_CSR_THREADS`` requires >= 1).
+    """
+    import os
+
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
 def _as_float(value, name: str) -> float:
     if isinstance(value, bool) or not isinstance(
         value, (int, float, np.integer, np.floating)
@@ -96,4 +114,5 @@ __all__ = [
     "check_positive",
     "check_non_negative",
     "check_in_range",
+    "env_int",
 ]

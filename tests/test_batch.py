@@ -144,6 +144,71 @@ class TestCountingCsr:
         assert g2.agents.dtype == np.int64
 
 
+class TestCountingCsrThreads:
+    """The threaded column-parallel scatter of the counting construction."""
+
+    def test_threaded_triple_identical_to_serial(self, monkeypatch):
+        from repro.core import batch as batch_mod
+
+        n, m, gamma = 70_000, 16, 35_000
+        draws = np.random.default_rng(23).integers(0, n, size=(m, gamma))
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "1")
+        serial = batch_mod._csr_from_draws_counting(draws, n)
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "3")
+        # Drop the work floor so this test-sized call actually threads.
+        monkeypatch.setattr(batch_mod, "_CSR_THREAD_MIN_ELEMENTS", 1)
+        threaded = batch_mod._csr_from_draws_counting(draws, n)
+        for a, b in zip(serial, threaded):
+            assert np.array_equal(a, b)
+
+    def test_threaded_sampler_seed_identical(self, monkeypatch):
+        from repro.core import batch as batch_mod
+
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "4")
+        monkeypatch.setattr(batch_mod, "_CSR_THREAD_MIN_ELEMENTS", 1)
+        n, m = 70_000, 8
+        g1 = sample_pooling_graph_batch(n, m, None, np.random.default_rng(41))
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "1")
+        g2 = sample_pooling_graph(n, m, None, np.random.default_rng(41))
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.agents, g2.agents)
+        assert np.array_equal(g1.counts, g2.counts)
+
+    def test_off_switch_and_defaults(self, monkeypatch):
+        from repro.core import batch as batch_mod
+
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "1")
+        assert batch_mod._csr_threads() == 1
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "6")
+        assert batch_mod._csr_threads() == 6
+        monkeypatch.delenv(batch_mod.CSR_THREADS_ENV, raising=False)
+        assert 1 <= batch_mod._csr_threads() <= 4
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        from repro.core import batch as batch_mod
+
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "many")
+        with pytest.raises(ValueError, match="REPRO_CSR_THREADS"):
+            batch_mod._csr_threads()
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "0")
+        with pytest.raises(ValueError, match="REPRO_CSR_THREADS"):
+            batch_mod._csr_threads()
+
+    def test_small_calls_stay_serial(self, monkeypatch):
+        from repro.core import batch as batch_mod
+
+        calls = []
+        monkeypatch.setenv(batch_mod.CSR_THREADS_ENV, "4")
+        monkeypatch.setattr(
+            batch_mod,
+            "chunk_bounds",
+            lambda *a: calls.append(a) or [(0, a[0])],
+        )
+        draws = np.random.default_rng(1).integers(0, 70_000, size=(4, 100))
+        batch_mod._csr_from_draws_counting(draws, 70_000)
+        assert calls == []  # below the work floor: no fan-out
+
+
 class TestRunTrialsSeeded:
     def test_chunked_seeds_match_run_trials(self):
         from repro.core.chunking import chunk_sequence

@@ -122,6 +122,18 @@ class TestSuccessRateCurve:
         assert curve.algorithm == "amp"
         assert curve.success_rates[0] >= 0.8
 
+    def test_amp_harness_dispatch_drops_history(self, rng):
+        # Sweeps keep only the decode outcome; the harness dispatch must
+        # not build O(iterations) history dicts per trial (the default
+        # stays on for direct run_amp calls, pinned in test_amp.py).
+        from repro.experiments.runner import _run_algorithm
+
+        truth = repro.sample_ground_truth(200, 4, rng)
+        graph = repro.sample_pooling_graph(200, 80, rng=rng)
+        meas = repro.measure(graph, truth, rng=rng)
+        result = _run_algorithm("amp", meas)
+        assert result.meta["history"] == []
+
     def test_distributed_algorithm_matches_greedy(self):
         greedy = success_rate_curve(
             40, 3, repro.ZChannel(0.1), [30], algorithm="greedy", trials=5, seed=6

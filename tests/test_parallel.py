@@ -155,8 +155,12 @@ class TestSuccessCurveEquivalence:
         assert sharded.success_rates == serial.success_rates
         assert sharded.overlaps == serial.overlaps
 
-    def test_amp_sharded_matches_serial(self):
-        kwargs = dict(algorithm="amp", trials=5, seed=5)
+    @pytest.mark.parametrize("engine", ["batch", "legacy"])
+    def test_amp_sharded_matches_serial(self, engine):
+        # engine="batch" routes chunks through the block-diagonal
+        # stacked AMP runner; engine="legacy" through per-trial
+        # run_amp. Both must merge bit-identically to serial.
+        kwargs = dict(algorithm="amp", trials=5, seed=5, engine=engine)
         serial = success_rate_curve(
             120, 3, repro.NoiselessChannel(), [60], **kwargs
         )
