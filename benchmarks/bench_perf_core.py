@@ -16,7 +16,9 @@ Two entry modes:
   batch, serial vs sharded across ``--workers`` processes), a
   full-scale sparse AMP run with the dense path poisoned, batched
   (block-diagonal) AMP sweep cells against the pre-batching per-trial
-  loop, and a full-scale stacked-AMP poison case — and appends
+  loop, a full-scale stacked-AMP poison case, and the AMP required-m
+  scan (prefix replay + galloping/stacked bisection) against the
+  naive per-m probe loop — and appends
   one machine-readable entry (per-case wall time, speedup vs baseline,
   workers used, host info) to ``BENCH_perf_core.json`` at the repo
   root, so regressions across PRs stay visible. ``--smoke`` shrinks
@@ -158,6 +160,37 @@ def test_perf_amp_trials_batched(benchmark):
 
 def test_perf_batcher_schedule_generation(benchmark):
     benchmark(lambda: odd_even_mergesort(1024))
+
+
+# AMP required-m scan (prefix replay + galloping/stacked bisection) vs
+# probing each grid point with a fresh standalone run — small-scale
+# pytest-benchmark twins of the script-mode `amp_required_m` case.
+
+
+def test_perf_required_queries_amp_scan(benchmark):
+    from repro.amp.batch_amp import required_queries_amp
+    from repro.utils.rng import spawn_seeds
+
+    channel = repro.ZChannel(0.1)
+    benchmark(
+        lambda: required_queries_amp(
+            512, 4, channel, spawn_seeds(0, 8), gamma=64,
+            check_every=8, max_m=512,
+        )
+    )
+
+
+def test_perf_required_queries_amp_linear(benchmark):
+    from repro.amp.batch_amp import required_queries_amp_linear
+    from repro.utils.rng import spawn_seeds
+
+    channel = repro.ZChannel(0.1)
+    benchmark(
+        lambda: required_queries_amp_linear(
+            512, 4, channel, spawn_seeds(0, 8), gamma=64,
+            check_every=8, max_m=512,
+        )
+    )
 
 
 # Dense-regime CSR construction beyond the uint16 radix fast path:
@@ -507,6 +540,90 @@ def _case_amp_batch_sparse_poison(smoke):
     }
 
 
+def _case_amp_required_m(smoke):
+    """AMP required-m scan vs the naive per-m probe loop.
+
+    The naive loop is what the harness offered before the scan existed:
+    for every trial, walk the check grid upward and at each grid point
+    draw a **fresh** instance (ground truth, pooling graph, channel
+    noise — the per-trial path of a ``success_rate_curve`` probe) and
+    run standalone AMP until the trial's first exact decode. The scan
+    samples each trial's stream once, replays prefixes, and runs
+    galloping bracket + stacked bisection; its certificate dial is
+    timed in two modes: ``verify="full"`` (brute-force-identical by
+    construction — probe count matches the naive loop's, so the gain
+    is prefix replay + stacking) and ``verify="window"`` (sweeps only
+    the galloping bracket — the sweep-scale mode, and the recorded
+    headline speedup). Per-mode agreement with the exact scan on the
+    same seeds is recorded and sanity-asserted.
+    """
+    from repro.amp import AMPConfig, run_amp
+    from repro.amp.batch_amp import required_queries_amp
+    from repro.utils.rng import spawn_rngs, spawn_seeds
+
+    n = 1024 if smoke else 4096
+    trials = 8 if smoke else 32
+    gamma = 64
+    check_every = 8 if smoke else 16
+    max_m = 1024 if smoke else 2048
+    k = repro.sublinear_k(n, 0.25)
+    channel = repro.ZChannel(0.1)
+    config = AMPConfig(track_history=False)
+
+    def naive():
+        out = []
+        for gen in spawn_rngs(2022, trials):
+            required = None
+            for g in range(check_every, max_m + 1, check_every):
+                truth = repro.sample_ground_truth(n, k, gen)
+                graph = repro.sample_pooling_graph(n, g, gamma, gen)
+                meas = repro.measure(graph, truth, channel, gen)
+                if run_amp(meas, config=config).exact:
+                    required = g
+                    break
+            out.append(required)
+        return out
+
+    def scan(verify):
+        return [
+            r.required_m
+            for r in required_queries_amp(
+                n, k, channel, spawn_seeds(2022, trials),
+                gamma=gamma, check_every=check_every, max_m=max_m,
+                verify=verify,
+            )
+        ]
+
+    baseline_s, naive_values = _timed(naive)
+    exact_s, exact_values = _timed(lambda: scan("full"))
+    wall_s, window_values = _timed(lambda: scan("window"))
+    assert all(v is not None for v in exact_values)
+    agreement = sum(a == b for a, b in zip(exact_values, window_values))
+    # The windowed sweep misses only successes hiding below a *failed
+    # gallop point* — rare even at smoke scale; a collapse would mean
+    # the profile assumption (or the scan) broke.
+    assert agreement >= (3 * trials) // 4
+    return {
+        "case": "amp_required_m",
+        "n": n,
+        "trials": trials,
+        "gamma": gamma,
+        "check_every": check_every,
+        "max_m": max_m,
+        "wall_s": round(wall_s, 4),
+        "verify_mode": "window",
+        "baseline": "naive per-m probe loop (fresh instance + standalone "
+        "run_amp per grid point per trial)",
+        "baseline_s": round(baseline_s, 4),
+        "speedup": round(baseline_s / wall_s, 3) if wall_s else None,
+        "exact_scan_s": round(exact_s, 4),
+        "speedup_exact_scan": (
+            round(baseline_s / exact_s, 3) if exact_s else None
+        ),
+        "window_vs_exact_agreement": f"{agreement}/{trials}",
+    }
+
+
 def run_perf_suite(smoke=False, workers=4):
     """Run the perf-trajectory cases; returns one JSON-ready entry."""
     import os
@@ -521,6 +638,7 @@ def run_perf_suite(smoke=False, workers=4):
         _case_amp_sparse(smoke),
         _case_amp_batch_sweep(smoke),
         _case_amp_batch_sparse_poison(smoke),
+        _case_amp_required_m(smoke),
     ]
     try:
         commit = subprocess.run(

@@ -9,6 +9,11 @@ This package provides:
 * :func:`run_amp_batch` / :func:`run_amp_trials` — the block-diagonal
   batched runner for sweep-scale AMP (decode-identical to per-trial
   ``run_amp`` on the same spawned seeds);
+* :func:`required_queries_amp` — the per-trial "smallest m on the
+  check grid where AMP decodes exactly" scan: prefix replay of a
+  once-sampled query stream plus a galloping bracket / stacked
+  bisection, grid-exact against the brute-force linear scan
+  (:func:`required_queries_amp_linear`);
 * denoisers (:class:`BayesBernoulliDenoiser`,
   :class:`SoftThresholdDenoiser`);
 * :func:`state_evolution` — the scalar recursion predicting AMP's MSE
@@ -24,7 +29,12 @@ from repro.amp.amp import (
     standardization_constants,
     standardize_system,
 )
-from repro.amp.batch_amp import run_amp_batch, run_amp_trials
+from repro.amp.batch_amp import (
+    required_queries_amp,
+    required_queries_amp_linear,
+    run_amp_batch,
+    run_amp_trials,
+)
 from repro.amp.distributed_amp import (
     CommunicationCost,
     amp_communication_cost,
@@ -48,6 +58,8 @@ __all__ = [
     "run_amp",
     "run_amp_batch",
     "run_amp_trials",
+    "required_queries_amp",
+    "required_queries_amp_linear",
     "standardize_system",
     "standardization_constants",
     "channel_corrected_results",

@@ -35,11 +35,14 @@ Standardization (:func:`channel_corrected_results`,
 (:func:`iterate_amp`) are shared helpers: the dense and sparse paths of
 :func:`run_amp` run the kernel on a one-trial stack, and the batched
 runner (:mod:`repro.amp.batch_amp`) runs it on a ``T``-trial
-block-diagonal stack. Every kernel operation is row-independent —
-reductions along the last axis of C-contiguous arrays, elementwise
+block-diagonal stack — uniform-``m`` (one sweep cell) or, via the
+``row_sizes`` parameter, heterogeneous-``m`` (the required-queries
+prefix probes). Every kernel operation is row-independent —
+reductions along the last axis of C-contiguous arrays (or pairwise
+sums over contiguous flat segments in the ragged case), elementwise
 broadcasts against per-trial ``(T, 1)`` scalars, and sequential
 per-row CSR matvecs — so a trial's iterate sequence is bit-identical
-no matter which stack (of any size) it runs in.
+no matter which stack (of any size or composition) it runs in.
 """
 
 from __future__ import annotations
@@ -164,6 +167,7 @@ def iterate_amp(
     restrict: Optional[
         Callable[[np.ndarray], Tuple[Callable, Callable]]
     ] = None,
+    row_sizes: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[List[dict]]]]:
     """Run the AMP iteration on a stack of ``T`` standardized systems.
 
@@ -175,7 +179,9 @@ def iterate_amp(
         a ``(T*m,)`` stack of measurement vectors, ``rmatvec`` the
         reverse. For ``T = 1`` these are the ordinary per-trial maps.
     y:
-        Standardized measurements, shape ``(T, m)`` (one row per trial).
+        Standardized measurements, shape ``(T, m)`` (one row per trial),
+        or — with ``row_sizes`` — one flat concatenation of the
+        per-trial measurement vectors.
     denoiser:
         Scalar denoiser; evaluated with a per-trial ``(T, 1)`` noise
         level so each row sees exactly its own ``tau``.
@@ -189,6 +195,14 @@ def iterate_amp(
         stack. Compaction never changes any trial's iterates (every
         operation is row-independent); it only stops paying matvec time
         for trials that already froze.
+    row_sizes:
+        Per-trial measurement counts for a **heterogeneous-m** stack
+        (the required-m prefix probes, where every trial runs a
+        different query-count prefix of its stream). ``y`` is then the
+        flat ``(sum(row_sizes),)`` concatenation of the per-trial
+        standardized measurements, and matvec outputs / residuals are
+        ragged flat stacks segmented by ``row_sizes``. ``None``
+        (default) keeps the uniform-``m`` fast path.
 
     Returns
     -------
@@ -202,7 +216,17 @@ def iterate_amp(
     Per-trial convergence uses the same rule as a standalone run: a
     trial whose step norm drops below ``config.tol`` freezes — its row
     stops being written — while the remaining trials keep iterating.
+
+    Both paths perform only row-independent operations (see the module
+    docstring), so a trial's iterate sequence is bit-identical to a
+    standalone one-trial run on the same standardized system no matter
+    which stack — uniform or ragged, of any size — it runs in.
     """
+    if row_sizes is not None:
+        return _iterate_amp_ragged(
+            matvec, rmatvec, y, denoiser, config,
+            n=n, row_sizes=row_sizes, restrict=restrict,
+        )
     y = np.ascontiguousarray(y, dtype=np.float64)
     total, m = y.shape
     nm_ratio = n / m
@@ -225,12 +249,15 @@ def iterate_amp(
         tau = np.maximum(np.sqrt(np.sum(z * z, axis=1)) / sqrt_m, TAU_FLOOR)
         tau_col = tau[:, None]
         r = rmatvec(z.reshape(-1)).reshape(rows, n) + sigma
-        sigma_new = denoiser(r, tau_col)
+        # One shared evaluation: the derivative of the Bayes denoiser
+        # reuses eta, and both arrays equal the separate calls bit for
+        # bit (see Denoiser.value_and_derivative).
+        sigma_new, deriv = denoiser.value_and_derivative(r, tau_col)
         if config.damping > 0.0 and t > 0:
             sigma_new = (1.0 - config.damping) * sigma_new + config.damping * sigma
 
         # Onsager coefficient for the *next* residual update.
-        onsager = nm_ratio * np.mean(denoiser.derivative(r, tau_col), axis=1)
+        onsager = nm_ratio * np.mean(deriv, axis=1)
 
         z_new = y - matvec(sigma_new.reshape(-1)).reshape(rows, m) + onsager[:, None] * z
         if config.damping > 0.0 and t > 0:
@@ -274,6 +301,151 @@ def iterate_amp(
             sigma = np.ascontiguousarray(sigma[active])
             z = np.ascontiguousarray(z[active])
             y = np.ascontiguousarray(y[active])
+            active = np.ones(live.size, dtype=bool)
+            matvec, rmatvec = restrict(live)
+
+    if active.any():  # trials that exhausted max_iter without converging
+        out_sigma[live[active]] = sigma[active]
+    return out_sigma, iterations, converged, histories
+
+
+def _segment_bounds(row_sizes: np.ndarray) -> np.ndarray:
+    """Flat-stack segment boundaries ``[0, m_0, m_0+m_1, ...]``."""
+    bounds = np.empty(row_sizes.size + 1, dtype=np.int64)
+    bounds[0] = 0
+    np.cumsum(row_sizes, out=bounds[1:])
+    return bounds
+
+
+def _iterate_amp_ragged(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    rmatvec: Callable[[np.ndarray], np.ndarray],
+    y: np.ndarray,
+    denoiser: Denoiser,
+    config: AMPConfig,
+    *,
+    n: int,
+    row_sizes: np.ndarray,
+    restrict: Optional[
+        Callable[[np.ndarray], Tuple[Callable, Callable]]
+    ] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[List[dict]]]]:
+    """Heterogeneous-``m`` sibling of the uniform :func:`iterate_amp` loop.
+
+    The signal side stays a dense ``(T, n)`` stack (every trial shares
+    the agent dimension), while the measurement side — ``y``, the
+    residual ``z`` and matvec outputs — is one flat array segmented by
+    ``row_sizes``. All per-trial scalars (``tau``, the Onsager
+    coefficient, the standardization scale inside the operators) become
+    length-``T`` vectors broadcast onto the flat stack via
+    ``np.repeat``.
+
+    Bit-identity: per-trial residual reductions are computed with
+    ``flat[lo:hi].sum()`` on contiguous segment views — the same
+    pairwise summation a standalone run's ``np.sum(z * z, axis=1)``
+    performs on its single contiguous row — and every other operation
+    is an elementwise broadcast of per-trial scalars, so each trial's
+    iterate sequence equals a standalone :func:`run_amp` on the same
+    standardized system bit for bit (pinned across stack compositions
+    in ``tests/test_amp_required.py``).
+    """
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    row_sizes = np.asarray(row_sizes, dtype=np.int64)
+    total = row_sizes.size
+    if y.shape != (int(row_sizes.sum()),):
+        raise ValueError(
+            f"flat y must have shape ({int(row_sizes.sum())},), got {y.shape}"
+        )
+    sqrt_n = np.sqrt(n)
+
+    live = np.arange(total)  # original trial ids of the current rows
+    active = np.ones(total, dtype=bool)  # per current row
+    m_cur = row_sizes.copy()
+    bounds = _segment_bounds(m_cur)
+    sqrt_m = np.sqrt(m_cur.astype(np.float64))
+    nm_ratio = n / m_cur
+    sigma = np.zeros((total, n), dtype=np.float64)
+    z = y.copy()
+    out_sigma = np.zeros((total, n), dtype=np.float64)
+    iterations = np.zeros(total, dtype=np.int64)
+    converged = np.zeros(total, dtype=bool)
+    histories: Optional[List[List[dict]]] = (
+        [[] for _ in range(total)] if config.track_history else None
+    )
+
+    def segment_sums(flat: np.ndarray) -> np.ndarray:
+        # Per-trial pairwise sums over contiguous segment views — the
+        # ragged analogue of a C-contiguous last-axis reduction. When
+        # every segment happens to share one length (e.g. a galloping
+        # round probing the same grid point for every trial), the
+        # reshape reduction computes the identical pairwise sums
+        # without the per-segment Python dispatch.
+        if m_cur.size and (m_cur == m_cur[0]).all():
+            return np.sum(flat.reshape(m_cur.size, int(m_cur[0])), axis=1)
+        return np.array(
+            [flat[bounds[i] : bounds[i + 1]].sum() for i in range(live.size)]
+        )
+
+    for t in range(config.max_iter):
+        rows = live.size
+        tau = np.maximum(np.sqrt(segment_sums(z * z)) / sqrt_m, TAU_FLOOR)
+        tau_col = tau[:, None]
+        r = rmatvec(z).reshape(rows, n) + sigma
+        sigma_new, deriv = denoiser.value_and_derivative(r, tau_col)
+        if config.damping > 0.0 and t > 0:
+            sigma_new = (1.0 - config.damping) * sigma_new + config.damping * sigma
+
+        # Onsager coefficient for the *next* residual update.
+        onsager = nm_ratio * np.mean(deriv, axis=1)
+
+        z_new = y - matvec(sigma_new.reshape(-1)) + np.repeat(onsager, m_cur) * z
+        if config.damping > 0.0 and t > 0:
+            z_new = (1.0 - config.damping) * z_new + config.damping * z
+
+        diff = sigma_new - sigma
+        step = np.sqrt(np.sum(diff * diff, axis=1)) / sqrt_n
+
+        # Frozen rows must stay bit-frozen: their (discarded) updates
+        # above were computed from stale state purely so the stacked
+        # operators could run unmasked.
+        inactive = ~active
+        if inactive.any():
+            sigma_new[inactive] = sigma[inactive]
+            for i in np.flatnonzero(inactive):
+                z_new[bounds[i] : bounds[i + 1]] = z[bounds[i] : bounds[i + 1]]
+
+        if histories is not None:
+            z_norms = np.sqrt(segment_sums(z_new * z_new))
+            for i in np.flatnonzero(active):
+                histories[live[i]].append(
+                    {
+                        "iteration": t,
+                        "tau": float(tau[i]),
+                        "step": float(step[i]),
+                        "residual_norm": float(z_norms[i]),
+                    }
+                )
+
+        sigma = sigma_new
+        z = z_new
+        iterations[live[active]] = t + 1
+        newly = active & (step < config.tol)
+        if newly.any():
+            converged[live[newly]] = True
+            out_sigma[live[newly]] = sigma[newly]
+            active &= ~newly
+        if not active.any():
+            break
+        if restrict is not None and 2 * int(np.count_nonzero(active)) <= live.size:
+            keep = np.flatnonzero(active)
+            live = live[active]
+            sigma = np.ascontiguousarray(sigma[active])
+            z = np.concatenate([z[bounds[i] : bounds[i + 1]] for i in keep])
+            y = np.concatenate([y[bounds[i] : bounds[i + 1]] for i in keep])
+            m_cur = m_cur[active]
+            bounds = _segment_bounds(m_cur)
+            sqrt_m = sqrt_m[active]
+            nm_ratio = nm_ratio[active]
             active = np.ones(live.size, dtype=bool)
             matvec, rmatvec = restrict(live)
 

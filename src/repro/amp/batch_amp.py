@@ -31,11 +31,18 @@ seed, for any stack size:
 
 ``tests/test_amp_batch.py`` pins the equivalence across channels,
 mixed per-trial iteration counts and stack sizes.
+
+The module also hosts the AMP **required-queries scan**
+(:func:`required_queries_amp`): per trial, the smallest check-grid m
+whose prefix-measured query stream decodes exactly, located by prefix
+replay of a once-sampled stream plus a galloping bracket / stacked
+bisection over heterogeneous-m block-diagonal probe stacks — see the
+function docstring and :class:`_RequiredMSearch` for the contract.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,13 +55,19 @@ from repro.amp.amp import (
     standardization_constants,
 )
 from repro.amp.denoisers import Denoiser
-from repro.core.batch import sample_pooling_graph_batch
+from repro.core.batch import (
+    DEFAULT_BLOCK_ELEMENTS,
+    DEFAULT_INITIAL_BLOCK,
+    MeasurementStream,
+    sample_pooling_graph_batch,
+)
 from repro.core.ground_truth import sample_ground_truth
+from repro.core.incremental import default_max_queries
 from repro.core.measurement import Measurements, measure
 from repro.core.noise import Channel
-from repro.core.pooling import default_gamma
+from repro.core.pooling import PoolingGraph, default_gamma
 from repro.core.scores import decode_top_k_stacked
-from repro.core.types import ReconstructionResult
+from repro.core.types import ReconstructionResult, RequiredQueriesResult
 from repro.utils.rng import RngLike, normalize_rng
 from repro.utils.validation import check_positive_int
 
@@ -88,23 +101,26 @@ def _default_batch_config() -> AMPConfig:
 
 def _stack_blocks(
     blocks: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
-    rows: int,
     cols: int,
 ):
     """Assemble per-trial CSR triples into one block-diagonal CSR.
 
-    ``blocks[t]`` holds trial ``t``'s ``(indptr, indices, data)`` of
-    shape ``(rows, cols)``; the stacked matrix has shape
-    ``(T*rows, T*cols)`` with trial ``t``'s column indices shifted by
-    ``t * cols``. Row contents (order and values) are exactly the
-    per-trial rows, so a matvec on the stack computes every output
-    coordinate by the same sequential sum as the per-trial matvec.
+    ``blocks[t]`` holds trial ``t``'s ``(indptr, indices, data)`` with
+    ``cols`` columns; per-block row counts may differ (required-m
+    prefix probes stack heterogeneous-``m`` blocks). The stacked matrix
+    has shape ``(sum(rows_t), T*cols)`` with trial ``t``'s column
+    indices shifted by ``t * cols``. Row contents (order and values)
+    are exactly the per-trial rows, so a matvec on the stack computes
+    every output coordinate by the same sequential sum as the per-trial
+    matvec.
     """
     from scipy import sparse
 
     trials = len(blocks)
     nnz = np.array([indices.size for _, indices, _ in blocks], dtype=np.int64)
     offsets = np.concatenate(([0], np.cumsum(nnz)))
+    rows = np.array([indptr.size - 1 for indptr, _, _ in blocks], dtype=np.int64)
+    row_offsets = np.concatenate(([0], np.cumsum(rows)))
     # int32 indices halve the matvec's index traffic (and match what
     # scipy would downcast to); they must fit both the column ids and
     # the cumulative incidence counts stored in indptr.
@@ -113,7 +129,7 @@ def _stack_blocks(
         if max(trials * cols, int(offsets[-1])) < 2**31
         else np.int64
     )
-    indptr = np.empty(trials * rows + 1, dtype=index_dtype)
+    indptr = np.empty(int(row_offsets[-1]) + 1, dtype=index_dtype)
     indptr[0] = 0
     data = np.empty(offsets[-1], dtype=np.float64)
     indices = np.empty(offsets[-1], dtype=index_dtype)
@@ -122,9 +138,9 @@ def _stack_blocks(
         data[lo:hi] = block_data
         indices[lo:hi] = block_indices
         indices[lo:hi] += t * cols
-        indptr[t * rows + 1 : (t + 1) * rows + 1] = block_indptr[1:] + lo
+        indptr[row_offsets[t] + 1 : row_offsets[t + 1] + 1] = block_indptr[1:] + lo
     return sparse.csr_matrix(
-        (data, indices, indptr), shape=(trials * rows, trials * cols)
+        (data, indices, indptr), shape=(int(row_offsets[-1]), trials * cols)
     )
 
 
@@ -168,7 +184,7 @@ class _StackedOperators:
         chosen = [int(i) for i in idx]
         trials = len(chosen)
         # the fill loop casts int64 counts to float64 on assignment
-        a = _stack_blocks([self.blocks[i] for i in chosen], m, n)
+        a = _stack_blocks([self.blocks[i] for i in chosen], n)
         a_t = a.T
 
         def matvec(x: np.ndarray) -> np.ndarray:
@@ -357,9 +373,583 @@ def run_amp_trials(
     return out
 
 
+# -- required-queries scan: galloping bracket + stacked bisection -------
+
+#: verify-phase probes a trial contributes per stacked round; larger
+#: waves stack better, smaller ones exit earlier on non-monotone
+#: profiles — either value returns the identical stopping m.
+VERIFY_WAVE = 8
+
+
+class _PrefixStackOperators:
+    """Standardized block-diagonal operators over heterogeneous-m prefixes.
+
+    Like :class:`_StackedOperators`, but every block is a *prefix* of a
+    different trial's query stream, so per-block row counts ``m_j`` —
+    and with them the standardization scales ``s_j = sqrt(m_j * c *
+    (1 - 1/n))`` — differ. The centering and scaling become per-trial
+    vectors broadcast onto the flat ragged stack; per coordinate the
+    arithmetic is exactly the standalone ``(A x - c s) / scale``, so the
+    stacked iterates stay bit-identical to per-prefix ``run_amp`` runs.
+    (:class:`_StackedOperators` is the uniform-``m`` scalar special
+    case of this; the two must stay arithmetically aligned — the
+    bit-identity tests in ``tests/test_amp_batch.py`` and
+    ``tests/test_amp_required.py`` pin both against ``run_amp``.)
+    """
+
+    def __init__(
+        self,
+        prefixes: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        n: int,
+        m_per: np.ndarray,
+        c: float,
+        scales: np.ndarray,
+    ):
+        self.prefixes = list(prefixes)
+        self.n = n
+        self.m_per = np.asarray(m_per, dtype=np.int64)
+        self.c = c
+        self.scales = np.asarray(scales, dtype=np.float64)
+
+    def operators(
+        self, idx: Sequence[int]
+    ) -> Tuple[Callable[[np.ndarray], np.ndarray], Callable[[np.ndarray], np.ndarray]]:
+        """Build ``(matvec, rmatvec)`` for the probe subset ``idx``."""
+        n, c = self.n, self.c
+        chosen = [int(i) for i in idx]
+        trials = len(chosen)
+        m_per = self.m_per[chosen]
+        scales = self.scales[chosen]
+        a = _stack_blocks([self.prefixes[i] for i in chosen], n)
+        a_t = a.T
+        bounds = np.concatenate(([0], np.cumsum(m_per)))
+        row_scale = np.repeat(scales, m_per)
+        scales_col = scales[:, None]
+
+        def matvec(x: np.ndarray) -> np.ndarray:
+            s = x.reshape(trials, n).sum(axis=1)
+            return (a @ x - c * np.repeat(s, m_per)) / row_scale
+
+        def rmatvec(z: np.ndarray) -> np.ndarray:
+            s = np.array(
+                [z[bounds[i] : bounds[i + 1]].sum() for i in range(trials)]
+            )
+            # Column side is uniform (n per trial): broadcast the
+            # per-trial centering/scale on a (T, n) view — the same
+            # per-element arithmetic as a flat np.repeat, without the
+            # (T*n,) repeat temporaries every iteration.
+            out = (a_t @ z).reshape(trials, n)
+            return ((out - (c * s)[:, None]) / scales_col).reshape(-1)
+
+        return matvec, rmatvec
+
+
+#: verify modes of the required-m search (see :class:`_RequiredMSearch`)
+VERIFY_MODES = ("full", "window", "none")
+
+
+class _RequiredMSearch:
+    """One trial's gallop -> bisect -> verify search over the check grid.
+
+    The search locates ``min{g on the grid : AMP decodes the g-query
+    prefix exactly}`` with three phases:
+
+    1. **gallop** — probe ``step, 2*step, 4*step, ...`` (clamped to the
+       last grid point) until the first success brackets the answer;
+    2. **bisect** — standard bisection inside the bracket, assuming the
+       quasi-monotone recovery profile, shrinking the smallest known
+       success (the *candidate*);
+    3. **verify** — probe still-unresolved grid points below the
+       candidate, in ascending waves. Because each wave is the lowest
+       pending chunk, the first wave containing a success yields the
+       scan's answer outright, and an all-fail verify certifies the
+       candidate.
+
+    The ``verify`` mode sets how much of the grid below the candidate
+    the third phase sweeps — the exactness/cost dial of the scan:
+
+    * ``"full"`` — every unresolved grid point below the candidate
+      (and, on a failed gallop, the whole grid). The result is
+      *identical to a brute-force ascending scan by construction*,
+      monotone profile or not: every grid point below the returned m
+      has been probed and failed. Probe count matches the brute-force
+      scan's (the certificate below the answer is the same set of
+      probes), so the savings over the naive loop come from prefix
+      replay and stacking, not probe count.
+    * ``"window"`` — only the galloping bracket window ``(last failed
+      gallop point, candidate)``. Exact for every profile whose
+      non-monotone dropouts lie inside the bracket (the common
+      near-threshold case); a success hiding at or below a *failed
+      gallop point* would be missed.
+    * ``"none"`` — trust quasi-monotonicity outright: the bisection
+      boundary is the answer (the bisection invariant already pins
+      ``candidate - step`` as a probed failure, which is all the
+      ISSUE-style downward linear-verify would re-check). Sublinearly
+      many probes — the sweep-scale mode; on fine check grids this is
+      orders of magnitude less matvec work than the per-grid-point
+      loop.
+
+    Probes are never repeated, and each phase transition depends only
+    on this trial's own probe outcomes — which is what lets the driver
+    stack many trials' probes into shared rounds without any
+    cross-trial coupling.
+    """
+
+    GALLOP, BISECT, VERIFY, DONE = "gallop", "bisect", "verify", "done"
+
+    def __init__(self, step: int, grid_max: int, verify: str = "full"):
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {verify!r}; valid: {VERIFY_MODES}"
+            )
+        self.step = step
+        self.grid_max = grid_max
+        self.verify = verify
+        self.results: Dict[int, bool] = {}
+        self.required_m: Optional[int] = None
+        self.candidate: Optional[int] = None
+        self._lo = 0  # highest grid point known to fail below the bracket
+        self._gallop_lo = 0  # highest *gallop* probe that failed
+        self._next: Optional[int] = None
+        self._pending: List[int] = []
+        if grid_max < step:  # no checkable grid point within the budget
+            self.phase = self.DONE
+        else:
+            self.phase = self.GALLOP
+            self._next = step
+
+    @property
+    def done(self) -> bool:
+        return self.phase == self.DONE
+
+    @property
+    def checks(self) -> int:
+        return len(self.results)
+
+    def next_probes(self, budget: int) -> List[int]:
+        """Grid points this trial wants probed in the coming round."""
+        if self.phase in (self.GALLOP, self.BISECT):
+            return [self._next]
+        if self.phase == self.VERIFY:
+            return self._pending[:budget]
+        return []
+
+    def record(self, m: int, exact: bool) -> None:
+        self.results[m] = exact
+
+    def advance(self) -> None:
+        """Fold the round's recorded probes into the next phase."""
+        if self.phase == self.GALLOP:
+            m = self._next
+            if self.results[m]:
+                self.candidate = m
+                self._bisect_or_verify()
+            elif m >= self.grid_max:
+                self._gallop_lo = m
+                self._enter_verify()
+            else:
+                self._lo = m
+                self._gallop_lo = m
+                self._next = min(2 * m, self.grid_max)
+        elif self.phase == self.BISECT:
+            m = self._next
+            if self.results[m]:
+                self.candidate = m
+            else:
+                self._lo = m
+            self._bisect_or_verify()
+        elif self.phase == self.VERIFY:
+            probed = [g for g in self._pending if g in self.results]
+            successes = [g for g in probed if self.results[g]]
+            if successes:
+                # The wave was the lowest pending chunk, so everything
+                # below its first success is a resolved failure.
+                self._finish(min(successes))
+            else:
+                self._pending = self._pending[len(probed):]
+                if not self._pending:
+                    self._finish(self.candidate)
+
+    def _bisect_or_verify(self) -> None:
+        step = self.step
+        if self.candidate - self._lo > step:
+            self.phase = self.BISECT
+            mid_idx = (self._lo // step + self.candidate // step) // 2
+            self._next = mid_idx * step
+        else:
+            self._enter_verify()
+
+    def _enter_verify(self) -> None:
+        if self.verify == "none":
+            self._finish(self.candidate)
+            return
+        if self.candidate is None:
+            # Gallop exhausted the grid without any success.
+            if self.verify == "window":
+                # The failed gallop points are trusted as the profile's
+                # shape; nothing below them gets swept.
+                self._finish(None)
+                return
+            floor = 0
+            upper = self.grid_max + self.step
+        else:
+            floor = self._gallop_lo if self.verify == "window" else 0
+            upper = self.candidate
+        self._pending = [
+            g
+            for g in range(floor + self.step, upper, self.step)
+            if g not in self.results
+        ]
+        if self._pending:
+            self.phase = self.VERIFY
+        else:
+            self._finish(self.candidate)
+
+    def _finish(self, required_m: Optional[int]) -> None:
+        self.required_m = required_m
+        self.phase = self.DONE
+
+
+def _decode_prefix_stack(
+    jobs: Sequence[Tuple[int, int]],
+    streams: Sequence[MeasurementStream],
+    n: int,
+    k: int,
+    gamma: int,
+    channel: Channel,
+    denoiser: Denoiser,
+    config: AMPConfig,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode one stacked round of ``(trial, m)`` prefix probes.
+
+    Builds the heterogeneous-m block-diagonal system from the trials'
+    retained streams (free prefix views — no resampling, no
+    re-measurement) and runs one batched :func:`iterate_amp` call.
+    Returns ``(exact, scores)`` with one entry/row per job; each job's
+    decode is bit-identical to a standalone :func:`run_amp` on the same
+    prefix data.
+    """
+    trials = len(jobs)
+    m_per = np.array([m for _, m in jobs], dtype=np.int64)
+    c = gamma / n
+    scales = np.empty(trials, dtype=np.float64)
+    prefixes: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    y_parts: List[np.ndarray] = []
+    sigma_truth = np.empty((trials, n), dtype=np.int8)
+    for j, (i, m) in enumerate(jobs):
+        indptr, agents, counts, results = streams[i].prefix(m)
+        prefixes.append((indptr, agents, counts))
+        scales[j] = standardization_constants(n, m, gamma)[1]
+        y_parts.append(
+            (channel_corrected_results(results, gamma, channel) - c * k)
+            / scales[j]
+        )
+        sigma_truth[j] = streams[i].truth.sigma
+    y = np.concatenate(y_parts)
+    ops = _PrefixStackOperators(prefixes, n, m_per, c, scales)
+    matvec, rmatvec = ops.operators(np.arange(trials))
+    scores, _, _, _ = iterate_amp(
+        matvec,
+        rmatvec,
+        y,
+        denoiser,
+        config,
+        n=n,
+        restrict=ops.operators,
+        row_sizes=m_per,
+    )
+    _, errors, _, _ = decode_top_k_stacked(scores, sigma_truth, k)
+    return errors == 0, scores
+
+
+def _probe_standalone(
+    stream: MeasurementStream,
+    m: int,
+    n: int,
+    gamma: int,
+    channel: Channel,
+    denoiser: Denoiser,
+    config: AMPConfig,
+) -> bool:
+    """Standalone ``run_amp`` probe of one trial's ``m``-query prefix."""
+    indptr, agents, counts, results = stream.prefix(m)
+    graph = PoolingGraph._unchecked(n, gamma, indptr, agents, counts)
+    meas = Measurements(
+        graph=graph, truth=stream.truth, channel=channel, results=results
+    )
+    return bool(run_amp(meas, denoiser=denoiser, config=config).exact)
+
+
+def _run_probe_round(
+    jobs: Sequence[Tuple[int, int]],
+    streams: Sequence[MeasurementStream],
+    n: int,
+    k: int,
+    gamma: int,
+    channel: Channel,
+    denoiser: Denoiser,
+    config: AMPConfig,
+    stack_elements: int,
+) -> List[bool]:
+    """Execute one round of probes; returns exact flags aligned with jobs.
+
+    Probes whose prefix incidence count exceeds
+    :data:`STACK_NNZ_CUTOFF` run standalone ``run_amp`` (their matvec
+    is memory-bound; stacking would only add assembly cost), the rest
+    stack into consecutive block-diagonal batches bounded by
+    ``stack_elements`` incidences. The dispatch never changes a probe's
+    outcome (shared kernel, bit-identical either way).
+    """
+    flags: List[Optional[bool]] = [None] * len(jobs)
+    stacked: List[int] = []
+    for j, (i, m) in enumerate(jobs):
+        streams[i].grow_to(m)
+        if int(streams[i].indptr[m]) > STACK_NNZ_CUTOFF:
+            flags[j] = _probe_standalone(
+                streams[i], m, n, gamma, channel, denoiser, config
+            )
+        else:
+            stacked.append(j)
+    lo = 0
+    while lo < len(stacked):
+        budget = 0
+        hi = lo
+        while hi < len(stacked):
+            j = stacked[hi]
+            i, m = jobs[j]
+            nnz = int(streams[i].indptr[m])
+            if hi > lo and budget + nnz > stack_elements:
+                break
+            budget += nnz
+            hi += 1
+        pack = stacked[lo:hi]
+        exact, _ = _decode_prefix_stack(
+            [jobs[j] for j in pack],
+            streams, n, k, gamma, channel, denoiser, config,
+        )
+        for j, ok in zip(pack, exact):
+            flags[j] = bool(ok)
+        lo = hi
+    return flags  # type: ignore[return-value]
+
+
+def _required_meta(
+    channel: Channel,
+    gamma: int,
+    max_m: int,
+    check_every: int,
+    denoiser: Denoiser,
+    engine: str,
+) -> Dict[str, object]:
+    return {
+        "algorithm": "amp",
+        "channel": channel.describe(),
+        "gamma": gamma,
+        "max_m": max_m,
+        "check_every": check_every,
+        "denoiser": denoiser.describe(),
+        "engine": engine,
+    }
+
+
+def required_queries_amp(
+    n: int,
+    k: int,
+    channel: Channel,
+    seeds: Sequence[RngLike],
+    *,
+    gamma: Optional[int] = None,
+    max_m: Optional[int] = None,
+    check_every: int = 1,
+    verify: str = "full",
+    denoiser: Optional[Denoiser] = None,
+    config: Optional[AMPConfig] = None,
+    initial_block: int = DEFAULT_INITIAL_BLOCK,
+    block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+    stack_elements: int = DEFAULT_STACK_ELEMENTS,
+) -> List[RequiredQueriesResult]:
+    """Smallest m per trial at which AMP decodes exactly (Figures 2-5).
+
+    For every seed, samples the trial's query stream **once** in
+    geometric-growth blocks (:class:`~repro.core.batch.
+    MeasurementStream`) and replays row-prefixes of it: a probe at
+    ``m'`` is a free ``indptr[:m'+1]`` slice plus the matching results
+    slice. The stopping m is located per trial with a galloping upper
+    bracket followed by bisection and a verify sweep of the
+    still-unresolved grid points below the candidate
+    (:class:`_RequiredMSearch`). With the default ``verify="full"``
+    the returned m is **identical to a brute-force ascending scan**
+    that runs standalone :func:`run_amp` at every ``check_every``
+    multiple of the same trial's prefix data
+    (:func:`required_queries_amp_linear` — pinned in
+    ``tests/test_amp_required.py``); ``verify="window"`` sweeps only
+    the galloping bracket, and ``verify="none"`` trusts the
+    quasi-monotone recovery profile outright and returns the bisection
+    boundary with sublinearly many probes (the sweep-scale fast mode —
+    see :class:`_RequiredMSearch` for the exactness/cost dial).
+
+    Execution is *stacked*: each probe round collects all still-active
+    trials' pending probes — heterogeneous per-trial m — into one
+    block-diagonal CSR and runs a single batched
+    :func:`~repro.amp.amp.iterate_amp` call (consecutive stacks bounded
+    by ``stack_elements`` incidences; memory-bound probes above
+    :data:`STACK_NNZ_CUTOFF` run standalone). Every trial is a pure
+    function of its child seed — probe schedules depend only on the
+    trial's own outcomes, and stacked iterates are bit-identical to
+    standalone ones — so contiguous chunks of a larger seed list
+    reproduce the same per-trial results, keeping sharded scans
+    (``workers=N``) bit-identical to serial ones.
+
+    Returns one :class:`~repro.core.types.RequiredQueriesResult` per
+    seed, in order; ``checks`` counts the distinct probes spent.
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    check_every = check_positive_int(check_every, "check_every")
+    gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+    if max_m is None:
+        max_m = default_max_queries(n, k, channel)
+    if denoiser is None:
+        denoiser = default_denoiser(n, k)
+    config = config if config is not None else _default_batch_config()
+    if not seeds:
+        return []
+    step = check_every
+    grid_max = (max_m // step) * step
+    meta = _required_meta(channel, gamma, max_m, check_every, denoiser, "batch")
+    meta["verify"] = verify
+
+    searches = [_RequiredMSearch(step, grid_max, verify) for _ in seeds]
+    streams: List[MeasurementStream] = []
+    for seed in seeds:
+        gen = normalize_rng(seed)
+        truth = sample_ground_truth(n, k, gen)
+        streams.append(
+            MeasurementStream(
+                n,
+                gamma,
+                channel,
+                truth,
+                gen,
+                max_m=max_m,
+                initial_block=initial_block,
+                block_elements=block_elements,
+                retain=True,
+            )
+        )
+
+    while True:
+        jobs: List[Tuple[int, int]] = []
+        for i, search in enumerate(searches):
+            if not search.done:
+                jobs.extend((i, m) for m in search.next_probes(VERIFY_WAVE))
+        if not jobs:
+            break
+        flags = _run_probe_round(
+            jobs, streams, n, k, gamma, channel, denoiser, config,
+            stack_elements,
+        )
+        touched = []
+        for (i, m), ok in zip(jobs, flags):
+            searches[i].record(m, ok)
+            if i not in touched:
+                touched.append(i)
+        for i in touched:
+            searches[i].advance()
+
+    return [
+        RequiredQueriesResult(
+            required_m=search.required_m,
+            n=n,
+            k=k,
+            succeeded=search.required_m is not None,
+            checks=search.checks,
+            meta=meta,
+        )
+        for search in searches
+    ]
+
+
+def required_queries_amp_linear(
+    n: int,
+    k: int,
+    channel: Channel,
+    seeds: Sequence[RngLike],
+    *,
+    gamma: Optional[int] = None,
+    max_m: Optional[int] = None,
+    check_every: int = 1,
+    denoiser: Optional[Denoiser] = None,
+    config: Optional[AMPConfig] = None,
+    initial_block: int = DEFAULT_INITIAL_BLOCK,
+    block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+) -> List[RequiredQueriesResult]:
+    """Brute-force per-grid-point linear scan — the required-m reference.
+
+    Probes every ``check_every`` multiple in ascending order with a
+    standalone :func:`run_amp` on the trial's prefix data until the
+    first exact decode. This is the semantic definition
+    :func:`required_queries_amp` reproduces (and is pinned against);
+    it also serves as the ``engine="legacy"`` path of
+    ``required_queries_trials(algorithm="amp")``. Orders of magnitude
+    more matvec work at sweep scale — use the stacked scan for real
+    runs.
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    check_every = check_positive_int(check_every, "check_every")
+    gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+    if max_m is None:
+        max_m = default_max_queries(n, k, channel)
+    if denoiser is None:
+        denoiser = default_denoiser(n, k)
+    config = config if config is not None else _default_batch_config()
+    step = check_every
+    grid_max = (max_m // step) * step
+    meta = _required_meta(channel, gamma, max_m, check_every, denoiser, "legacy")
+    out: List[RequiredQueriesResult] = []
+    for seed in seeds:
+        gen = normalize_rng(seed)
+        truth = sample_ground_truth(n, k, gen)
+        stream = MeasurementStream(
+            n,
+            gamma,
+            channel,
+            truth,
+            gen,
+            max_m=max_m,
+            initial_block=initial_block,
+            block_elements=block_elements,
+            retain=True,
+        )
+        required: Optional[int] = None
+        checks = 0
+        for g in range(step, grid_max + 1, step):
+            stream.grow_to(g)
+            checks += 1
+            if _probe_standalone(stream, g, n, gamma, channel, denoiser, config):
+                required = g
+                break
+        out.append(
+            RequiredQueriesResult(
+                required_m=required,
+                n=n,
+                k=k,
+                succeeded=required is not None,
+                checks=checks,
+                meta=meta,
+            )
+        )
+    return out
+
+
 __all__ = [
     "DEFAULT_STACK_ELEMENTS",
     "STACK_NNZ_CUTOFF",
+    "VERIFY_MODES",
+    "VERIFY_WAVE",
     "run_amp_batch",
     "run_amp_trials",
+    "required_queries_amp",
+    "required_queries_amp_linear",
 ]

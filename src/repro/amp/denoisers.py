@@ -59,6 +59,18 @@ class Denoiser(ABC):
     def derivative(self, x: np.ndarray, tau) -> np.ndarray:
         """``d eta / dx`` evaluated coordinate-wise (Onsager term)."""
 
+    def value_and_derivative(self, x: np.ndarray, tau):
+        """``(eta(x), d eta / dx)`` in one evaluation.
+
+        The AMP kernel needs both on the same ``(x, tau)`` every
+        iteration; denoisers whose derivative reuses the value (the
+        Bayes posterior mean) override this to share the expensive
+        part. The default evaluates the two methods separately. Both
+        results are bit-identical to the individual calls — overriding
+        only removes redundant recomputation, never changes arithmetic.
+        """
+        return self(x, tau), self.derivative(x, tau)
+
     @abstractmethod
     def describe(self) -> str:
         """Short human-readable description."""
@@ -95,6 +107,19 @@ class BayesBernoulliDenoiser(Denoiser):
         tau = _floor_tau(tau)
         eta = self(x, tau)
         return eta * (1.0 - eta) / (tau * tau)
+
+    def value_and_derivative(self, x: np.ndarray, tau):
+        """Share the posterior mean between value and derivative.
+
+        ``derivative`` is ``eta (1 - eta) / tau^2`` — recomputing
+        ``eta`` (an exp over the whole stack) for it doubled the
+        denoiser cost of every AMP iteration. One evaluation feeds
+        both; the returned arrays are bit-identical to the separate
+        calls (same inputs, same operations).
+        """
+        tau = _floor_tau(tau)
+        eta = self(x, tau)
+        return eta, eta * (1.0 - eta) / (tau * tau)
 
     def posterior_variance(self, x: np.ndarray, tau) -> np.ndarray:
         """``Var(sigma | x) = eta (1 - eta)`` for the 0/1 prior."""

@@ -1,14 +1,23 @@
-"""Command-line interface: ``python -m repro <figure> [options]``.
+"""Command-line interface: ``python -m repro <command> [options]``.
 
 Regenerates any paper figure's data from the terminal, e.g.::
 
     python -m repro fig2 --trials 5 --n-max 10000
     python -m repro fig6 --trials 25 --out results/
 
+and exposes the sweep primitives directly::
+
+    python -m repro required-queries --algorithm amp --n 2000 \
+        --channel z --p 0.1 --check-every 8 --workers 4
+    python -m repro threshold --algorithm amp --n 1000
+
 Use ``--full-scale`` to run the paper's complete grids (slow: the
 original sweeps extend to n = 10^5) and ``--workers N`` to shard the
 trials over N processes (``0`` = one per CPU) with bit-identical
-output.
+output. Algorithm choice lists come from the runner's shared constants
+(:data:`repro.experiments.runner.ALGORITHMS` /
+:data:`~repro.experiments.runner.REQUIRED_QUERIES_ALGORITHMS`), so the
+subcommands can never drift apart.
 """
 
 from __future__ import annotations
@@ -19,7 +28,45 @@ import time
 from typing import List, Optional
 
 from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.runner import ALGORITHMS, REQUIRED_QUERIES_ALGORITHMS
 from repro.experiments.stats import geometric_space
+
+#: channel constructors selectable on the command line
+CHANNELS = ("z", "noiseless", "gaussian", "noisy")
+
+
+def _instance_parent() -> argparse.ArgumentParser:
+    """Shared instance/channel options of the sweep subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--n", type=int, default=1000, help="number of agents")
+    parent.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="number of 1-agents (default: sublinear n**theta)",
+    )
+    parent.add_argument(
+        "--theta", type=float, default=0.25, help="sublinear exponent for k"
+    )
+    parent.add_argument(
+        "--channel",
+        choices=CHANNELS,
+        default="z",
+        help="noise channel (default: Z-channel)",
+    )
+    parent.add_argument(
+        "--p", type=float, default=0.1, help="flip probability (z / noisy)"
+    )
+    parent.add_argument(
+        "--q", type=float, default=0.05, help="false-positive rate (noisy)"
+    )
+    parent.add_argument(
+        "--lam", type=float, default=1.0, help="noise scale lambda (gaussian)"
+    )
+    parent.add_argument("--gamma", type=int, default=None, help="query size Gamma")
+    parent.add_argument("--seed", type=int, default=2022, help="root seed")
+    parent.add_argument("--out", type=str, default=None, help="save JSON here")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,34 +75,41 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce figures from 'Distributed Reconstruction of "
         "Noisy Pooled Data' (ICDCS 2022)",
     )
-    parser.add_argument(
-        "figure",
-        choices=sorted(FIGURES) + ["all"],
-        help="which figure to regenerate (or 'all')",
-    )
-    parser.add_argument("--trials", type=int, default=None, help="trials per point")
-    parser.add_argument("--seed", type=int, default=2022, help="root seed")
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    # -- figure subcommands (fig2 .. fig7, all) -------------------------
+    figures = argparse.ArgumentParser(add_help=False)
+    figures.add_argument("--trials", type=int, default=None, help="trials per point")
+    figures.add_argument("--seed", type=int, default=2022, help="root seed")
+    figures.add_argument(
         "--n-min", type=int, default=100, help="smallest n on the grid (figs 2-4)"
     )
-    parser.add_argument(
+    figures.add_argument(
         "--n-max", type=int, default=10_000, help="largest n on the grid (figs 2-4)"
     )
-    parser.add_argument(
+    figures.add_argument(
         "--n-points", type=int, default=9, help="points on the n grid (figs 2-4)"
     )
-    parser.add_argument(
+    figures.add_argument(
         "--check-every",
         type=int,
         default=1,
         help="success-check stride of the incremental simulator",
     )
-    parser.add_argument(
+    figures.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=REQUIRED_QUERIES_ALGORITHMS,
+        default=None,
+        help="required-m stopping rules to plot side by side (figs 2-5; "
+        "default: greedy only)",
+    )
+    figures.add_argument(
         "--full-scale",
         action="store_true",
         help="use the paper's full grids (n up to 1e5, 100 trials)",
     )
-    parser.add_argument(
+    figures.add_argument(
         "--engine",
         choices=("batch", "legacy"),
         default="batch",
@@ -64,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         "original per-query/per-trial loops — both produce identical "
         "results for the same seed",
     )
-    parser.add_argument(
+    figures.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -72,13 +126,213 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the REPRO_WORKERS env var, else 1 = serial); "
         "results are bit-identical for any worker count",
     )
-    parser.add_argument("--out", type=str, default=None, help="save JSON/CSV here")
-    parser.add_argument(
+    figures.add_argument("--out", type=str, default=None, help="save JSON/CSV here")
+    figures.add_argument(
         "--plot",
         action="store_true",
         help="render an ASCII plot of the figure's series",
     )
+    for name in sorted(FIGURES) + ["all"]:
+        fig_parser = sub.add_parser(
+            name,
+            parents=[figures],
+            help=(
+                "regenerate all figures" if name == "all" else f"regenerate {name}"
+            ),
+        )
+        fig_parser.set_defaults(figure=name)
+
+    # -- required-queries -----------------------------------------------
+    instance = _instance_parent()
+    rq = sub.add_parser(
+        "required-queries",
+        parents=[instance],
+        help="required-m sweep: smallest m per trial under the chosen "
+        "stopping rule (greedy separation or exact AMP decode)",
+    )
+    rq.add_argument(
+        "--algorithm",
+        choices=REQUIRED_QUERIES_ALGORITHMS,
+        default="greedy",
+        help="stopping rule (shared constant with the other subcommands)",
+    )
+    rq.add_argument("--trials", type=int, default=10, help="independent trials")
+    rq.add_argument(
+        "--check-every", type=int, default=1, help="success-check stride"
+    )
+    rq.add_argument(
+        "--max-m", type=int, default=None, help="query budget per trial"
+    )
+    rq.add_argument(
+        "--verify",
+        choices=("full", "window", "none"),
+        default="full",
+        help="AMP scan verify mode: full = brute-force-identical "
+        "certificate sweep (default), window = galloping-bracket sweep, "
+        "none = trust the quasi-monotone profile (fastest)",
+    )
+    rq.add_argument(
+        "--engine",
+        choices=("batch", "legacy"),
+        default="batch",
+        help="batch = chunked/stacked scan, legacy = per-query loop or "
+        "brute-force linear AMP scan; stopping m's are identical for "
+        "greedy and for AMP under --verify full (the window/none modes "
+        "trade that guarantee for fewer probes)",
+    )
+    rq.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU); bit-identical output",
+    )
+
+    # -- threshold ------------------------------------------------------
+    th = sub.add_parser(
+        "threshold",
+        parents=[instance],
+        help="success-probability threshold search (bracket + bisection "
+        "over fresh instances)",
+    )
+    th.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="greedy",
+        help="reconstruction algorithm (shared constant with the other "
+        "subcommands)",
+    )
+    th.add_argument("--trials", type=int, default=20, help="trials per probe")
+    th.add_argument(
+        "--level", type=float, default=0.5, help="target success probability"
+    )
+    th.add_argument("--m-init", type=int, default=8, help="first bracket probe")
+    th.add_argument("--m-cap", type=int, default=None, help="largest probe")
+    th.add_argument(
+        "--tolerance", type=int, default=4, help="bisection stopping width"
+    )
     return parser
+
+
+def _channel_from_args(args: argparse.Namespace):
+    from repro.core.noise import (
+        GaussianQueryNoise,
+        NoiselessChannel,
+        NoisyChannel,
+        ZChannel,
+    )
+
+    if args.channel == "noiseless":
+        return NoiselessChannel()
+    if args.channel == "z":
+        return ZChannel(args.p)
+    if args.channel == "gaussian":
+        return GaussianQueryNoise(args.lam)
+    return NoisyChannel(args.p, args.q)
+
+
+def _resolve_k(args: argparse.Namespace) -> int:
+    if args.k is not None:
+        return args.k
+    from repro.core.ground_truth import sublinear_k
+
+    return sublinear_k(args.n, args.theta)
+
+
+def _run_required_queries(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import required_queries_trials
+    from repro.experiments.tables import render_kv
+
+    channel = _channel_from_args(args)
+    k = _resolve_k(args)
+    started = time.perf_counter()
+    sample = required_queries_trials(
+        args.n,
+        k,
+        channel,
+        trials=args.trials,
+        seed=args.seed,
+        max_m=args.max_m,
+        check_every=args.check_every,
+        gamma=args.gamma,
+        algorithm=args.algorithm,
+        verify=args.verify,
+        engine=args.engine,
+        workers=args.workers,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        render_kv(
+            f"required-queries ({sample.algorithm})",
+            [
+                ("algorithm", sample.algorithm),
+                ("n", sample.n),
+                ("k", sample.k),
+                ("channel", sample.channel),
+                ("trials", sample.trials),
+                ("failures", sample.failures),
+                ("required_m_median", sample.median),
+                ("required_m_mean", sample.mean),
+                ("values", sample.values),
+            ],
+        )
+    )
+    print(f"[required-queries] completed in {elapsed:.1f}s")
+    if args.out:
+        from pathlib import Path
+
+        from repro.experiments.storage import save_json
+
+        path = Path(args.out) / f"required_queries_{sample.algorithm}.json"
+        save_json(path, sample)
+        print(f"[required-queries] saved to {path}")
+    return 0
+
+
+def _run_threshold(args: argparse.Namespace) -> int:
+    from repro.experiments.search import success_probability_threshold
+    from repro.experiments.tables import render_kv
+
+    channel = _channel_from_args(args)
+    k = _resolve_k(args)
+    started = time.perf_counter()
+    estimate = success_probability_threshold(
+        args.n,
+        k,
+        channel,
+        level=args.level,
+        trials=args.trials,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        m_init=args.m_init,
+        m_cap=args.m_cap,
+        tolerance=args.tolerance,
+        gamma=args.gamma,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        render_kv(
+            f"threshold ({args.algorithm})",
+            [
+                ("algorithm", args.algorithm),
+                ("n", args.n),
+                ("k", k),
+                ("channel", channel.describe()),
+                ("level", estimate.level),
+                ("threshold_m", estimate.threshold_m),
+                ("probes", len(estimate.probes)),
+            ],
+        )
+    )
+    print(f"[threshold] completed in {elapsed:.1f}s")
+    if args.out:
+        from pathlib import Path
+
+        from repro.experiments.storage import save_json
+
+        path = Path(args.out) / f"threshold_{args.algorithm}.json"
+        save_json(path, estimate)
+        print(f"[threshold] saved to {path}")
+    return 0
 
 
 #: per-figure plot axes: (x_key, y_key, log_x, log_y)
@@ -117,11 +371,17 @@ def _figure_kwargs(args: argparse.Namespace, name: str) -> dict:
             kwargs["check_every"] = args.check_every
         if args.trials is not None:
             kwargs["trials"] = args.trials
+    if args.algorithms is not None and name in ("fig2", "fig3", "fig4", "fig5"):
+        kwargs["algorithms"] = tuple(args.algorithms)
     return kwargs
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "required-queries":
+        return _run_required_queries(args)
+    if args.command == "threshold":
+        return _run_threshold(args)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         started = time.perf_counter()

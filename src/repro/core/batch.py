@@ -264,6 +264,171 @@ def sample_pooling_graph_batch(
     return PoolingGraph._unchecked(n, gamma, indptr, agents, counts)
 
 
+class MeasurementStream:
+    """Block-grown, prefix-sliceable measured query stream of one trial.
+
+    Samples one trial's query stream in geometric-growth blocks — each
+    block is a single ``rng.integers`` draw collapsed to CSR plus one
+    vectorized channel measurement — exactly the generator-consumption
+    order of the chunked incremental simulator. Both incremental
+    consumers share it:
+
+    * the greedy required-queries path drives :meth:`next_block` and
+      scans each block as it appears (``retain=False`` — nothing is
+      stored, matching the legacy streaming memory profile);
+    * the AMP required-m scan (:func:`repro.amp.batch_amp.
+      required_queries_amp`) drives :meth:`grow_to` with ``retain=True``
+      and replays **prefixes**: the pooling graph at ``m'`` queries is a
+      row-prefix of the graph at ``m >= m'``, so :meth:`prefix` is a
+      free ``indptr[:m'+1]`` / ``agents[:indptr[m']]`` slice plus the
+      matching results slice — no resampling, no re-measurement.
+
+    Determinism contract: the block schedule (sizes and order) is a
+    pure function of ``(initial_block, block_elements, gamma, k,
+    max_m)``, and growth only ever appends blocks, so the stream's
+    first ``m`` queries — and therefore every prefix probe — are
+    identical no matter which consumer drives the growth or how far
+    past ``m`` it grows. A trial is thus a pure function of its child
+    seed, which is what keeps sharded and stacked required-m scans
+    bit-identical to serial ones.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        gamma: int,
+        channel: Channel,
+        truth: GroundTruth,
+        gen: RngLike = None,
+        *,
+        max_m: int,
+        initial_block: int = DEFAULT_INITIAL_BLOCK,
+        block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+        retain: bool = True,
+    ):
+        self.n = check_positive_int(n, "n")
+        self.gamma = check_positive_int(gamma, "gamma")
+        self.channel = channel
+        self.truth = truth
+        self.gen = normalize_rng(gen)
+        self.max_m = check_positive_int(max_m, "max_m", minimum=0)
+        self.retain = retain
+        self._sigma64 = truth.sigma.astype(np.int64)
+        # Bound the per-block incidence arrays (b * gamma) AND the
+        # greedy scanner's (b, k) ones-prefix matrix — one shared
+        # schedule for both consumers.
+        self._cap = max(1, block_elements // max(self.gamma, truth.k, 1))
+        self._block = min(check_positive_int(initial_block, "initial_block"), self._cap)
+        self.m_done = 0
+        # Retained blocks accumulate in per-block part lists and are
+        # concatenated lazily on first prefix access after growth —
+        # eager per-block concatenation would re-copy the whole stream
+        # on every append, going quadratic once block growth hits the
+        # element cap (dense gamma at paper scale).
+        self._edges = 0
+        self._indptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        self._agents_parts: List[np.ndarray] = []
+        self._counts_parts: List[np.ndarray] = []
+        self._results_parts: List[np.ndarray] = []
+        self._consolidated = None
+
+    def next_block(self):
+        """Sample and measure the next block of the stream.
+
+        Returns ``(lo, indptr, agents, counts, results)`` — the block's
+        0-based starting query index plus its *local* CSR triple and
+        raw channel results — or ``None`` once ``max_m`` queries exist.
+        In retain mode the block is also appended to the stream arrays.
+        """
+        if self.m_done >= self.max_m:
+            return None
+        b = min(self._block, self.max_m - self.m_done)
+        draws = self.gen.integers(0, self.n, size=(b, self.gamma))
+        indptr, agents, counts = _csr_from_draws(draws, self.n)
+        weighted = counts * self._sigma64[agents]
+        e1 = np.add.reduceat(weighted, indptr[:-1])
+        results = self.channel.measure(e1, self.gamma, self.gen)
+        lo = self.m_done
+        self.m_done += b
+        self._block = min(self._block * 2, self._cap)
+        if self.retain:
+            self._indptr_parts.append(indptr[1:] + self._edges)
+            self._edges += int(indptr[-1])
+            self._agents_parts.append(agents)
+            self._counts_parts.append(counts)
+            self._results_parts.append(np.asarray(results, dtype=np.float64))
+            self._consolidated = None
+        return lo, indptr, agents, counts, results
+
+    def grow_to(self, m: int) -> None:
+        """Ensure the first ``min(m, max_m)`` queries exist (retain mode)."""
+        target = min(m, self.max_m)
+        while self.m_done < target:
+            self.next_block()
+
+    def _consolidate(self):
+        if self._consolidated is None:
+            self._consolidated = (
+                np.concatenate(self._indptr_parts),
+                (
+                    np.concatenate(self._agents_parts)
+                    if self._agents_parts
+                    else np.zeros(0, dtype=np.int64)
+                ),
+                (
+                    np.concatenate(self._counts_parts)
+                    if self._counts_parts
+                    else np.zeros(0, dtype=np.int64)
+                ),
+                (
+                    np.concatenate(self._results_parts)
+                    if self._results_parts
+                    else np.zeros(0, dtype=np.float64)
+                ),
+            )
+        return self._consolidated
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Consolidated CSR ``indptr`` of the retained stream."""
+        return self._consolidate()[0]
+
+    @property
+    def agents(self) -> np.ndarray:
+        """Consolidated distinct-agent ids of the retained stream."""
+        return self._consolidate()[1]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Consolidated incidence multiplicities of the retained stream."""
+        return self._consolidate()[2]
+
+    @property
+    def results(self) -> np.ndarray:
+        """Consolidated channel results of the retained stream."""
+        return self._consolidate()[3]
+
+    def prefix(self, m: int):
+        """CSR triple + results views of the first ``m`` queries.
+
+        Returns ``(indptr, agents, counts, results)`` slices — views
+        into the retained stream, so a probe at ``m`` costs no copies.
+        """
+        if not self.retain:
+            raise ValueError("prefix replay requires a retained stream")
+        if m > self.m_done:
+            raise ValueError(
+                f"prefix m={m} exceeds the grown stream length {self.m_done}"
+            )
+        edges = int(self.indptr[m])
+        return (
+            self.indptr[: m + 1],
+            self.agents[:edges],
+            self.counts[:edges],
+            self.results[:m],
+        )
+
+
 class _SuccessScanner:
     """Exact first-success scan with a lazy zeros-maximum certificate.
 
@@ -576,29 +741,34 @@ class BatchTrialRunner:
         if max_m is None:
             max_m = default_max_queries(self.n, self.k, self.channel)
         offset = self._offset()
-        sigma64 = truth.sigma.astype(np.int64)
         scanner = _SuccessScanner(truth)
-        # Bound the per-block incidence arrays (b * gamma) AND the
-        # scanner's (b, k) ones-prefix matrix.
-        cap = max(1, self._block_elements // max(self.gamma, truth.k, 1))
-        block = min(self._initial_block, cap)
+        # The shared block-grown stream (sampling + measurement); the
+        # greedy scan consumes blocks as they appear and retains nothing.
+        stream = MeasurementStream(
+            self.n,
+            self.gamma,
+            self.channel,
+            truth,
+            gen,
+            max_m=max_m,
+            initial_block=self._initial_block,
+            block_elements=self._block_elements,
+            retain=False,
+        )
         meta = {
             "channel": self.channel.describe(),
             "gamma": self.gamma,
             "max_m": max_m,
             "engine": "batch",
         }
-        m_done = 0
         checks = 0
-        while m_done < max_m:
-            b = min(block, max_m - m_done)
-            draws = gen.integers(0, self.n, size=(b, self.gamma))
-            indptr, agents, counts = _csr_from_draws(draws, self.n)
-            weighted = counts * sigma64[agents]
-            e1 = np.add.reduceat(weighted, indptr[:-1])
-            results = self.channel.measure(e1, self.gamma, gen)
+        while True:
+            block = stream.next_block()
+            if block is None:
+                break
+            lo, indptr, agents, counts, results = block
             deltas = np.asarray(results, dtype=np.float64) - offset
-            ms = np.arange(m_done + 1, m_done + b + 1)
+            ms = np.arange(lo + 1, lo + indptr.size)
             checkable = ms % check_every == 0
             t = scanner.scan(indptr, agents, deltas, checkable)
             if t is not None:
@@ -611,8 +781,6 @@ class BatchTrialRunner:
                     meta=meta,
                 )
             checks += int(np.count_nonzero(checkable))
-            m_done += b
-            block = min(block * 2, cap)
         return RequiredQueriesResult(
             required_m=None,
             n=self.n,
@@ -644,5 +812,6 @@ __all__ = [
     "DEFAULT_INITIAL_BLOCK",
     "sample_pooling_graph_batch",
     "first_success_m",
+    "MeasurementStream",
     "BatchTrialRunner",
 ]

@@ -21,6 +21,7 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import (
     ALGORITHMS,
     ENGINES,
+    REQUIRED_QUERIES_ALGORITHMS,
     RequiredQueriesSample,
     SuccessCurve,
     required_queries_trials,
@@ -39,7 +40,13 @@ from repro.experiments.stats import (
     geometric_space,
 )
 from repro.experiments.plots import ascii_plot, plot_figure_result
-from repro.experiments.storage import load_csv, load_json, save_csv, save_json
+from repro.experiments.storage import (
+    load_csv,
+    load_json,
+    load_required_queries_sample,
+    save_csv,
+    save_json,
+)
 from repro.experiments.tables import render_kv, render_table
 
 __all__ = [
@@ -55,6 +62,7 @@ __all__ = [
     "FIGURES",
     "run_figure",
     "ALGORITHMS",
+    "REQUIRED_QUERIES_ALGORITHMS",
     "ENGINES",
     "RequiredQueriesSample",
     "SuccessCurve",
@@ -75,6 +83,7 @@ __all__ = [
     "load_json",
     "save_csv",
     "load_csv",
+    "load_required_queries_sample",
     "render_table",
     "render_kv",
     "ascii_plot",

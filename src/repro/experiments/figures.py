@@ -46,6 +46,16 @@ DEFAULT_N_VALUES = tuple(geometric_space(100, 10_000, 9))
 DEFAULT_THETA = 0.25
 
 
+def _series_label(algorithm: str, label: str, algorithms) -> str:
+    """Series name for a required-m curve.
+
+    Single-algorithm runs (the default greedy-only pipeline) keep the
+    historical labels; multi-algorithm runs prefix the algorithm so the
+    greedy and AMP required-m curves sit side by side in one figure.
+    """
+    return label if len(algorithms) == 1 else f"{algorithm} {label}"
+
+
 @dataclass(frozen=True)
 class FigureResult:
     """Tidy result of one figure reproduction."""
@@ -92,6 +102,7 @@ def figure2(
     check_every: int = 1,
     bound_p: float = 0.1,
     bound_eps: float = 0.05,
+    algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
 ) -> FigureResult:
@@ -99,33 +110,38 @@ def figure2(
 
     Series: one per flip probability ``p`` (median over trials) plus the
     Theorem 1 dashed bound for ``bound_p`` and ``eps = bound_eps``.
+    Pass ``algorithms=("greedy", "amp")`` to plot the AMP required-m
+    curve (smallest checked m whose prefix decodes exactly) beside the
+    greedy separation rule; series then gain an algorithm prefix.
     """
     rows: List[Dict[str, object]] = []
-    for p in ps:
-        channel = ZChannel(p)
-        for n in n_values:
-            k = sublinear_k(n, theta)
-            sample = required_queries_trials(
-                n,
-                k,
-                channel,
-                trials=trials,
-                seed=seed,
-                check_every=check_every,
-                engine=engine,
-                workers=workers,
-            )
-            rows.append(
-                {
-                    "series": f"p={p:g}",
-                    "n": n,
-                    "k": k,
-                    "required_m_median": sample.median,
-                    "required_m_mean": sample.mean,
-                    "trials": sample.trials,
-                    "failures": sample.failures,
-                }
-            )
+    for algorithm in algorithms:
+        for p in ps:
+            channel = ZChannel(p)
+            for n in n_values:
+                k = sublinear_k(n, theta)
+                sample = required_queries_trials(
+                    n,
+                    k,
+                    channel,
+                    trials=trials,
+                    seed=seed,
+                    check_every=check_every,
+                    algorithm=algorithm,
+                    engine=engine,
+                    workers=workers,
+                )
+                rows.append(
+                    {
+                        "series": _series_label(algorithm, f"p={p:g}", algorithms),
+                        "n": n,
+                        "k": k,
+                        "required_m_median": sample.median,
+                        "required_m_mean": sample.mean,
+                        "trials": sample.trials,
+                        "failures": sample.failures,
+                    }
+                )
     for n in n_values:
         rows.append(
             {
@@ -145,6 +161,7 @@ def figure2(
             "trials": trials,
             "bound_p": bound_p,
             "bound_eps": bound_eps,
+            "algorithms": list(algorithms),
         },
         rows=rows,
     )
@@ -160,37 +177,44 @@ def figure3(
     check_every: int = 1,
     include_bound: bool = True,
     bound_eps: float = 0.05,
+    algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
 ) -> FigureResult:
-    """Figure 3: required queries vs n, noisy query model vs noiseless."""
+    """Figure 3: required queries vs n, noisy query model vs noiseless.
+
+    ``algorithms=("greedy", "amp")`` adds the AMP required-m curves
+    beside the greedy ones (algorithm-prefixed series).
+    """
     rows: List[Dict[str, object]] = []
     channels = [("without noise", NoiselessChannel())]
     channels += [(f"lambda={lam:g}", GaussianQueryNoise(lam)) for lam in lams]
-    for label, channel in channels:
-        for n in n_values:
-            k = sublinear_k(n, theta)
-            sample = required_queries_trials(
-                n,
-                k,
-                channel,
-                trials=trials,
-                seed=seed,
-                check_every=check_every,
-                engine=engine,
-                workers=workers,
-            )
-            rows.append(
-                {
-                    "series": label,
-                    "n": n,
-                    "k": k,
-                    "required_m_median": sample.median,
-                    "required_m_mean": sample.mean,
-                    "trials": sample.trials,
-                    "failures": sample.failures,
-                }
-            )
+    for algorithm in algorithms:
+        for label, channel in channels:
+            for n in n_values:
+                k = sublinear_k(n, theta)
+                sample = required_queries_trials(
+                    n,
+                    k,
+                    channel,
+                    trials=trials,
+                    seed=seed,
+                    check_every=check_every,
+                    algorithm=algorithm,
+                    engine=engine,
+                    workers=workers,
+                )
+                rows.append(
+                    {
+                        "series": _series_label(algorithm, label, algorithms),
+                        "n": n,
+                        "k": k,
+                        "required_m_median": sample.median,
+                        "required_m_mean": sample.mean,
+                        "trials": sample.trials,
+                        "failures": sample.failures,
+                    }
+                )
     if include_bound:
         for n in n_values:
             rows.append(
@@ -209,6 +233,7 @@ def figure3(
             "lams": list(lams),
             "theta": theta,
             "trials": trials,
+            "algorithms": list(algorithms),
         },
         rows=rows,
     )
@@ -225,6 +250,7 @@ def figure4(
     include_bounds: bool = True,
     bound_eps: float = 0.05,
     centering: str = "oracle",
+    algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
 ) -> FigureResult:
@@ -243,32 +269,34 @@ def figure4(
     the Theorem 1 trajectory (see DESIGN.md, ablation A1).
     """
     rows: List[Dict[str, object]] = []
-    for q in qs:
-        channel = NoisyChannel(q, q)
-        for n in n_values:
-            k = sublinear_k(n, theta)
-            sample = required_queries_trials(
-                n,
-                k,
-                channel,
-                trials=trials,
-                seed=seed,
-                check_every=check_every,
-                centering=centering,
-                engine=engine,
-                workers=workers,
-            )
-            rows.append(
-                {
-                    "series": f"q={q:g}",
-                    "n": n,
-                    "k": k,
-                    "required_m_median": sample.median,
-                    "required_m_mean": sample.mean,
-                    "trials": sample.trials,
-                    "failures": sample.failures,
-                }
-            )
+    for algorithm in algorithms:
+        for q in qs:
+            channel = NoisyChannel(q, q)
+            for n in n_values:
+                k = sublinear_k(n, theta)
+                sample = required_queries_trials(
+                    n,
+                    k,
+                    channel,
+                    trials=trials,
+                    seed=seed,
+                    check_every=check_every,
+                    centering=centering,
+                    algorithm=algorithm,
+                    engine=engine,
+                    workers=workers,
+                )
+                rows.append(
+                    {
+                        "series": _series_label(algorithm, f"q={q:g}", algorithms),
+                        "n": n,
+                        "k": k,
+                        "required_m_median": sample.median,
+                        "required_m_mean": sample.mean,
+                        "trials": sample.trials,
+                        "failures": sample.failures,
+                    }
+                )
     if include_bounds:
         for q in qs:
             for n in n_values:
@@ -290,6 +318,7 @@ def figure4(
             "qs": list(qs),
             "theta": theta,
             "trials": trials,
+            "algorithms": list(algorithms),
         },
         rows=rows,
     )
@@ -304,6 +333,7 @@ def figure5(
     trials: int = 20,
     seed: RngLike = 2022,
     check_every: int = 1,
+    algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
 ) -> FigureResult:
@@ -311,7 +341,9 @@ def figure5(
 
     The paper shows ``n in {10^3, 10^4, 10^5}``; the default grid stops
     at ``10^4`` (pass ``n_values=(1000, 10_000, 100_000)`` for the full
-    version). One row per (n, configuration) with Tukey boxplot stats.
+    version). One row per (n, configuration) with Tukey boxplot stats;
+    ``algorithms=("greedy", "amp")`` adds AMP required-m boxplots
+    beside the greedy ones.
     """
     rows: List[Dict[str, object]] = []
     configs = [(f"Z p={p:g}", ZChannel(p)) for p in ps]
@@ -322,36 +354,38 @@ def figure5(
         )
         for lam in lams
     ]
-    for n in n_values:
-        k = sublinear_k(n, theta)
-        for label, channel in configs:
-            sample = required_queries_trials(
-                n,
-                k,
-                channel,
-                trials=trials,
-                seed=seed,
-                check_every=check_every,
-                engine=engine,
-                workers=workers,
-            )
-            if not sample.values:
-                continue
-            stats = boxplot_stats(sample.values)
-            rows.append(
-                {
-                    "series": label,
-                    "n": n,
-                    "k": k,
-                    "median": stats.median,
-                    "q1": stats.q1,
-                    "q3": stats.q3,
-                    "whisker_low": stats.whisker_low,
-                    "whisker_high": stats.whisker_high,
-                    "outliers": len(stats.outliers),
-                    "trials": sample.trials,
-                }
-            )
+    for algorithm in algorithms:
+        for n in n_values:
+            k = sublinear_k(n, theta)
+            for label, channel in configs:
+                sample = required_queries_trials(
+                    n,
+                    k,
+                    channel,
+                    trials=trials,
+                    seed=seed,
+                    check_every=check_every,
+                    algorithm=algorithm,
+                    engine=engine,
+                    workers=workers,
+                )
+                if not sample.values:
+                    continue
+                stats = boxplot_stats(sample.values)
+                rows.append(
+                    {
+                        "series": _series_label(algorithm, label, algorithms),
+                        "n": n,
+                        "k": k,
+                        "median": stats.median,
+                        "q1": stats.q1,
+                        "q3": stats.q3,
+                        "whisker_low": stats.whisker_low,
+                        "whisker_high": stats.whisker_high,
+                        "outliers": len(stats.outliers),
+                        "trials": sample.trials,
+                    }
+                )
     return FigureResult(
         figure="fig5",
         description="boxplots of required queries (Z-channel and noisy query)",
@@ -361,6 +395,7 @@ def figure5(
             "lams": list(lams),
             "theta": theta,
             "trials": trials,
+            "algorithms": list(algorithms),
         },
         rows=rows,
     )

@@ -14,9 +14,11 @@ exploits it without changing a single seeded output:
 3. **Ordered merge** — each chunk runs through
    :class:`~repro.core.batch.BatchTrialRunner`, the batched AMP stack
    (:func:`repro.amp.batch_amp.run_amp_trials` — one block-diagonal
-   system per chunk instead of chunk-size serial runs), or the legacy
-   per-query loop inside a worker process, and the per-trial outcomes
-   are merged back in trial order.
+   system per chunk instead of chunk-size serial runs), the stacked
+   AMP required-m scan (:func:`repro.amp.batch_amp.
+   required_queries_amp` — a chunk's trials share probe rounds), or
+   the legacy per-query loop inside a worker process, and the
+   per-trial outcomes are merged back in trial order.
 
 Because a trial's result is a pure function of its own seed, the merged
 output is bit-identical to the serial run for any worker count — the
@@ -130,9 +132,41 @@ def _required_queries_chunk(
 ) -> List[Tuple[bool, Optional[int]]]:
     """Run one contiguous chunk of required-queries trials.
 
-    Returns ``(succeeded, required_m)`` per trial, in chunk order.
+    Returns ``(succeeded, required_m)`` per trial, in chunk order. An
+    AMP chunk runs the stacked prefix-replay scan over its whole seed
+    list — the trials of one chunk share probe rounds — which is free
+    to do because every trial's probes and outcomes are a pure function
+    of its own seed (the chunk layout never shows in the merge).
     """
     out: List[Tuple[bool, Optional[int]]] = []
+    if spec.get("algorithm", "greedy") == "amp":
+        from repro.amp.batch_amp import (
+            required_queries_amp,
+            required_queries_amp_linear,
+        )
+
+        if spec["engine"] == "batch":
+            runs = required_queries_amp(
+                spec["n"],
+                spec["k"],
+                spec["channel"],
+                list(seeds),
+                gamma=spec["gamma"],
+                max_m=spec["max_m"],
+                check_every=spec["check_every"],
+                verify=spec.get("verify", "full"),
+            )
+        else:
+            runs = required_queries_amp_linear(
+                spec["n"],
+                spec["k"],
+                spec["channel"],
+                list(seeds),
+                gamma=spec["gamma"],
+                max_m=spec["max_m"],
+                check_every=spec["check_every"],
+            )
+        return [(result.succeeded, result.required_m) for result in runs]
     if spec["engine"] == "batch":
         from repro.core.batch import BatchTrialRunner
 
@@ -245,13 +279,16 @@ def required_queries_outcomes(
     check_every: int = 1,
     gamma: Optional[int] = None,
     centering: str = "half_k",
+    algorithm: str = "greedy",
+    verify: str = "full",
     engine: str = "batch",
 ) -> List[Tuple[bool, Optional[int]]]:
     """Sharded required-queries trials; outcomes in trial order.
 
     Spawns the serial path's per-trial child seeds, shards them into
     contiguous chunks, runs each chunk in a worker, and concatenates
-    the chunk outcomes — bit-identical to the serial trial loop.
+    the chunk outcomes — bit-identical to the serial trial loop for
+    both stopping rules (``algorithm="greedy"`` / ``"amp"``).
     """
     spec = {
         "n": n,
@@ -259,6 +296,8 @@ def required_queries_outcomes(
         "channel": channel,
         "gamma": gamma,
         "centering": centering,
+        "algorithm": algorithm,
+        "verify": verify,
         "engine": engine,
         "max_m": max_m,
         "check_every": check_every,

@@ -23,27 +23,39 @@ noise (see ``tests/test_batch.py``).
 
 Algorithm × engine support
 --------------------------
-Fixed-``m`` trials (:func:`success_rate_curve`) dispatch per algorithm:
+Fixed-``m`` trials (:func:`success_rate_curve`) and required-m trials
+(:func:`required_queries_trials`) dispatch per algorithm:
 
 ==============  =======================================  ======================
 algorithm       ``engine="batch"``                       ``engine="legacy"``
 ==============  =======================================  ======================
-``greedy``      stacked trials via                       per-trial loop
-                :class:`~repro.core.batch.BatchTrialRunner`
-``amp``         block-diagonal batched AMP via           per-trial
-                :func:`repro.amp.batch_amp.run_amp_trials`  :func:`~repro.amp.run_amp`
-``distributed``  per-trial loop (no batch form)          per-trial loop
-``twostage``     per-trial loop (no batch form)          per-trial loop
+``greedy``      fixed-m: stacked trials via              fixed-m: per-trial
+                :class:`~repro.core.batch.BatchTrialRunner`;  loop; required-m:
+                required-m: its chunked incremental      per-query
+                simulator                                :func:`~repro.core.
+                                                         incremental.required_queries`
+``amp``         fixed-m: block-diagonal batched AMP via  fixed-m: per-trial
+                :func:`repro.amp.batch_amp.run_amp_trials`;  :func:`~repro.amp.run_amp`;
+                required-m: prefix-replay galloping +    required-m: brute-force
+                stacked bisection scan                   per-grid-point linear
+                (:func:`repro.amp.batch_amp.             scan (:func:`repro.amp.
+                required_queries_amp`)                   batch_amp.required_queries_amp_linear`)
+``distributed``  fixed-m per-trial loop (no batch or     fixed-m per-trial loop
+                 required-m form)
+``twostage``     fixed-m per-trial loop (no batch or     fixed-m per-trial loop
+                 required-m form)
 ==============  =======================================  ======================
 
 The batch greedy path covers ``algorithm_kwargs`` of ``centering`` in
 ``("half_k", "oracle")``; the batch AMP path covers ``denoiser``,
 ``config`` and the default ``sparse=True``. Any other keyword falls
 back to the seed-compatible legacy per-trial loop, so results never
-depend on which path ran. :func:`required_queries_trials` implements
-the paper's incremental stopping rule for the greedy scores only (AMP
-has no incremental form); its ``engine="batch"`` runs the chunked
-simulator of :class:`~repro.core.batch.BatchTrialRunner`.
+depend on which path ran. Required-m runs exist for ``greedy`` (the
+paper's incremental separation stopping rule) and ``amp`` ("smallest
+checked m whose prefix decodes exactly" — both engines return identical
+stopping m's by construction; the scan merely probes sublinearly and
+stacks probes block-diagonally). The greedy-only ``centering`` knob is
+ignored by the AMP required-m path.
 
 Multiprocess trial sharding
 ---------------------------
@@ -84,11 +96,16 @@ from repro.core.ground_truth import sample_ground_truth
 from repro.core.types import ReconstructionResult
 from repro.distributed.runner import run_distributed_algorithm1
 from repro.experiments import parallel
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
 from repro.utils.validation import check_positive_int
 
 #: algorithms runnable by the harness
 ALGORITHMS = ("greedy", "amp", "distributed", "twostage")
+
+#: algorithms with a required-number-of-queries form (Figures 2-5);
+#: the single source of the harness's and the CLI's ``--algorithm``
+#: choice lists for required-m sweeps.
+REQUIRED_QUERIES_ALGORITHMS = ("greedy", "amp")
 
 #: simulation engines: the vectorized batch engine vs the per-query loops
 ENGINES = ("batch", "legacy")
@@ -171,13 +188,22 @@ def _run_algorithm(
 
 @dataclass(frozen=True)
 class RequiredQueriesSample:
-    """Required-m trial outcomes for one configuration."""
+    """Required-m trial outcomes for one configuration.
+
+    ``algorithm`` names the stopping rule the values came from
+    (``"greedy"`` — the paper's incremental separation rule — or
+    ``"amp"`` — smallest checked m whose prefix decodes exactly), so
+    stored sweep artifacts stay distinguishable; artifacts written
+    before the field existed load as ``"greedy"`` (see
+    :func:`repro.experiments.storage.load_required_queries_sample`).
+    """
 
     n: int
     k: int
     channel: str
     values: List[int]
     failures: int
+    algorithm: str = "greedy"
 
     @property
     def trials(self) -> int:
@@ -203,18 +229,37 @@ def required_queries_trials(
     check_every: int = 1,
     gamma: Optional[int] = None,
     centering: str = "half_k",
+    algorithm: str = "greedy",
+    verify: str = "full",
     engine: str = "batch",
     workers: Optional[int] = None,
 ) -> RequiredQueriesSample:
-    """Run the incremental procedure ``trials`` times, collect required m.
+    """Run the required-m procedure ``trials`` times, collect required m.
 
-    ``engine="batch"`` (default) runs the chunked vectorized simulator;
-    ``engine="legacy"`` runs the original per-query loop. Both apply the
-    paper's exact query-by-query stopping rule. ``workers > 1`` shards
-    the trials across a process pool with bit-identical output (see
-    the module docstring and :mod:`repro.experiments.parallel`).
+    ``algorithm="greedy"`` (default) applies the paper's incremental
+    separation stopping rule — ``engine="batch"`` runs the chunked
+    vectorized simulator, ``engine="legacy"`` the original per-query
+    loop, both with the exact query-by-query semantics.
+    ``algorithm="amp"`` reports the smallest checked m whose
+    prefix-measured query stream decodes exactly under AMP —
+    ``engine="batch"`` runs the stacked galloping/bisection scan
+    (:func:`repro.amp.batch_amp.required_queries_amp`),
+    ``engine="legacy"`` the brute-force per-grid-point linear scan;
+    with the default ``verify="full"`` both return identical stopping
+    m's by construction (``verify="window"`` / ``"none"`` trade the
+    below-candidate certificate sweep for sweep-scale probe counts —
+    see :class:`repro.amp.batch_amp._RequiredMSearch`). The
+    greedy-only ``centering`` knob is ignored for AMP, and ``verify``
+    is ignored for greedy. ``workers > 1`` shards the trials across a
+    process pool with bit-identical output for any mode (see the
+    module docstring and :mod:`repro.experiments.parallel`).
     """
     check_positive_int(trials, "trials")
+    if algorithm not in REQUIRED_QUERIES_ALGORITHMS:
+        raise ValueError(
+            f"unknown required-queries algorithm {algorithm!r}; "
+            f"valid: {REQUIRED_QUERIES_ALGORITHMS}"
+        )
     engine = _check_engine(engine)
     workers = parallel.resolve_workers(workers)
     if workers > 1:
@@ -229,8 +274,38 @@ def required_queries_trials(
             check_every=check_every,
             gamma=gamma,
             centering=centering,
+            algorithm=algorithm,
+            verify=verify,
             engine=engine,
         )
+    elif algorithm == "amp":
+        from repro.amp.batch_amp import (
+            required_queries_amp,
+            required_queries_amp_linear,
+        )
+
+        if engine == "batch":
+            runs = required_queries_amp(
+                n,
+                k,
+                channel,
+                spawn_seeds(seed, trials),
+                gamma=gamma,
+                max_m=max_m,
+                check_every=check_every,
+                verify=verify,
+            )
+        else:
+            runs = required_queries_amp_linear(
+                n,
+                k,
+                channel,
+                spawn_seeds(seed, trials),
+                gamma=gamma,
+                max_m=max_m,
+                check_every=check_every,
+            )
+        outcomes = [(result.succeeded, result.required_m) for result in runs]
     else:
         runner = (
             BatchTrialRunner(n, k, channel, gamma=gamma, centering=centering)
@@ -263,7 +338,12 @@ def required_queries_trials(
         else:
             failures += 1
     return RequiredQueriesSample(
-        n=n, k=k, channel=channel.describe(), values=values, failures=failures
+        n=n,
+        k=k,
+        channel=channel.describe(),
+        values=values,
+        failures=failures,
+        algorithm=algorithm,
     )
 
 
@@ -417,6 +497,7 @@ def run_many(
 
 __all__ = [
     "ALGORITHMS",
+    "REQUIRED_QUERIES_ALGORITHMS",
     "ENGINES",
     "RequiredQueriesSample",
     "required_queries_trials",

@@ -45,6 +45,7 @@ def success_probability_threshold(
     m_init: int = 8,
     m_cap: Optional[int] = None,
     tolerance: int = 4,
+    gamma: Optional[int] = None,
     algorithm_kwargs: Optional[dict] = None,
 ) -> ThresholdEstimate:
     """Estimate the smallest m with success rate >= ``level``.
@@ -52,8 +53,12 @@ def success_probability_threshold(
     Doubles ``m`` from ``m_init`` until the level is reached (bracket),
     then bisects down to ``tolerance`` queries. Every probe draws fresh
     instances, so the estimate is a property of the ensemble, not of
-    one fixed instance. Returns ``threshold_m = None`` if even
-    ``m_cap`` (default ``512 * m_init``) does not reach the level.
+    one fixed instance. Probed ``m`` values are memoized within one
+    search: when the bracket and bisection phases land on the same
+    ``m`` twice, the fresh ``success_rate_curve`` sweep is evaluated
+    only once (and ``probes`` records each ``m`` once). Returns
+    ``threshold_m = None`` if even ``m_cap`` (default ``512 * m_init``)
+    does not reach the level.
     """
     check_fraction(level, "level")
     check_positive_int(trials, "trials")
@@ -62,9 +67,12 @@ def success_probability_threshold(
     if m_cap is None:
         m_cap = 512 * m_init
     probes: List[Dict[str, float]] = []
+    probed: Dict[int, float] = {}
     seeds = iter(spawn_seeds(seed, 64))
 
     def rate_at(m: int) -> float:
+        if m in probed:
+            return probed[m]
         curve = success_rate_curve(
             n,
             k,
@@ -73,9 +81,11 @@ def success_probability_threshold(
             algorithm=algorithm,
             trials=trials,
             seed=next(seeds),
+            gamma=gamma,
             algorithm_kwargs=algorithm_kwargs,
         )
         rate = curve.success_rates[0]
+        probed[m] = rate
         probes.append({"m": m, "success_rate": rate})
         return rate
 

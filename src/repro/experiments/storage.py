@@ -78,4 +78,33 @@ def load_csv(path: PathLike) -> List[Dict[str, str]]:
         return list(csv.DictReader(fh))
 
 
-__all__ = ["save_json", "load_json", "save_csv", "load_csv"]
+def load_required_queries_sample(source):
+    """Rehydrate a stored required-m sweep sample (JSON path or dict).
+
+    Inverse of :func:`save_json` on a
+    :class:`~repro.experiments.runner.RequiredQueriesSample`. Samples
+    written before the ``algorithm`` field existed (greedy-only
+    pipeline) load as ``algorithm="greedy"``, so old sweep artifacts
+    stay distinguishable from AMP required-m samples without a schema
+    migration.
+    """
+    from repro.experiments.runner import RequiredQueriesSample
+
+    data = source if isinstance(source, dict) else load_json(source)
+    return RequiredQueriesSample(
+        n=int(data["n"]),
+        k=int(data["k"]),
+        channel=data["channel"],
+        values=[int(v) for v in data["values"]],
+        failures=int(data["failures"]),
+        algorithm=str(data.get("algorithm", "greedy")),
+    )
+
+
+__all__ = [
+    "save_json",
+    "load_json",
+    "save_csv",
+    "load_csv",
+    "load_required_queries_sample",
+]

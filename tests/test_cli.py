@@ -28,6 +28,55 @@ class TestParser:
         args = build_parser().parse_args(["fig2", "--workers", "4"])
         assert args.workers == 4
 
+    def test_figure_algorithms_flag(self):
+        args = build_parser().parse_args(["fig2", "--algorithms", "greedy", "amp"])
+        assert args.algorithms == ["greedy", "amp"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--algorithms", "distributed"])
+
+    def test_required_queries_defaults(self):
+        args = build_parser().parse_args(["required-queries"])
+        assert args.command == "required-queries"
+        assert args.algorithm == "greedy"
+        assert args.check_every == 1
+        assert args.max_m is None
+        assert args.workers is None
+
+    def test_required_queries_amp_options(self):
+        args = build_parser().parse_args(
+            ["required-queries", "--algorithm", "amp", "--check-every", "8",
+             "--max-m", "500", "--workers", "2", "--channel", "gaussian",
+             "--lam", "2.0"]
+        )
+        assert args.algorithm == "amp"
+        assert args.check_every == 8
+        assert args.max_m == 500
+        assert args.workers == 2
+        assert args.channel == "gaussian"
+
+    def test_algorithm_choices_come_from_shared_constants(self):
+        # required-queries accepts exactly the required-m-capable
+        # algorithms; threshold accepts the full harness list.
+        from repro.experiments.runner import (
+            ALGORITHMS,
+            REQUIRED_QUERIES_ALGORITHMS,
+        )
+
+        for algorithm in REQUIRED_QUERIES_ALGORITHMS:
+            args = build_parser().parse_args(
+                ["required-queries", "--algorithm", algorithm]
+            )
+            assert args.algorithm == algorithm
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["required-queries", "--algorithm", "twostage"]
+            )
+        for algorithm in ALGORITHMS:
+            args = build_parser().parse_args(
+                ["threshold", "--algorithm", algorithm]
+            )
+            assert args.algorithm == algorithm
+
 
 class TestMain:
     def test_fig2_tiny(self, capsys):
@@ -43,6 +92,40 @@ class TestMain:
         assert rc == 0
         assert (tmp_path / "fig7.json").exists()
         assert (tmp_path / "fig7.csv").exists()
+
+    def test_required_queries_amp_tiny(self, tmp_path, capsys):
+        rc = main(
+            ["required-queries", "--algorithm", "amp", "--n", "120", "--k",
+             "3", "--channel", "noiseless", "--trials", "2", "--check-every",
+             "4", "--max-m", "300", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "amp" in out
+        assert "required_m_median" in out
+        saved = tmp_path / "required_queries_amp.json"
+        assert saved.exists()
+        from repro.experiments.storage import load_required_queries_sample
+
+        assert load_required_queries_sample(saved).algorithm == "amp"
+
+    def test_required_queries_engines_agree(self, capsys):
+        common = ["required-queries", "--algorithm", "amp", "--n", "100",
+                  "--k", "3", "--channel", "z", "--p", "0.1", "--trials",
+                  "2", "--check-every", "4", "--max-m", "200"]
+        assert main(common + ["--engine", "batch"]) == 0
+        out_batch = capsys.readouterr().out
+        assert main(common + ["--engine", "legacy"]) == 0
+        out_legacy = capsys.readouterr().out
+        # identical stopping m's, identical report
+        assert out_batch.split("completed")[0] == out_legacy.split("completed")[0]
+
+    def test_threshold_tiny(self, capsys):
+        rc = main(["threshold", "--n", "100", "--k", "3", "--channel",
+                   "noiseless", "--trials", "4", "--m-init", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "threshold_m" in out
 
     def test_fig2_tiny_sharded_matches_serial(self, tmp_path, capsys):
         common = ["fig2", "--trials", "2", "--n-min", "60", "--n-max", "120",

@@ -49,6 +49,37 @@ class TestFigure2:
         noisy = result.series("p=0.5")[0]["required_m_median"]
         assert noisy > clean
 
+    def test_amp_required_m_curves_beside_greedy(self):
+        # algorithms=("greedy", "amp") adds algorithm-prefixed series;
+        # single-algorithm runs keep the historical unprefixed labels.
+        result = figure2(
+            n_values=(120,),
+            ps=(0.1,),
+            trials=2,
+            seed=0,
+            check_every=4,
+            algorithms=("greedy", "amp"),
+        )
+        greedy = result.series("greedy p=0.1")
+        amp = result.series("amp p=0.1")
+        assert len(greedy) == len(amp) == 1
+        assert greedy[0]["required_m_median"] > 0
+        assert amp[0]["required_m_median"] > 0
+        assert result.params["algorithms"] == ["greedy", "amp"]
+
+    def test_figure5_amp_series(self):
+        result = figure5(
+            n_values=(120,),
+            ps=(0.1,),
+            lams=(),
+            trials=2,
+            seed=0,
+            check_every=4,
+            algorithms=("greedy", "amp"),
+        )
+        assert result.series("amp Z p=0.1")
+        assert result.series("greedy Z p=0.1")
+
 
 class TestFigure3:
     def test_structure(self):

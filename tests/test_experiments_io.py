@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.experiments.storage import load_csv, load_json, save_csv, save_json
+from repro.experiments.storage import (
+    load_csv,
+    load_json,
+    load_required_queries_sample,
+    save_csv,
+    save_json,
+)
 from repro.experiments.tables import format_cell, render_kv, render_table
 
 
@@ -52,6 +58,47 @@ class TestCsv:
         path = save_csv(tmp_path / "f.csv", rows, fieldnames=["y", "x"])
         text = path.read_text()
         assert text.splitlines()[0] == "y,x"
+
+
+class TestRequiredQueriesSampleRoundTrip:
+    def _sample(self, algorithm):
+        from repro.experiments.runner import RequiredQueriesSample
+
+        return RequiredQueriesSample(
+            n=150,
+            k=3,
+            channel="z-channel(p=0.1)",
+            values=[20, 24, 20],
+            failures=1,
+            algorithm=algorithm,
+        )
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "amp"])
+    def test_roundtrip_preserves_algorithm(self, tmp_path, algorithm):
+        sample = self._sample(algorithm)
+        path = save_json(tmp_path / "sample.json", sample)
+        loaded = load_required_queries_sample(path)
+        assert loaded == sample
+        assert loaded.algorithm == algorithm
+        assert repr(loaded) == repr(sample)
+        assert f"algorithm='{algorithm}'" in repr(loaded)
+
+    def test_pre_algorithm_artifacts_load_as_greedy(self, tmp_path):
+        # Sweep artifacts written before the field existed carry no
+        # algorithm key; they must rehydrate as greedy samples.
+        legacy = {
+            "n": 100,
+            "k": 4,
+            "channel": "noiseless",
+            "values": [12, 15],
+            "failures": 0,
+        }
+        path = save_json(tmp_path / "legacy.json", legacy)
+        loaded = load_required_queries_sample(path)
+        assert loaded.algorithm == "greedy"
+        assert loaded.values == [12, 15]
+        # dict input is accepted directly, too
+        assert load_required_queries_sample(legacy) == loaded
 
 
 class TestTables:

@@ -64,6 +64,86 @@ class TestSuccessProbabilityThreshold:
             )
 
 
+class TestProbeMemoization:
+    def _fake_curve(self, calls, threshold=40):
+        from repro.experiments.runner import SuccessCurve
+
+        def curve(n, k, channel, m_values, **kwargs):
+            m = int(m_values[0])
+            calls.append(m)
+            rate = 1.0 if m >= threshold else 0.0
+            return SuccessCurve(
+                algorithm="greedy",
+                n=n,
+                k=k,
+                channel=channel.describe(),
+                m_values=[m],
+                success_rates=[rate],
+                overlaps=[rate],
+                trials=kwargs.get("trials", 1),
+            )
+
+        return curve
+
+    def test_each_m_evaluated_once(self, monkeypatch):
+        # Bracket and bisection together must never re-run the (fresh,
+        # expensive) success_rate_curve sweep for an m already probed,
+        # and `probes` records each m once.
+        import repro.experiments.search as search
+
+        calls = []
+        monkeypatch.setattr(
+            search, "success_rate_curve", self._fake_curve(calls)
+        )
+        est = success_probability_threshold(
+            200, 4, repro.NoiselessChannel(), trials=5, seed=0, m_init=5
+        )
+        assert est.found
+        assert len(calls) == len(set(calls))
+        probe_ms = [p["m"] for p in est.probes]
+        assert probe_ms == calls  # one record per evaluation, in order
+        assert len(probe_ms) == len(set(probe_ms))
+
+    def test_gamma_forwarded_to_probes(self, monkeypatch):
+        import repro.experiments.search as search
+
+        seen = []
+        real = search.success_rate_curve
+
+        def spying(n, k, channel, m_values, **kwargs):
+            seen.append(kwargs.get("gamma"))
+            return real(n, k, channel, m_values, **kwargs)
+
+        monkeypatch.setattr(search, "success_rate_curve", spying)
+        success_probability_threshold(
+            120, 3, repro.NoiselessChannel(), trials=3, seed=0, gamma=16,
+            m_cap=256,
+        )
+        assert seen and all(g == 16 for g in seen)
+
+    def test_memo_hit_skips_evaluation_and_seed(self, monkeypatch):
+        # Force a duplicate probe by re-entering the bracket value
+        # during bisection (tolerance 1 with a tight cap) and check the
+        # cache short-circuits: evaluations == distinct m's even when
+        # rate_at is asked twice.
+        import repro.experiments.search as search
+
+        calls = []
+        fake = self._fake_curve(calls, threshold=8)
+        monkeypatch.setattr(search, "success_rate_curve", fake)
+        est = success_probability_threshold(
+            200,
+            4,
+            repro.NoiselessChannel(),
+            trials=5,
+            seed=0,
+            m_init=8,
+            tolerance=1,
+        )
+        assert est.threshold_m == 8
+        assert len(calls) == len(set(calls))
+
+
 class TestCompareAlgorithmThresholds:
     def test_amp_threshold_below_greedy(self):
         out = compare_algorithm_thresholds(
