@@ -16,13 +16,16 @@ Two entry modes:
   batch, serial vs sharded across ``--workers`` processes), a
   full-scale sparse AMP run with the dense path poisoned, batched
   (block-diagonal) AMP sweep cells against the pre-batching per-trial
-  loop, a full-scale stacked-AMP poison case, and the AMP required-m
+  loop, a full-scale stacked-AMP poison case, the AMP required-m
   scan (prefix replay + galloping/stacked bisection) against the
-  naive per-m probe loop — and appends
+  naive per-m probe loop, and the sweep engine's flattened cross-cell
+  queue against per-cell-barrier execution (with the per-worker
+  spec-interning dispatch payloads) — and appends
   one machine-readable entry (per-case wall time, speedup vs baseline,
   workers used, host info) to ``BENCH_perf_core.json`` at the repo
   root, so regressions across PRs stay visible. ``--smoke`` shrinks
-  every case for CI time budgets.
+  every case for CI time budgets and ``--case NAME`` restricts the run
+  to named cases.
 """
 
 import numpy as np
@@ -160,6 +163,47 @@ def test_perf_amp_trials_batched(benchmark):
 
 def test_perf_batcher_schedule_generation(benchmark):
     benchmark(lambda: odd_even_mergesort(1024))
+
+
+# Sweep engine: flattened cross-cell queue vs per-cell-barrier
+# execution on the serial backend (pytest-benchmark twins of the
+# script-mode `sweep_pipeline` case; the process-backend comparison
+# with its pool lifetime lives in script mode only).
+
+
+def _tiny_sweep_cells():
+    channel = repro.ZChannel(0.1)
+    return [(n, repro.sublinear_k(n, 0.25), channel) for n in (256, 512)]
+
+
+def test_perf_sweep_flattened_queue(benchmark):
+    from repro.experiments.scheduler import SweepPlan
+
+    def flattened():
+        plan = SweepPlan()
+        for n, k, channel in _tiny_sweep_cells():
+            plan.add_required_queries(
+                n, k, channel, trials=3, seed=2022, check_every=4
+            )
+        return plan.run(backend="serial")
+
+    benchmark.pedantic(flattened, rounds=3, iterations=1)
+
+
+def test_perf_sweep_per_cell_barrier(benchmark):
+    from repro.experiments.scheduler import SweepPlan
+
+    def barrier():
+        out = []
+        for n, k, channel in _tiny_sweep_cells():
+            plan = SweepPlan()
+            plan.add_required_queries(
+                n, k, channel, trials=3, seed=2022, check_every=4
+            )
+            out.extend(plan.run(backend="serial"))
+        return out
+
+    benchmark.pedantic(barrier, rounds=3, iterations=1)
 
 
 # AMP required-m scan (prefix replay + galloping/stacked bisection) vs
@@ -624,22 +668,153 @@ def _case_amp_required_m(smoke):
     }
 
 
-def run_perf_suite(smoke=False, workers=4):
-    """Run the perf-trajectory cases; returns one JSON-ready entry."""
+def _case_sweep_pipeline(smoke, workers):
+    """Flattened cross-cell queue vs per-cell-barrier sweep execution.
+
+    A fig-3-shaped multi-cell sweep — required-queries cells over
+    (noiseless, gaussian lambda=1) channels and an n grid up to 4096 —
+    run two ways on the same ``workers``-process pool: the PR 2 shape
+    (each cell its own one-cell plan: submission wave, then a per-cell
+    barrier before the next cell starts) vs one ``SweepPlan`` holding
+    every cell (all chunks share the engine's global queue; stragglers
+    of one cell overlap the other cells' chunks). Values are asserted
+    bit-identical before timing. **1-core-container caveat** (as in
+    PRs 2-3): with a single hardware core the worker processes
+    serialize, so the barrier-removal win shows on multi-core hosts
+    only — recorded here for trajectory, not as a headline.
+
+    Also measures the per-chunk dispatch payload satellite: the
+    interned-spec protocol ships each cell's invariant payload (the
+    pickled channel/config spec) at most once per worker, so
+    steady-state chunk dispatch carries only seeds + indices; the
+    ``intern_specs=False`` baseline re-ships the spec with every
+    chunk. Payload sizes are recorded per chunk for both modes.
+    """
+    import pickle
+
+    from repro.experiments import shutdown_pool
+    from repro.experiments.scheduler import SweepExecutor, SweepPlan
+
+    n_values = (256, 512) if smoke else (1024, 2048, 4096)
+    trials = 4 if smoke else 8
+    check_every = 4 if smoke else 8
+    channels = [
+        ("noiseless", repro.NoiselessChannel()),
+        ("gaussian_lam_1", repro.GaussianQueryNoise(1.0)),
+    ]
+
+    def cell_params():
+        for _, channel in channels:
+            for n in n_values:
+                yield n, repro.sublinear_k(n, 0.25), channel
+
+    def per_cell_barrier():
+        out = []
+        for n, k, channel in cell_params():
+            plan = SweepPlan()
+            plan.add_required_queries(
+                n, k, channel, trials=trials, seed=2022,
+                check_every=check_every,
+            )
+            out.append(plan.run(backend="process", workers=workers)[0].values)
+        return out
+
+    def flattened(intern):
+        plan = SweepPlan()
+        for n, k, channel in cell_params():
+            plan.add_required_queries(
+                n, k, channel, trials=trials, seed=2022,
+                check_every=check_every,
+            )
+        executor = SweepExecutor(
+            backend="process", workers=workers, intern_specs=intern
+        )
+        return [sample.values for sample in executor.run(plan)]
+
+    # Warm the pool outside the timed region (spawn start-up is a
+    # one-time session cost), then time both execution shapes.
+    from repro.experiments.runner import required_queries_trials
+
+    required_queries_trials(
+        100, 3, repro.NoiselessChannel(), trials=workers, seed=0,
+        workers=workers,
+    )
+    baseline_s, barrier_vals = _timed(per_cell_barrier)
+    wall_s, flat_vals = _timed(lambda: flattened(True))
+    no_intern_s, no_intern_vals = _timed(lambda: flattened(False))
+    shutdown_pool()
+    assert flat_vals == barrier_vals == no_intern_vals  # bit-identical
+    # Dispatch payload sizes: the interned protocol's steady-state
+    # chunk (seeds + indices only) vs a chunk that re-ships the spec.
+    # The seed slice is the engine's actual first chunk (chunk_bounds
+    # at workers * oversubscribe chunks per cell), not an estimate.
+    from repro.core.chunking import chunk_bounds
+    from repro.experiments.parallel import _OVERSUBSCRIBE
+
+    probe = SweepPlan()
+    n, k, channel = next(cell_params())
+    probe.add_required_queries(
+        n, k, channel, trials=trials, seed=2022, check_every=check_every
+    )
+    cell = probe._cells[0]
+    spec_blob = pickle.dumps(cell.spec, pickle.HIGHEST_PROTOCOL)
+    lo, hi = chunk_bounds(trials, workers * _OVERSUBSCRIBE)[0]
+    chunk_seeds = pickle.dumps(
+        tuple(cell.seeds[lo:hi]), pickle.HIGHEST_PROTOCOL
+    )
+    return {
+        "case": "sweep_pipeline",
+        "n_values": list(n_values),
+        "channels": [label for label, _ in channels],
+        "cells": len(n_values) * len(channels),
+        "trials": trials,
+        "workers": workers,
+        "wall_s": round(wall_s, 4),
+        "baseline": "per-cell-barrier execution (one-cell plans run "
+        "sequentially on the same pool)",
+        "baseline_s": round(baseline_s, 4),
+        "speedup": round(baseline_s / wall_s, 3) if wall_s else None,
+        "no_intern_wall_s": round(no_intern_s, 4),
+        "dispatch_spec_blob_bytes": len(spec_blob),
+        "dispatch_chunk_payload_bytes": len(chunk_seeds),
+        "note": "1-core container: worker processes serialize, so the "
+        "barrier-removal and intern wins show on multi-core hosts "
+        "only; payload bytes are hardware-independent",
+    }
+
+
+def run_perf_suite(smoke=False, workers=4, only=None):
+    """Run the perf-trajectory cases; returns one JSON-ready entry.
+
+    ``only`` (a case-name set) restricts the run — used to append a
+    single new case's entry without re-timing the whole suite.
+    """
     import os
     import platform
     import subprocess
     import time
 
-    cases = [
-        _case_csr_dense(smoke),
-        _case_csr_sparse_u32(smoke),
-        _case_fig2_sweep(smoke, workers),
-        _case_amp_sparse(smoke),
-        _case_amp_batch_sweep(smoke),
-        _case_amp_batch_sparse_poison(smoke),
-        _case_amp_required_m(smoke),
-    ]
+    available = {
+        "csr_dense_gamma_half_counting": lambda: _case_csr_dense(smoke),
+        "csr_sparse_uint32_sort": lambda: _case_csr_sparse_u32(smoke),
+        "fig2_sweep": lambda: _case_fig2_sweep(smoke, workers),
+        "amp_sparse_full_scale": lambda: _case_amp_sparse(smoke),
+        "amp_batch_sweep_cell": lambda: _case_amp_batch_sweep(smoke),
+        "amp_batch_sparse_full_scale": lambda: (
+            _case_amp_batch_sparse_poison(smoke)
+        ),
+        "amp_required_m": lambda: _case_amp_required_m(smoke),
+        "sweep_pipeline": lambda: _case_sweep_pipeline(smoke, workers),
+    }
+    if only:
+        unknown = set(only) - set(available)
+        if unknown:
+            raise SystemExit(f"unknown cases {sorted(unknown)}; "
+                             f"valid: {sorted(available)}")
+        selected = [available[name] for name in available if name in only]
+    else:
+        selected = list(available.values())
+    cases = [build() for build in selected]
     try:
         commit = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -680,10 +855,16 @@ def main(argv=None):
         "--workers", type=int, default=4,
         help="worker processes for the sharded sweep case (default 4)",
     )
+    parser.add_argument(
+        "--case", action="append", default=None, dest="cases",
+        help="run only this case (repeatable; default: all cases)",
+    )
     parser.add_argument("--out", default=default_out, help="trajectory file")
     args = parser.parse_args(argv)
 
-    entry = run_perf_suite(smoke=args.smoke, workers=args.workers)
+    entry = run_perf_suite(
+        smoke=args.smoke, workers=args.workers, only=args.cases
+    )
     if os.path.exists(args.out):
         with open(args.out) as fh:
             payload = json.load(fh)

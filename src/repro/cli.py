@@ -14,7 +14,10 @@ and exposes the sweep primitives directly::
 Use ``--full-scale`` to run the paper's complete grids (slow: the
 original sweeps extend to n = 10^5) and ``--workers N`` to shard the
 trials over N processes (``0`` = one per CPU) with bit-identical
-output. Algorithm choice lists come from the runner's shared constants
+output. ``--backend socket`` ships a sweep's chunks to remote worker
+hosts (start one per host with ``python -m repro worker serve``, list
+them in ``REPRO_HOSTS``). Algorithm choice lists come from the
+runner's shared constants
 (:data:`repro.experiments.runner.ALGORITHMS` /
 :data:`~repro.experiments.runner.REQUIRED_QUERIES_ALGORITHMS`), so the
 subcommands can never drift apart.
@@ -29,7 +32,9 @@ from typing import List, Optional
 
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.runner import ALGORITHMS, REQUIRED_QUERIES_ALGORITHMS
+from repro.experiments.scheduler import BACKENDS
 from repro.experiments.stats import geometric_space
+from repro.experiments.worker import DEFAULT_PORT as DEFAULT_WORKER_PORT
 
 #: channel constructors selectable on the command line
 CHANNELS = ("z", "noiseless", "gaussian", "noisy")
@@ -77,10 +82,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
 
-    # -- figure subcommands (fig2 .. fig7, all) -------------------------
+    # -- figure-style subcommands (fig2 .. fig7, all, ablation_design) --
+    # One shared parent for the execution/output flags so the figure
+    # and ablation subcommands can never drift apart on them; a second
+    # parent holds the fig2-7 grid knobs the ablation does not accept.
+    execution = argparse.ArgumentParser(add_help=False)
+    execution.add_argument(
+        "--trials", type=int, default=None, help="trials per point"
+    )
+    execution.add_argument("--seed", type=int, default=2022, help="root seed")
+    execution.add_argument(
+        "--engine",
+        choices=("batch", "legacy"),
+        default="batch",
+        help="simulation engine: vectorized batch (default; stacks "
+        "greedy trials and runs AMP sweeps block-diagonally) or the "
+        "original per-query/per-trial loops — both produce identical "
+        "results for the same seed",
+    )
+    execution.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for trial sharding; 0 = one per CPU "
+        "(default: the REPRO_WORKERS env var, else 1 = serial); "
+        "results are bit-identical for any worker count",
+    )
+    execution.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="sweep execution backend (default: the REPRO_BACKEND env "
+        "var, else process when --workers > 1, serial otherwise); "
+        "socket ships chunks to the REPRO_HOSTS workers — results are "
+        "bit-identical on every backend",
+    )
+    execution.add_argument(
+        "--out", type=str, default=None, help="save JSON/CSV here"
+    )
+    execution.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII plot of the result's series",
+    )
+
     figures = argparse.ArgumentParser(add_help=False)
-    figures.add_argument("--trials", type=int, default=None, help="trials per point")
-    figures.add_argument("--seed", type=int, default=2022, help="root seed")
     figures.add_argument(
         "--n-min", type=int, default=100, help="smallest n on the grid (figs 2-4)"
     )
@@ -109,38 +155,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper's full grids (n up to 1e5, 100 trials)",
     )
-    figures.add_argument(
-        "--engine",
-        choices=("batch", "legacy"),
-        default="batch",
-        help="simulation engine: vectorized batch (default; stacks "
-        "greedy trials and runs AMP sweeps block-diagonally) or the "
-        "original per-query/per-trial loops — both produce identical "
-        "results for the same seed",
-    )
-    figures.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for trial sharding; 0 = one per CPU "
-        "(default: the REPRO_WORKERS env var, else 1 = serial); "
-        "results are bit-identical for any worker count",
-    )
-    figures.add_argument("--out", type=str, default=None, help="save JSON/CSV here")
-    figures.add_argument(
-        "--plot",
-        action="store_true",
-        help="render an ASCII plot of the figure's series",
-    )
-    for name in sorted(FIGURES) + ["all"]:
+    paper_figures = sorted(name for name in FIGURES if name.startswith("fig"))
+    for name in paper_figures + ["all"]:
         fig_parser = sub.add_parser(
             name,
-            parents=[figures],
+            parents=[execution, figures],
             help=(
-                "regenerate all figures" if name == "all" else f"regenerate {name}"
+                "regenerate all paper figures (fig2-fig7; the design "
+                "ablation has its own subcommand)"
+                if name == "all"
+                else f"regenerate {name}"
             ),
         )
         fig_parser.set_defaults(figure=name)
+
+    # -- design ablation: shares the execution flags but has its own
+    # grid knobs (the fig2-7 n-grid / check-every / algorithms flags
+    # do not apply and are rejected rather than silently ignored) -----
+    ablation = sub.add_parser(
+        "ablation_design",
+        parents=[execution],
+        help="pooling-design ablation: required m (success-rate "
+        "crossing) for the with-replacement multigraph vs the "
+        "constant-column-weight regular design, at matched edge budget",
+    )
+    ablation.add_argument(
+        "--n-values", type=int, nargs="+", default=None,
+        help="agent counts, one success-curve cell per (design, n) "
+        "(default: 300 600 1200)",
+    )
+    ablation.add_argument(
+        "--m-points", type=int, default=10,
+        help="points on each per-n geometric m grid",
+    )
+    ablation.set_defaults(figure="ablation_design")
 
     # -- required-queries -----------------------------------------------
     instance = _instance_parent()
@@ -186,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (0 = one per CPU); bit-identical output",
     )
+    rq.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="sweep execution backend (serial / process / socket); "
+        "bit-identical output on every backend",
+    )
 
     # -- threshold ------------------------------------------------------
     th = sub.add_parser(
@@ -209,6 +264,42 @@ def build_parser() -> argparse.ArgumentParser:
     th.add_argument("--m-cap", type=int, default=None, help="largest probe")
     th.add_argument(
         "--tolerance", type=int, default=4, help="bisection stopping width"
+    )
+    th.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per probe (0 = one per CPU)",
+    )
+    th.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="sweep execution backend for the probe sweeps",
+    )
+
+    # -- worker ---------------------------------------------------------
+    worker = sub.add_parser(
+        "worker",
+        help="sweep-engine socket worker (cross-host trial sharding)",
+    )
+    worker_sub = worker.add_subparsers(
+        dest="worker_command", required=True, metavar="action"
+    )
+    serve = worker_sub.add_parser(
+        "serve",
+        help="serve chunk requests over TCP until interrupted; point "
+        "sweeps at this host via --backend socket and REPRO_HOSTS",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 to "
+        "accept remote drivers — trusted networks only, the wire "
+        "format is pickle)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help=f"TCP port (default {DEFAULT_WORKER_PORT}; 0 = ephemeral)",
     )
     return parser
 
@@ -258,6 +349,7 @@ def _run_required_queries(args: argparse.Namespace) -> int:
         verify=args.verify,
         engine=args.engine,
         workers=args.workers,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - started
     print(
@@ -307,6 +399,8 @@ def _run_threshold(args: argparse.Namespace) -> int:
         m_cap=args.m_cap,
         tolerance=args.tolerance,
         gamma=args.gamma,
+        workers=args.workers,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - started
     print(
@@ -335,6 +429,25 @@ def _run_threshold(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.worker import serve_worker
+
+    port = DEFAULT_WORKER_PORT if args.port is None else args.port
+    try:
+        serve_worker(
+            args.host,
+            port,
+            ready=lambda bound: print(
+                f"[worker] serving sweep chunks on {args.host}:{bound} "
+                "(Ctrl-C to stop)",
+                flush=True,
+            ),
+        )
+    except KeyboardInterrupt:
+        print("[worker] stopped", flush=True)
+    return 0
+
+
 #: per-figure plot axes: (x_key, y_key, log_x, log_y)
 _PLOT_AXES = {
     "fig2": ("n", "required_m_median", True, True),
@@ -343,6 +456,7 @@ _PLOT_AXES = {
     "fig5": ("n", "median", True, True),
     "fig6": ("m", "success_rate", False, False),
     "fig7": ("m", "overlap", False, False),
+    "ablation_design": ("n", "required_m_p50", True, True),
 }
 
 
@@ -351,7 +465,17 @@ def _figure_kwargs(args: argparse.Namespace, name: str) -> dict:
         "seed": args.seed,
         "engine": args.engine,
         "workers": args.workers,
+        "backend": args.backend,
     }
+    if name == "ablation_design":
+        # The ablation's dedicated parser: its own (design, n) grid
+        # knobs instead of the shared fig2-7 flags.
+        if args.trials is not None:
+            kwargs["trials"] = args.trials
+        if args.n_values is not None:
+            kwargs["n_values"] = tuple(args.n_values)
+        kwargs["m_points"] = args.m_points
+        return kwargs
     if args.full_scale:
         if name in ("fig2", "fig3", "fig4"):
             kwargs["n_values"] = geometric_space(100, 100_000, 13)
@@ -382,7 +506,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_required_queries(args)
     if args.command == "threshold":
         return _run_threshold(args)
-    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    if args.command == "worker":
+        return _run_worker(args)
+    # `all` regenerates the paper's figures; the design ablation is an
+    # add-on pipeline with its own grid and runs only by name.
+    if args.figure == "all":
+        names = sorted(name for name in FIGURES if name.startswith("fig"))
+    else:
+        names = [args.figure]
     for name in names:
         started = time.perf_counter()
         result = run_figure(name, **_figure_kwargs(args, name))

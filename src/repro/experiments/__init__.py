@@ -11,6 +11,7 @@ from repro.experiments.figures import (
     figure5,
     figure6,
     figure7,
+    figure_design_ablation,
     run_figure,
 )
 from repro.experiments.parallel import (
@@ -18,6 +19,15 @@ from repro.experiments.parallel import (
     resolve_workers,
     shutdown_pool,
 )
+from repro.experiments.scheduler import (
+    BACKENDS,
+    BACKEND_ENV,
+    HOSTS_ENV,
+    SweepExecutor,
+    SweepPlan,
+    resolve_backend,
+)
+from repro.experiments.worker import serve_worker, start_local_workers
 from repro.experiments.runner import (
     ALGORITHMS,
     ENGINES,
@@ -59,8 +69,17 @@ __all__ = [
     "figure5",
     "figure6",
     "figure7",
+    "figure_design_ablation",
     "FIGURES",
     "run_figure",
+    "BACKENDS",
+    "BACKEND_ENV",
+    "HOSTS_ENV",
+    "SweepPlan",
+    "SweepExecutor",
+    "resolve_backend",
+    "serve_worker",
+    "start_local_workers",
     "ALGORITHMS",
     "REQUIRED_QUERIES_ALGORITHMS",
     "ENGINES",

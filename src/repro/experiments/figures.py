@@ -10,11 +10,19 @@ Defaults are laptop-scale (the paper's full sweeps go to ``n = 10^5``
 on a dual-Xeon machine); every knob is exposed so the full-scale runs
 remain one call away. EXPERIMENTS.md records the shapes obtained with
 the defaults against the paper's reported behaviour.
+
+Every pipeline builds one multi-cell
+:class:`~repro.experiments.scheduler.SweepPlan` — one cell per
+``(algorithm, channel, n)`` or ``(design, n)`` configuration — and
+executes all cells' trial chunks through the sweep engine's single
+global work queue, so heterogeneous cells load-balance across workers
+with no per-cell barrier. ``workers`` and ``backend`` select the
+execution backend (``serial`` / ``process`` / ``socket``); results are
+bit-identical to the per-cell serial loop for every choice.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -30,10 +38,7 @@ from repro.core.noise import (
     NoisyChannel,
     ZChannel,
 )
-from repro.experiments.runner import (
-    required_queries_trials,
-    success_rate_curve,
-)
+from repro.experiments.scheduler import SweepPlan
 from repro.experiments.stats import boxplot_stats, geometric_space
 from repro.experiments.storage import save_csv, save_json
 from repro.experiments.tables import render_table
@@ -44,6 +49,26 @@ DEFAULT_N_VALUES = tuple(geometric_space(100, 10_000, 9))
 
 #: the paper's sublinear exponent used throughout Section V
 DEFAULT_THETA = 0.25
+
+
+def _required_m_rows(cells, samples) -> "List[Dict[str, object]]":
+    """Required-m rows for figures 2-4: one per executed sweep cell.
+
+    ``cells`` carries the ``(series, n, k)`` labels in plan order;
+    ``samples`` are the matching :class:`RequiredQueriesSample` results.
+    """
+    return [
+        {
+            "series": series,
+            "n": n,
+            "k": k,
+            "required_m_median": sample.median,
+            "required_m_mean": sample.mean,
+            "trials": sample.trials,
+            "failures": sample.failures,
+        }
+        for (series, n, k), sample in zip(cells, samples)
+    ]
 
 
 def _series_label(algorithm: str, label: str, algorithms) -> str:
@@ -105,6 +130,7 @@ def figure2(
     algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Figure 2: required queries vs n for the Z-channel.
 
@@ -114,13 +140,14 @@ def figure2(
     curve (smallest checked m whose prefix decodes exactly) beside the
     greedy separation rule; series then gain an algorithm prefix.
     """
-    rows: List[Dict[str, object]] = []
+    plan = SweepPlan()
+    cells = []
     for algorithm in algorithms:
         for p in ps:
             channel = ZChannel(p)
             for n in n_values:
                 k = sublinear_k(n, theta)
-                sample = required_queries_trials(
+                plan.add_required_queries(
                     n,
                     k,
                     channel,
@@ -129,19 +156,11 @@ def figure2(
                     check_every=check_every,
                     algorithm=algorithm,
                     engine=engine,
-                    workers=workers,
                 )
-                rows.append(
-                    {
-                        "series": _series_label(algorithm, f"p={p:g}", algorithms),
-                        "n": n,
-                        "k": k,
-                        "required_m_median": sample.median,
-                        "required_m_mean": sample.mean,
-                        "trials": sample.trials,
-                        "failures": sample.failures,
-                    }
+                cells.append(
+                    (_series_label(algorithm, f"p={p:g}", algorithms), n, k)
                 )
+    rows = _required_m_rows(cells, plan.run(backend=backend, workers=workers))
     for n in n_values:
         rows.append(
             {
@@ -180,20 +199,22 @@ def figure3(
     algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Figure 3: required queries vs n, noisy query model vs noiseless.
 
     ``algorithms=("greedy", "amp")`` adds the AMP required-m curves
     beside the greedy ones (algorithm-prefixed series).
     """
-    rows: List[Dict[str, object]] = []
     channels = [("without noise", NoiselessChannel())]
     channels += [(f"lambda={lam:g}", GaussianQueryNoise(lam)) for lam in lams]
+    plan = SweepPlan()
+    cells = []
     for algorithm in algorithms:
         for label, channel in channels:
             for n in n_values:
                 k = sublinear_k(n, theta)
-                sample = required_queries_trials(
+                plan.add_required_queries(
                     n,
                     k,
                     channel,
@@ -202,19 +223,11 @@ def figure3(
                     check_every=check_every,
                     algorithm=algorithm,
                     engine=engine,
-                    workers=workers,
                 )
-                rows.append(
-                    {
-                        "series": _series_label(algorithm, label, algorithms),
-                        "n": n,
-                        "k": k,
-                        "required_m_median": sample.median,
-                        "required_m_mean": sample.mean,
-                        "trials": sample.trials,
-                        "failures": sample.failures,
-                    }
+                cells.append(
+                    (_series_label(algorithm, label, algorithms), n, k)
                 )
+    rows = _required_m_rows(cells, plan.run(backend=backend, workers=workers))
     if include_bound:
         for n in n_values:
             rows.append(
@@ -253,6 +266,7 @@ def figure4(
     algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Figure 4: required queries vs n, general noisy channel with p = q.
 
@@ -268,13 +282,14 @@ def figure4(
     with ``Delta*`` fluctuations and inflates the required m far beyond
     the Theorem 1 trajectory (see DESIGN.md, ablation A1).
     """
-    rows: List[Dict[str, object]] = []
+    plan = SweepPlan()
+    cells = []
     for algorithm in algorithms:
         for q in qs:
             channel = NoisyChannel(q, q)
             for n in n_values:
                 k = sublinear_k(n, theta)
-                sample = required_queries_trials(
+                plan.add_required_queries(
                     n,
                     k,
                     channel,
@@ -284,19 +299,11 @@ def figure4(
                     centering=centering,
                     algorithm=algorithm,
                     engine=engine,
-                    workers=workers,
                 )
-                rows.append(
-                    {
-                        "series": _series_label(algorithm, f"q={q:g}", algorithms),
-                        "n": n,
-                        "k": k,
-                        "required_m_median": sample.median,
-                        "required_m_mean": sample.mean,
-                        "trials": sample.trials,
-                        "failures": sample.failures,
-                    }
+                cells.append(
+                    (_series_label(algorithm, f"q={q:g}", algorithms), n, k)
                 )
+    rows = _required_m_rows(cells, plan.run(backend=backend, workers=workers))
     if include_bounds:
         for q in qs:
             for n in n_values:
@@ -336,6 +343,7 @@ def figure5(
     algorithms: Sequence[str] = ("greedy",),
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Figure 5: boxplots of the required m per configuration and n.
 
@@ -345,7 +353,6 @@ def figure5(
     ``algorithms=("greedy", "amp")`` adds AMP required-m boxplots
     beside the greedy ones.
     """
-    rows: List[Dict[str, object]] = []
     configs = [(f"Z p={p:g}", ZChannel(p)) for p in ps]
     configs += [
         (
@@ -354,11 +361,13 @@ def figure5(
         )
         for lam in lams
     ]
+    plan = SweepPlan()
+    cells = []
     for algorithm in algorithms:
         for n in n_values:
             k = sublinear_k(n, theta)
             for label, channel in configs:
-                sample = required_queries_trials(
+                plan.add_required_queries(
                     n,
                     k,
                     channel,
@@ -367,25 +376,30 @@ def figure5(
                     check_every=check_every,
                     algorithm=algorithm,
                     engine=engine,
-                    workers=workers,
                 )
-                if not sample.values:
-                    continue
-                stats = boxplot_stats(sample.values)
-                rows.append(
-                    {
-                        "series": _series_label(algorithm, label, algorithms),
-                        "n": n,
-                        "k": k,
-                        "median": stats.median,
-                        "q1": stats.q1,
-                        "q3": stats.q3,
-                        "whisker_low": stats.whisker_low,
-                        "whisker_high": stats.whisker_high,
-                        "outliers": len(stats.outliers),
-                        "trials": sample.trials,
-                    }
+                cells.append(
+                    (_series_label(algorithm, label, algorithms), n, k)
                 )
+    samples = plan.run(backend=backend, workers=workers)
+    rows: List[Dict[str, object]] = []
+    for (series, n, k), sample in zip(cells, samples):
+        if not sample.values:
+            continue
+        stats = boxplot_stats(sample.values)
+        rows.append(
+            {
+                "series": series,
+                "n": n,
+                "k": k,
+                "median": stats.median,
+                "q1": stats.q1,
+                "q3": stats.q3,
+                "whisker_low": stats.whisker_low,
+                "whisker_high": stats.whisker_high,
+                "outliers": len(stats.outliers),
+                "trials": sample.trials,
+            }
+        )
     return FigureResult(
         figure="fig5",
         description="boxplots of required queries (Z-channel and noisy query)",
@@ -414,6 +428,7 @@ def figure6(
     bound_eps: float = 0.1,
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Figure 6: success rate vs m at n=1000, greedy vs AMP, Z-channel.
 
@@ -423,10 +438,11 @@ def figure6(
     if m_values is None:
         m_values = list(range(25, 601, 25))
     k = sublinear_k(n, theta)
-    rows: List[Dict[str, object]] = []
+    plan = SweepPlan()
+    cells = []
     for algorithm in algorithms:
         for p in ps:
-            curve = success_rate_curve(
+            plan.add_success_curve(
                 n,
                 k,
                 ZChannel(p),
@@ -435,19 +451,21 @@ def figure6(
                 trials=trials,
                 seed=seed,
                 engine=engine,
-                workers=workers,
             )
-            for m, rate in zip(curve.m_values, curve.success_rates):
-                rows.append(
-                    {
-                        "series": f"{algorithm} p={p:g}",
-                        "m": m,
-                        "success_rate": rate,
-                        "n": n,
-                        "k": k,
-                        "trials": trials,
-                    }
-                )
+            cells.append(f"{algorithm} p={p:g}")
+    curves = plan.run(backend=backend, workers=workers)
+    rows: List[Dict[str, object]] = [
+        {
+            "series": series,
+            "m": m,
+            "success_rate": rate,
+            "n": n,
+            "k": k,
+            "trials": trials,
+        }
+        for series, curve in zip(cells, curves)
+        for m, rate in zip(curve.m_values, curve.success_rates)
+    ]
     bound = theorem1_sublinear_z(n, theta, bound_p, bound_eps)
     rows.append(
         {
@@ -485,14 +503,16 @@ def figure7(
     bound_eps: float = 0.1,
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Figure 7: overlap (fraction of identified 1-agents) vs m, greedy."""
     if m_values is None:
         m_values = list(range(25, 601, 25))
     k = sublinear_k(n, theta)
-    rows: List[Dict[str, object]] = []
+    plan = SweepPlan()
+    cells = []
     for p in ps:
-        curve = success_rate_curve(
+        plan.add_success_curve(
             n,
             k,
             ZChannel(p),
@@ -501,22 +521,24 @@ def figure7(
             trials=trials,
             seed=seed,
             engine=engine,
-            workers=workers,
         )
+        cells.append(f"p={p:g}")
+    curves = plan.run(backend=backend, workers=workers)
+    rows: List[Dict[str, object]] = [
+        {
+            "series": series,
+            "m": m,
+            "overlap": overlap,
+            "success_rate": rate,
+            "n": n,
+            "k": k,
+            "trials": trials,
+        }
+        for series, curve in zip(cells, curves)
         for m, overlap, rate in zip(
             curve.m_values, curve.overlaps, curve.success_rates
-        ):
-            rows.append(
-                {
-                    "series": f"p={p:g}",
-                    "m": m,
-                    "overlap": overlap,
-                    "success_rate": rate,
-                    "n": n,
-                    "k": k,
-                    "trials": trials,
-                }
-            )
+        )
+    ]
     bound = theorem1_sublinear_z(n, theta, bound_p, bound_eps)
     rows.append(
         {
@@ -541,6 +563,89 @@ def figure7(
     )
 
 
+def figure_design_ablation(
+    *,
+    n_values: Sequence[int] = (300, 600, 1200),
+    theta: float = DEFAULT_THETA,
+    p: float = 0.1,
+    level: float = 0.5,
+    m_points: int = 10,
+    trials: int = 20,
+    seed: RngLike = 2022,
+    gamma: Optional[int] = None,
+    designs: Sequence[str] = ("replacement", "regular"),
+    engine: str = "batch",
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> FigureResult:
+    """Figure-level design ablation: required m per pooling design.
+
+    Compares the paper's with-replacement multigraph against the
+    constant-column-weight ``sample_regular_design`` family (refs.
+    [4, 33] of the paper) at matched edge budget: for every query
+    count ``m`` on a per-``n`` geometric grid, both designs spend
+    ``m * Gamma`` edges (the regular design's agent degree is tuned to
+    ``m * Gamma / n``, so its expected query size equals the
+    multigraph's fixed ``Gamma``). The regular design has no
+    incremental form — queries are coupled through the constant column
+    weight — so the required-m proxy is the success-curve crossing:
+    the smallest grid ``m`` whose exact-recovery rate reaches
+    ``level`` under the greedy decoder, one curve per ``(design, n)``
+    cell, all cells routed through the sweep engine's global queue
+    like figures 2-5.
+
+    One row per ``(design, n)``: ``required_m_p50`` is the crossing
+    (``None`` when the level is never reached on the grid).
+    """
+    plan = SweepPlan()
+    cells = []
+    for design in designs:
+        for n in n_values:
+            k = sublinear_k(n, theta)
+            m_values = geometric_space(max(8, n // 16), 2 * n, m_points)
+            plan.add_success_curve(
+                n,
+                k,
+                ZChannel(p),
+                m_values,
+                algorithm="greedy",
+                trials=trials,
+                seed=seed,
+                gamma=gamma,
+                engine=engine,
+                design=design,
+            )
+            cells.append((design, n, k))
+    curves = plan.run(backend=backend, workers=workers)
+    rows: List[Dict[str, object]] = [
+        {
+            "series": design,
+            "n": n,
+            "k": k,
+            "required_m_p50": curve.crossing(level),
+            "trials": trials,
+        }
+        for (design, n, k), curve in zip(cells, curves)
+    ]
+    return FigureResult(
+        figure="ablation_design",
+        description=(
+            "required m (success-rate crossing at %g) per pooling design, "
+            "Z-channel p=%g" % (level, p)
+        ),
+        params={
+            "n_values": list(n_values),
+            "theta": theta,
+            "p": p,
+            "level": level,
+            "m_points": m_points,
+            "trials": trials,
+            "designs": list(designs),
+        },
+        rows=rows,
+    )
+
+
 FIGURES = {
     "fig2": figure2,
     "fig3": figure3,
@@ -548,11 +653,13 @@ FIGURES = {
     "fig5": figure5,
     "fig6": figure6,
     "fig7": figure7,
+    "ablation_design": figure_design_ablation,
 }
 
 
 def run_figure(name: str, **kwargs) -> FigureResult:
-    """Dispatch a figure reproduction by name (``fig2`` ... ``fig7``)."""
+    """Dispatch a figure reproduction by name (``fig2`` ... ``fig7``,
+    ``ablation_design``)."""
     try:
         fn = FIGURES[name.lower()]
     except KeyError:
@@ -570,6 +677,7 @@ __all__ = [
     "figure5",
     "figure6",
     "figure7",
+    "figure_design_ablation",
     "FIGURES",
     "run_figure",
 ]

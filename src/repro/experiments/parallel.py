@@ -25,13 +25,26 @@ output is bit-identical to the serial run for any worker count — the
 seeded-equivalence tests in ``tests/test_parallel.py`` pin this for the
 greedy, AMP and distributed algorithms on both engines.
 
+As of PR 5 the scheduling itself lives in
+:mod:`repro.experiments.scheduler`: whole sweeps flatten into one
+global queue of ``(cell, chunk)`` work items executed out of order on
+a pluggable backend (``serial`` / ``process`` / ``socket``). This
+module keeps the pieces the engine builds on — the cached process
+pool, the worker-side chunk functions, and the PR 2 scheduler entry
+points (:func:`required_queries_outcomes` /
+:func:`success_curve_outcomes`), which are now thin one-cell sweep
+plans on the ``process`` backend.
+
 Workers are plain module-level functions and every payload (channel,
 seeds, kwargs) is picklable, so the pool runs under the ``spawn`` start
 method — the only method available on Windows, and the one immune to
 fork-in-threaded-process hazards everywhere else. The executor is
 cached between calls (``spawn`` pays an interpreter start-up per
 worker, which would otherwise recur for every sweep cell); call
-:func:`shutdown_pool` to release it explicitly.
+:func:`shutdown_pool` to release it explicitly — an ``atexit`` hook
+releases it at interpreter exit, and the engine's process backend
+retries a sweep once on a fresh pool when a worker dies mid-sweep
+(``BrokenProcessPool``).
 
 When parallelism helps
 ----------------------
@@ -52,8 +65,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.chunking import chunk_bounds
-from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
+from repro.utils.rng import RngLike
 from repro.utils.validation import check_non_negative_int, env_int
 
 #: environment variable consulted when ``workers`` is not given
@@ -248,14 +260,13 @@ def _fixed_m_chunk(
         ]
     from repro.core.ground_truth import sample_ground_truth
     from repro.core.measurement import measure
-    from repro.core.pooling import sample_pooling_graph
     from repro.experiments.runner import _run_algorithm
 
     out: List[Tuple[bool, float]] = []
     for seq in seeds:
         gen = np.random.default_rng(seq)
         truth = sample_ground_truth(spec["n"], spec["k"], gen)
-        graph = sample_pooling_graph(spec["n"], m, spec["gamma"], gen)
+        graph = _sample_design_graph(spec, m, gen)
         measurements = measure(graph, truth, spec["channel"], gen)
         result = _run_algorithm(
             spec["algorithm"], measurements, **spec["algorithm_kwargs"]
@@ -264,7 +275,40 @@ def _fixed_m_chunk(
     return out
 
 
-# -- sharded schedulers -------------------------------------------------
+def _sample_design_graph(spec: Dict[str, object], m: int, gen):
+    """Sample one trial's pooling graph under the cell's design.
+
+    ``design`` defaults to the paper's with-replacement multigraph;
+    ``"distinct"`` draws each query's agents without replacement, and
+    ``"regular"`` uses the constant-column-weight design of
+    :func:`repro.core.pooling.sample_regular_design` with the agent
+    degree tuned so the total edge budget matches the multigraph's
+    ``m * gamma`` (expected query size equals the multigraph's fixed
+    ``gamma``) — the figure-level design ablation's apples-to-apples
+    comparison.
+    """
+    from repro.core.pooling import (
+        default_gamma,
+        sample_pooling_graph,
+        sample_regular_design,
+    )
+
+    design = spec.get("design", "replacement")
+    n = spec["n"]
+    if design == "replacement":
+        return sample_pooling_graph(n, m, spec["gamma"], gen)
+    if design == "distinct":
+        return sample_pooling_graph(
+            n, m, spec["gamma"], gen, with_replacement=False
+        )
+    if design == "regular":
+        gamma = spec["gamma"] or default_gamma(n)
+        degree = min(max(1, round(m * gamma / n)), m)
+        return sample_regular_design(n, m, degree, gen)
+    raise ValueError(f"unknown design {design!r}")
+
+
+# -- sharded schedulers (PR 2 API, now thin one-cell sweep plans) -------
 
 
 def required_queries_outcomes(
@@ -285,33 +329,32 @@ def required_queries_outcomes(
 ) -> List[Tuple[bool, Optional[int]]]:
     """Sharded required-queries trials; outcomes in trial order.
 
-    Spawns the serial path's per-trial child seeds, shards them into
-    contiguous chunks, runs each chunk in a worker, and concatenates
-    the chunk outcomes — bit-identical to the serial trial loop for
-    both stopping rules (``algorithm="greedy"`` / ``"amp"``).
+    A one-cell :class:`~repro.experiments.scheduler.SweepPlan` run on
+    the ``process`` backend: the engine spawns the serial path's
+    per-trial child seeds, shards them into contiguous chunks through
+    the shared work queue, and concatenates the chunk outcomes —
+    bit-identical to the serial trial loop for both stopping rules
+    (``algorithm="greedy"`` / ``"amp"``).
     """
-    spec = {
-        "n": n,
-        "k": k,
-        "channel": channel,
-        "gamma": gamma,
-        "centering": centering,
-        "algorithm": algorithm,
-        "verify": verify,
-        "engine": engine,
-        "max_m": max_m,
-        "check_every": check_every,
-    }
-    seeds = spawn_seeds(seed, trials)
-    pool = _get_pool(workers)
-    futures = [
-        pool.submit(_required_queries_chunk, spec, seeds[lo:hi])
-        for lo, hi in chunk_bounds(trials, workers * _OVERSUBSCRIBE)
-    ]
-    outcomes: List[Tuple[bool, Optional[int]]] = []
-    for future in futures:
-        outcomes.extend(future.result())
-    return outcomes
+    from repro.experiments.scheduler import SweepExecutor, SweepPlan
+
+    plan = SweepPlan()
+    plan.add_required_queries(
+        n,
+        k,
+        channel,
+        trials=trials,
+        seed=seed,
+        max_m=max_m,
+        check_every=check_every,
+        gamma=gamma,
+        centering=centering,
+        algorithm=algorithm,
+        verify=verify,
+        engine=engine,
+    )
+    executor = SweepExecutor(backend="process", workers=workers)
+    return executor.run_outcomes(plan)[0]
 
 
 def success_curve_outcomes(
@@ -331,11 +374,13 @@ def success_curve_outcomes(
     """Sharded fixed-``m`` trials for a whole m-grid.
 
     Returns one ``(exact, overlap)`` list per ``m`` value, each in
-    trial order. Seed derivation mirrors the serial curve exactly: one
-    child generator per grid point, then per-trial seeds spawned from
-    it — so every trial sees the same seed it would serially. All
-    ``(m, chunk)`` tasks share one pool submission wave, which keeps
-    the workers busy across grid points instead of draining per point.
+    trial order — a one-cell sweep plan on the ``process`` backend.
+    Seed derivation mirrors the serial curve exactly: one child
+    generator per grid point, then per-trial seeds spawned from it —
+    so every trial sees the same seed it would serially. All
+    ``(m, chunk)`` tasks share one submission wave of the engine's
+    global queue, which keeps the workers busy across grid points
+    instead of draining per point.
 
     ``batch_mode`` selects the stacked chunk implementation
     (``"greedy"`` / ``"amp"``; the scheduler trusts the caller that it
@@ -343,32 +388,23 @@ def success_curve_outcomes(
     is the one place that decides). The default ``None`` runs the
     legacy per-trial loop, which honors any ``algorithm``.
     """
-    spec = {
-        "n": n,
-        "k": k,
-        "channel": channel,
-        "gamma": gamma,
-        "algorithm": algorithm,
-        "algorithm_kwargs": algorithm_kwargs or {},
-        "batch_mode": batch_mode,
-    }
-    pool = _get_pool(workers)
-    per_m_futures = []
-    for m, m_rng in zip(m_values, spawn_rngs(seed, len(m_values))):
-        seeds = spawn_seeds(m_rng, trials)
-        per_m_futures.append(
-            [
-                pool.submit(_fixed_m_chunk, spec, int(m), seeds[lo:hi])
-                for lo, hi in chunk_bounds(trials, workers * _OVERSUBSCRIBE)
-            ]
-        )
-    outcomes: List[List[Tuple[bool, float]]] = []
-    for futures in per_m_futures:
-        per_trial: List[Tuple[bool, float]] = []
-        for future in futures:
-            per_trial.extend(future.result())
-        outcomes.append(per_trial)
-    return outcomes
+    from repro.experiments.scheduler import SweepExecutor, SweepPlan
+
+    plan = SweepPlan()
+    plan.add_success_curve(
+        n,
+        k,
+        channel,
+        m_values,
+        algorithm=algorithm,
+        trials=trials,
+        seed=seed,
+        gamma=gamma,
+        algorithm_kwargs=algorithm_kwargs,
+        batch_mode=batch_mode,
+    )
+    executor = SweepExecutor(backend="process", workers=workers)
+    return executor.run_outcomes(plan)[0]
 
 
 __all__ = [

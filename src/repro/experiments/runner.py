@@ -57,19 +57,25 @@ stopping m's by construction; the scan merely probes sublinearly and
 stacks probes block-diagonally). The greedy-only ``centering`` knob is
 ignored by the AMP required-m path.
 
-Multiprocess trial sharding
----------------------------
-Both primitives accept ``workers`` (default ``None``: the
-``REPRO_WORKERS`` environment variable, else serial; ``0`` means one
-worker per CPU). With ``workers > 1`` the trial list is sharded across
-a process pool by :mod:`repro.experiments.parallel` in three steps —
-**seed spawning** (the scheduler pre-spawns exactly the per-trial child
-seeds the serial loop would draw), **chunking** (contiguous,
-order-preserving partitions of the seed list), and **ordered merge**
-(per-trial outcomes concatenated back in trial order, then folded with
-the serial accumulation code). Every trial is a pure function of its
-own child seed, so sharded results are bit-identical to serial ones for
-any worker count, algorithm and engine.
+Sweep engine and trial sharding
+-------------------------------
+Both primitives are thin **one-cell sweep plans** on the execution
+engine of :mod:`repro.experiments.scheduler`: each call pre-spawns the
+serial path's per-trial child seeds, explodes them into contiguous
+order-preserving chunks, runs the chunks on a pluggable backend
+(``serial`` / ``process`` / ``socket``), and merges outcomes back in
+trial order with the serial accumulation code. Every trial is a pure
+function of its own child seed, so results are bit-identical for any
+backend, worker count, algorithm and engine.
+
+``workers`` (default ``None``: the ``REPRO_WORKERS`` environment
+variable, else serial; ``0`` means one worker per CPU) sizes the
+``process`` backend's pool; ``backend`` (default ``None``: the
+``REPRO_BACKEND`` environment variable, else ``process`` when
+``workers > 1`` and ``serial`` otherwise) selects where chunks run.
+Multi-cell sweeps — the figure pipelines — build one
+:class:`~repro.experiments.scheduler.SweepPlan` with many cells so all
+cells' chunks share one global work queue (no per-cell barrier).
 
 Sharding helps when per-trial work dominates dispatch overhead (large
 ``n``, dense ``gamma``, many trials); for small instances or few trials
@@ -85,18 +91,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.amp import AMPConfig, run_amp
-from repro.amp.batch_amp import run_amp_trials
-from repro.core.batch import BatchTrialRunner
 from repro.core.greedy import greedy_reconstruct
-from repro.core.incremental import required_queries
-from repro.core.measurement import measure
 from repro.core.noise import Channel
-from repro.core.pooling import sample_pooling_graph
-from repro.core.ground_truth import sample_ground_truth
 from repro.core.types import ReconstructionResult
 from repro.distributed.runner import run_distributed_algorithm1
-from repro.experiments import parallel
-from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
+from repro.experiments.scheduler import SweepPlan
+from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 #: algorithms runnable by the harness
@@ -233,6 +233,7 @@ def required_queries_trials(
     verify: str = "full",
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> RequiredQueriesSample:
     """Run the required-m procedure ``trials`` times, collect required m.
 
@@ -250,86 +251,42 @@ def required_queries_trials(
     below-candidate certificate sweep for sweep-scale probe counts —
     see :class:`repro.amp.batch_amp._RequiredMSearch`). The
     greedy-only ``centering`` knob is ignored for AMP, and ``verify``
-    is ignored for greedy. ``workers > 1`` shards the trials across a
-    process pool with bit-identical output for any mode (see the
-    module docstring and :mod:`repro.experiments.parallel`).
-    """
-    check_positive_int(trials, "trials")
-    if algorithm not in REQUIRED_QUERIES_ALGORITHMS:
-        raise ValueError(
-            f"unknown required-queries algorithm {algorithm!r}; "
-            f"valid: {REQUIRED_QUERIES_ALGORITHMS}"
-        )
-    engine = _check_engine(engine)
-    workers = parallel.resolve_workers(workers)
-    if workers > 1:
-        outcomes = parallel.required_queries_outcomes(
-            n,
-            k,
-            channel,
-            trials=trials,
-            seed=seed,
-            workers=workers,
-            max_m=max_m,
-            check_every=check_every,
-            gamma=gamma,
-            centering=centering,
-            algorithm=algorithm,
-            verify=verify,
-            engine=engine,
-        )
-    elif algorithm == "amp":
-        from repro.amp.batch_amp import (
-            required_queries_amp,
-            required_queries_amp_linear,
-        )
+    is ignored for greedy.
 
-        if engine == "batch":
-            runs = required_queries_amp(
-                n,
-                k,
-                channel,
-                spawn_seeds(seed, trials),
-                gamma=gamma,
-                max_m=max_m,
-                check_every=check_every,
-                verify=verify,
-            )
-        else:
-            runs = required_queries_amp_linear(
-                n,
-                k,
-                channel,
-                spawn_seeds(seed, trials),
-                gamma=gamma,
-                max_m=max_m,
-                check_every=check_every,
-            )
-        outcomes = [(result.succeeded, result.required_m) for result in runs]
-    else:
-        runner = (
-            BatchTrialRunner(n, k, channel, gamma=gamma, centering=centering)
-            if engine == "batch"
-            else None
-        )
-        outcomes = []
-        for gen in spawn_rngs(seed, trials):
-            if runner is not None:
-                result = runner.required_queries(
-                    gen, max_m=max_m, check_every=check_every
-                )
-            else:
-                result = required_queries(
-                    n,
-                    k,
-                    channel,
-                    gen,
-                    max_m=max_m,
-                    check_every=check_every,
-                    gamma=gamma,
-                    centering=centering,
-                )
-            outcomes.append((result.succeeded, result.required_m))
+    The call is a thin one-cell :class:`~repro.experiments.scheduler.
+    SweepPlan`: ``workers > 1`` (or an explicit ``backend``) shards the
+    trials through the sweep engine with bit-identical output for any
+    backend, worker count and mode (see the module docstring and
+    :mod:`repro.experiments.scheduler`). Multi-cell sweeps should
+    build one plan directly so cells share the global work queue.
+    """
+    plan = SweepPlan()
+    plan.add_required_queries(
+        n,
+        k,
+        channel,
+        trials=trials,
+        seed=seed,
+        max_m=max_m,
+        check_every=check_every,
+        gamma=gamma,
+        centering=centering,
+        algorithm=algorithm,
+        verify=verify,
+        engine=engine,
+    )
+    return plan.run(backend=backend, workers=workers)[0]
+
+
+def fold_required_queries(
+    spec: Dict[str, object], outcomes
+) -> RequiredQueriesSample:
+    """Fold per-trial ``(succeeded, required_m)`` outcomes into a sample.
+
+    The accumulation half of the engine's ordered merge — shared by
+    every backend so the folded artifact can never depend on where the
+    chunks ran.
+    """
     values: List[int] = []
     failures = 0
     for succeeded, required_m in outcomes:
@@ -338,12 +295,12 @@ def required_queries_trials(
         else:
             failures += 1
     return RequiredQueriesSample(
-        n=n,
-        k=k,
-        channel=channel.describe(),
+        n=spec["n"],
+        k=spec["k"],
+        channel=spec["channel"].describe(),
         values=values,
         failures=failures,
-        algorithm=algorithm,
+        algorithm=spec["algorithm"],
     )
 
 
@@ -382,6 +339,8 @@ def success_rate_curve(
     algorithm_kwargs: Optional[dict] = None,
     engine: str = "batch",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    design: str = "replacement",
 ) -> SuccessCurve:
     """Estimate success rate and overlap per query count ``m``.
 
@@ -397,71 +356,47 @@ def success_rate_curve(
     runtime, which shares the loop) report identical curves for the
     same seed. Algorithms without a batch implementation (distributed,
     two-stage) always use the per-trial loop; see the module
-    docstring's support matrix.
+    docstring's support matrix. ``design`` selects the pooling design
+    (:data:`repro.experiments.scheduler.DESIGNS`; the non-default
+    designs run the per-trial loop).
 
-    ``workers > 1`` shards every grid point's trials across a process
-    pool; the per-trial outcomes are merged in trial order and folded
-    with the same accumulation as the serial loop, so the reported
-    curves are bit-identical (see :mod:`repro.experiments.parallel`).
+    The call is a thin one-cell :class:`~repro.experiments.scheduler.
+    SweepPlan`: ``workers > 1`` (or an explicit ``backend``) shards
+    every grid point's trials through the sweep engine's global queue;
+    the per-trial outcomes are merged in trial order and folded with
+    the same accumulation as the serial loop, so the reported curves
+    are bit-identical for every backend and worker count (see
+    :mod:`repro.experiments.scheduler`).
     """
-    check_positive_int(trials, "trials")
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; valid: {ALGORITHMS}")
-    engine = _check_engine(engine)
-    workers = parallel.resolve_workers(workers)
-    algorithm_kwargs = algorithm_kwargs or {}
-    batch_mode = _batch_mode(algorithm, engine, algorithm_kwargs)
-    if workers > 1:
-        per_m_outcomes = parallel.success_curve_outcomes(
-            n,
-            k,
-            channel,
-            m_values,
-            trials=trials,
-            seed=seed,
-            workers=workers,
-            algorithm=algorithm,
-            algorithm_kwargs=algorithm_kwargs,
-            gamma=gamma,
-            batch_mode=batch_mode,
-        )
-    else:
-        per_m_outcomes = []
-        rngs = spawn_rngs(seed, len(m_values))
-        for m, m_rng in zip(m_values, rngs):
-            m = int(m)
-            outcomes: List[tuple] = []
-            if batch_mode == "greedy":
-                runner = BatchTrialRunner(
-                    n,
-                    k,
-                    channel,
-                    gamma=gamma,
-                    centering=algorithm_kwargs.get("centering", "half_k"),
-                )
-                for result in runner.run_trials(m, trials, seed=m_rng):
-                    outcomes.append((bool(result.exact), float(result.overlap)))
-            elif batch_mode == "amp":
-                for result in run_amp_trials(
-                    n,
-                    k,
-                    channel,
-                    m,
-                    spawn_rngs(m_rng, trials),
-                    gamma=gamma,
-                    **_amp_batch_kwargs(algorithm_kwargs),
-                ):
-                    outcomes.append((bool(result.exact), float(result.overlap)))
-            else:
-                for gen in spawn_rngs(m_rng, trials):
-                    truth = sample_ground_truth(n, k, gen)
-                    graph = sample_pooling_graph(n, m, gamma, gen)
-                    measurements = measure(graph, truth, channel, gen)
-                    result = _run_algorithm(
-                        algorithm, measurements, **algorithm_kwargs
-                    )
-                    outcomes.append((bool(result.exact), float(result.overlap)))
-            per_m_outcomes.append(outcomes)
+    plan = SweepPlan()
+    plan.add_success_curve(
+        n,
+        k,
+        channel,
+        m_values,
+        algorithm=algorithm,
+        trials=trials,
+        seed=seed,
+        gamma=gamma,
+        algorithm_kwargs=algorithm_kwargs,
+        engine=engine,
+        design=design,
+    )
+    return plan.run(backend=backend, workers=workers)[0]
+
+
+def fold_success_curve(
+    spec: Dict[str, object],
+    m_values: Sequence[int],
+    per_m_outcomes,
+    trials: int,
+) -> SuccessCurve:
+    """Fold per-m ``(exact, overlap)`` outcome lists into a curve.
+
+    The accumulation half of the engine's ordered merge for fixed-m
+    cells — identical to the serial loop's folding, shared by every
+    backend.
+    """
     success_rates: List[float] = []
     overlaps: List[float] = []
     for outcomes in per_m_outcomes:
@@ -473,10 +408,10 @@ def success_rate_curve(
         success_rates.append(successes / trials)
         overlaps.append(overlap_sum / trials)
     return SuccessCurve(
-        algorithm=algorithm,
-        n=n,
-        k=k,
-        channel=channel.describe(),
+        algorithm=spec["algorithm"],
+        n=spec["n"],
+        k=spec["k"],
+        channel=spec["channel"].describe(),
         m_values=[int(m) for m in m_values],
         success_rates=success_rates,
         overlaps=overlaps,
@@ -501,7 +436,9 @@ __all__ = [
     "ENGINES",
     "RequiredQueriesSample",
     "required_queries_trials",
+    "fold_required_queries",
     "SuccessCurve",
     "success_rate_curve",
+    "fold_success_curve",
     "run_many",
 ]

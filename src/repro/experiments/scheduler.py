@@ -1,0 +1,806 @@
+"""Sweep-scale execution engine: cross-cell task scheduling.
+
+The paper's figures are *sweeps*: Figures 2-5 iterate ``(algorithm,
+channel, n)`` cells and Figures 6-7 iterate ``(n, m)`` grids, every
+cell being a list of independent seeded trials. Before this module the
+harness executed cells strictly one after another — each cell sharded
+its own trials, blocked on a per-cell barrier, and only then started
+the next cell — so the worker pool idled whenever a cell's last
+straggler chunk ran, and small cells paid the ~1 ms per-chunk dispatch
+with no other work to overlap it.
+
+This module flattens an entire sweep into **one global queue of
+``(cell, chunk)`` work items** and executes them out of order on a
+pluggable backend, while preserving the seed-chunk/ordered-merge
+contract of :mod:`repro.experiments.parallel` exactly:
+
+1. **Plan** — a :class:`SweepPlan` collects cell specs (the same
+   keyword arguments the runner entry points take) and pre-spawns each
+   cell's per-trial child seeds exactly as the serial path would
+   (same ``SeedSequence.spawn`` calls, in the same order);
+2. **Explode** — every cell is partitioned into contiguous,
+   order-preserving chunks (:func:`repro.core.chunking.chunk_bounds`)
+   and all cells' chunks enter one shared work queue;
+3. **Execute** — a :class:`SweepExecutor` runs the queue on a backend
+   (see below); chunks complete out of order and heterogeneous cells
+   load-balance: a big-``n`` cell's stragglers overlap the next cells'
+   chunks, and no per-cell pool-dispatch barrier remains;
+4. **Ordered merge** — chunk outcomes are reassembled per cell in
+   trial order, and each cell's result materializes as soon as its
+   last chunk finishes.
+
+Because every trial is a pure function of its own pre-spawned child
+seed, the merged output of every backend is **bit-identical** to
+running each cell through the serial per-cell path — for any worker
+count, chunk layout, algorithm and engine (pinned in
+``tests/test_scheduler.py``).
+
+Backends
+--------
+``serial``
+    In-process reference: runs the queue front to back with no
+    pickling. The default when no sharding is requested.
+``process``
+    The cached ``spawn``-start :class:`~concurrent.futures.
+    ProcessPoolExecutor` of :mod:`repro.experiments.parallel`,
+    submitting through the shared queue. A ``BrokenProcessPool``
+    raised mid-sweep (a worker OOM-killed or segfaulted) is retried
+    once on a fresh pool before failing the sweep. The default when
+    ``workers > 1``.
+``socket``
+    Ships pickled chunk payloads to remote worker hosts over TCP
+    (cross-host trial sharding). Start workers with ``python -m repro
+    worker serve --port 7920`` on each host and point the executor at
+    them via ``hosts=["host:7920", ...]`` or the ``REPRO_HOSTS``
+    environment variable. A worker that dies mid-sweep has its
+    in-flight chunk requeued onto the surviving workers. The wire
+    format is pickle — use only on trusted networks, with every host
+    running the same library version.
+
+Select a backend per call (``backend=``), via the ``REPRO_BACKEND``
+environment variable, or implicitly (``workers > 1`` → ``process``).
+
+Per-worker payload interning
+----------------------------
+A chunk's payload splits into a per-cell **invariant** part (the
+channel object, algorithm kwargs, budgets — identical for every chunk
+of the cell) and a per-chunk **variant** part (the seed slice and grid
+indices). Re-shipping the invariant with every chunk is pure dispatch
+overhead, so both remote backends intern it once per worker, keyed by
+a unique cell id: the process backend seeds the first chunks of each
+cell with the pickled spec and retries on a worker-side cache miss;
+the socket backend tracks per-connection which specs it has sent.
+Steady-state chunk dispatch therefore ships only seeds + indices
+(measured in the ``sweep_pipeline`` benchmark case).
+
+When the engine helps
+---------------------
+The flattened queue pays off whenever a sweep has more than one cell
+and more than one worker: per-cell barriers disappear and stragglers
+overlap. For a single small cell the engine degenerates to the PR 2
+behaviour (one submission wave), and for ``workers=1`` the serial
+backend runs the chunks with no dispatch overhead at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import queue as queue_module
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chunking import chunk_bounds
+from repro.experiments import parallel
+from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
+from repro.utils.validation import check_positive_int
+
+#: pluggable execution backends (see the module docstring)
+BACKENDS = ("serial", "process", "socket")
+
+#: environment variable consulted when ``backend`` is not given
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: environment variable listing socket worker hosts, comma-separated
+#: ``host:port`` pairs (consulted when ``hosts`` is not given)
+HOSTS_ENV = "REPRO_HOSTS"
+
+#: cell kinds understood by the chunk runner
+CELL_REQUIRED = "required_queries"
+CELL_CURVE = "success_curve"
+
+#: pooling designs selectable per success-curve cell: the paper's
+#: with-replacement multigraph (default), the distinct-agents simple
+#: graph, and the constant-column-weight regular design (ablation)
+DESIGNS = ("replacement", "distinct", "regular")
+
+#: worker-side interned-spec cache size (entries, not bytes). Sized
+#: above the largest realistic plan (a full-scale two-algorithm
+#: figure 4 sweep is 2 x 5 x 13 = 130 cells) so live cells are not
+#: evicted mid-plan; specs are small dicts, so even the cap is only
+#: ~1 MB. An evicted-then-needed spec is re-fetched via the
+#: ``_SpecMissing`` retry, costing one extra round trip, not
+#: correctness.
+_SPEC_CACHE_LIMIT = 1024
+
+
+def resolve_backend(backend: Optional[str] = None, workers: int = 1) -> str:
+    """Resolve a ``backend`` request into one of :data:`BACKENDS`.
+
+    ``None`` falls back to the ``REPRO_BACKEND`` environment variable;
+    when that is unset too, ``workers > 1`` selects ``process`` (the
+    PR 2 behaviour) and anything else runs ``serial``.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or None
+    if backend is None:
+        return "process" if workers > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; valid: {BACKENDS}")
+    return backend
+
+
+def parse_hosts(hosts=None) -> List[Tuple[str, int]]:
+    """Normalize socket worker addresses into ``(host, port)`` pairs.
+
+    Accepts a sequence of ``"host:port"`` strings (or ready
+    ``(host, port)`` tuples); ``None`` falls back to the
+    ``REPRO_HOSTS`` environment variable (comma-separated).
+    """
+    if hosts is None:
+        raw = os.environ.get(HOSTS_ENV, "")
+        hosts = [part for part in raw.split(",") if part.strip()]
+    parsed: List[Tuple[str, int]] = []
+    for entry in hosts:
+        if isinstance(entry, tuple):
+            host, port = entry
+        else:
+            host, _, port = str(entry).strip().rpartition(":")
+            if not host:
+                raise ValueError(
+                    f"socket host {entry!r} must be 'host:port'"
+                )
+        parsed.append((host, int(port)))
+    if not parsed:
+        raise ValueError(
+            "socket backend needs worker addresses: pass hosts=[...] or "
+            f"set {HOSTS_ENV}; start workers with "
+            "'python -m repro worker serve'"
+        )
+    return parsed
+
+
+# -- plan ---------------------------------------------------------------
+
+
+@dataclass
+class _PlanCell:
+    """One sweep cell: an invariant spec plus pre-spawned trial seeds."""
+
+    kind: str
+    spec: Dict[str, object]
+    trials: int
+    #: required-queries cells: the per-trial child seeds, in trial order
+    seeds: Optional[List[np.random.SeedSequence]] = None
+    #: success-curve cells: the m-grid and one seed list per grid point
+    m_values: Optional[List[int]] = None
+    per_m_seeds: Optional[List[List[np.random.SeedSequence]]] = None
+
+
+class SweepPlan:
+    """An ordered collection of sweep cells awaiting execution.
+
+    Cells are added with the exact keyword arguments the runner entry
+    points take (:func:`repro.experiments.runner.
+    required_queries_trials` / :func:`~repro.experiments.runner.
+    success_rate_curve`); each ``add_*`` call pre-spawns the cell's
+    per-trial child seeds exactly as the serial path would, so the
+    plan — not the backend — owns every source of randomness.
+    ``plan.run(...)`` executes all cells through one shared work queue
+    and returns one result object per cell, in add order
+    (:class:`~repro.experiments.runner.RequiredQueriesSample` /
+    :class:`~repro.experiments.runner.SuccessCurve`). Plans are
+    reusable: ``run`` never mutates the cells.
+    """
+
+    def __init__(self) -> None:
+        self._cells: List[_PlanCell] = []
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def add_required_queries(
+        self,
+        n: int,
+        k: int,
+        channel,
+        *,
+        trials: int = 10,
+        seed: RngLike = 0,
+        max_m: Optional[int] = None,
+        check_every: int = 1,
+        gamma: Optional[int] = None,
+        centering: str = "half_k",
+        algorithm: str = "greedy",
+        verify: str = "full",
+        engine: str = "batch",
+    ) -> int:
+        """Add one required-m cell; returns its index in the plan.
+
+        Seed derivation matches the serial loop: ``trials`` child seeds
+        spawned from ``seed`` in trial order.
+        """
+        from repro.experiments.runner import (
+            REQUIRED_QUERIES_ALGORITHMS,
+            _check_engine,
+        )
+
+        check_positive_int(trials, "trials")
+        if algorithm not in REQUIRED_QUERIES_ALGORITHMS:
+            raise ValueError(
+                f"unknown required-queries algorithm {algorithm!r}; "
+                f"valid: {REQUIRED_QUERIES_ALGORITHMS}"
+            )
+        spec = {
+            "n": n,
+            "k": k,
+            "channel": channel,
+            "gamma": gamma,
+            "centering": centering,
+            "algorithm": algorithm,
+            "verify": verify,
+            "engine": _check_engine(engine),
+            "max_m": max_m,
+            "check_every": check_every,
+        }
+        self._cells.append(
+            _PlanCell(
+                kind=CELL_REQUIRED,
+                spec=spec,
+                trials=trials,
+                seeds=spawn_seeds(seed, trials),
+            )
+        )
+        return len(self._cells) - 1
+
+    def add_success_curve(
+        self,
+        n: int,
+        k: int,
+        channel,
+        m_values: Sequence[int],
+        *,
+        algorithm: str = "greedy",
+        trials: int = 100,
+        seed: RngLike = 0,
+        gamma: Optional[int] = None,
+        algorithm_kwargs: Optional[dict] = None,
+        engine: str = "batch",
+        design: str = "replacement",
+        batch_mode: str = "auto",
+    ) -> int:
+        """Add one fixed-m success-curve cell; returns its plan index.
+
+        Seed derivation matches the serial curve exactly: one child
+        generator per grid point, then per-trial seeds spawned from it.
+        ``design`` selects the pooling design (:data:`DESIGNS`); the
+        non-default designs run the seed-compatible legacy per-trial
+        loop, which is the one place that knows how to sample them.
+        ``batch_mode="auto"`` (default) lets
+        :func:`repro.experiments.runner._batch_mode` pick the stacked
+        chunk implementation; pass ``None`` / ``"greedy"`` / ``"amp"``
+        to force one (the PR 2 scheduler API).
+        """
+        from repro.experiments.runner import (
+            ALGORITHMS,
+            _batch_mode,
+            _check_engine,
+        )
+
+        check_positive_int(trials, "trials")
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; valid: {ALGORITHMS}"
+            )
+        if design not in DESIGNS:
+            raise ValueError(f"unknown design {design!r}; valid: {DESIGNS}")
+        engine = _check_engine(engine)
+        algorithm_kwargs = algorithm_kwargs or {}
+        if batch_mode == "auto":
+            # The stacked chunk paths only know the paper's
+            # with-replacement design; other designs fall back to the
+            # legacy per-trial loop, which samples all of them.
+            batch_mode = (
+                _batch_mode(algorithm, engine, algorithm_kwargs)
+                if design == "replacement"
+                else None
+            )
+        elif batch_mode is not None and design != "replacement":
+            raise ValueError(
+                f"batch_mode {batch_mode!r} runs the stacked "
+                "with-replacement samplers and cannot honor design "
+                f"{design!r}; use batch_mode='auto' or None"
+            )
+        spec = {
+            "n": n,
+            "k": k,
+            "channel": channel,
+            "gamma": gamma,
+            "algorithm": algorithm,
+            "algorithm_kwargs": algorithm_kwargs,
+            "batch_mode": batch_mode,
+            "design": design,
+        }
+        m_values = [int(m) for m in m_values]
+        per_m_seeds = [
+            spawn_seeds(m_rng, trials)
+            for m_rng in spawn_rngs(seed, len(m_values))
+        ]
+        self._cells.append(
+            _PlanCell(
+                kind=CELL_CURVE,
+                spec=spec,
+                trials=trials,
+                m_values=m_values,
+                per_m_seeds=per_m_seeds,
+            )
+        )
+        return len(self._cells) - 1
+
+    def run(
+        self,
+        *,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        hosts=None,
+        intern_specs: bool = True,
+    ) -> List[object]:
+        """Execute the plan; one result object per cell, in add order."""
+        return SweepExecutor(
+            backend=backend,
+            workers=workers,
+            hosts=hosts,
+            intern_specs=intern_specs,
+        ).run(self)
+
+
+# -- chunk execution (shared by every backend) --------------------------
+
+
+def _run_chunk(spec: Dict[str, object], kind: str, m, seeds) -> list:
+    """Run one ``(cell, chunk)`` work item; used by every backend."""
+    if kind == CELL_REQUIRED:
+        return parallel._required_queries_chunk(spec, list(seeds))
+    if kind == CELL_CURVE:
+        return parallel._fixed_m_chunk(spec, int(m), list(seeds))
+    raise ValueError(f"unknown cell kind {kind!r}")
+
+
+class _SpecMissing(Exception):
+    """Worker-side cache miss: the chunk arrived before its cell spec.
+
+    Raised inside a pool worker and caught by the process backend,
+    which resubmits the chunk with the pickled spec attached. At most
+    one miss per worker per cell.
+    """
+
+
+#: per-worker interned cell specs (populated in pool worker processes)
+_worker_specs: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+
+
+def _intern_spec(key: str, blob: Optional[bytes]) -> Dict[str, object]:
+    """Return the cell spec for ``key``, interning ``blob`` if given."""
+    if blob is not None:
+        spec = pickle.loads(blob)
+        _worker_specs[key] = spec
+        _worker_specs.move_to_end(key)
+        while len(_worker_specs) > _SPEC_CACHE_LIMIT:
+            _worker_specs.popitem(last=False)
+        return spec
+    try:
+        spec = _worker_specs[key]
+    except KeyError:
+        raise _SpecMissing(key) from None
+    _worker_specs.move_to_end(key)
+    return spec
+
+
+def _process_chunk(key: str, blob: Optional[bytes], kind: str, m, seeds):
+    """Pool-worker entry point: intern the spec, run the chunk."""
+    return _run_chunk(_intern_spec(key, blob), kind, m, seeds)
+
+
+# -- executor -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One work item of the flattened queue: a contiguous trial chunk."""
+
+    cell: int  # plan cell index
+    index: int  # position within the cell's task list (merge order)
+    m_index: Optional[int]  # success-curve grid position (None: required)
+    m: Optional[int]
+    seeds: tuple  # the chunk's child seeds, in trial order
+
+
+#: unique spec-cache keys; the pid prefix keeps keys from different
+#: driver processes (which may share a worker) from colliding
+_spec_key_counter = itertools.count()
+
+
+def _next_spec_key(cell: int) -> str:
+    return f"{os.getpid()}:{next(_spec_key_counter)}:{cell}"
+
+
+class SweepExecutor:
+    """Runs a :class:`SweepPlan` through one shared cross-cell queue.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` / ``"process"`` / ``"socket"``; ``None`` resolves
+        via :func:`resolve_backend` (env var, then worker count).
+    workers:
+        Worker processes for the ``process`` backend (``None``:
+        ``REPRO_WORKERS``, else 1; ``0``: one per CPU) — resolved with
+        :func:`repro.experiments.parallel.resolve_workers`.
+    hosts:
+        Socket worker addresses (``"host:port"`` strings) for the
+        ``socket`` backend; ``None`` falls back to ``REPRO_HOSTS``.
+    intern_specs:
+        Ship each cell's invariant payload at most once per worker
+        (default). ``False`` re-ships the full spec with every chunk —
+        kept as a benchmark baseline for the dispatch-overhead
+        measurement in ``bench_perf_core.py``.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        hosts=None,
+        intern_specs: bool = True,
+    ) -> None:
+        self.workers = parallel.resolve_workers(workers)
+        self.backend = resolve_backend(backend, self.workers)
+        self._hosts = hosts
+        self.intern_specs = intern_specs
+
+    # ---- plan explosion ----
+
+    def _chunks_per_cell(self) -> int:
+        if self.backend == "serial":
+            return 1
+        if self.backend == "socket":
+            return len(parse_hosts(self._hosts)) * parallel._OVERSUBSCRIBE
+        return self.workers * parallel._OVERSUBSCRIBE
+
+    def _explode(self, plan: SweepPlan) -> List[_Task]:
+        """Flatten every cell into contiguous order-preserving chunks."""
+        chunks = self._chunks_per_cell()
+        tasks: List[_Task] = []
+        for ci, cell in enumerate(plan._cells):
+            index = 0
+            if cell.kind == CELL_REQUIRED:
+                for lo, hi in chunk_bounds(cell.trials, chunks):
+                    tasks.append(
+                        _Task(ci, index, None, None, tuple(cell.seeds[lo:hi]))
+                    )
+                    index += 1
+            else:
+                for mi, m in enumerate(cell.m_values):
+                    seeds = cell.per_m_seeds[mi]
+                    for lo, hi in chunk_bounds(cell.trials, chunks):
+                        tasks.append(
+                            _Task(ci, index, mi, m, tuple(seeds[lo:hi]))
+                        )
+                        index += 1
+        return tasks
+
+    # ---- merge / fold ----
+
+    def run(self, plan: SweepPlan) -> List[object]:
+        """Execute all cells' chunks; fold each cell as it completes."""
+        raw = self.run_outcomes(plan)
+        from repro.experiments.runner import (
+            fold_required_queries,
+            fold_success_curve,
+        )
+
+        results: List[object] = []
+        for cell, outcomes in zip(plan._cells, raw):
+            if cell.kind == CELL_REQUIRED:
+                results.append(fold_required_queries(cell.spec, outcomes))
+            else:
+                results.append(
+                    fold_success_curve(
+                        cell.spec, cell.m_values, outcomes, cell.trials
+                    )
+                )
+        return results
+
+    def run_outcomes(self, plan: SweepPlan) -> List[object]:
+        """Execute the plan, returning raw per-cell outcome lists.
+
+        Required-queries cells yield ``[(succeeded, required_m), ...]``
+        in trial order; success-curve cells yield one
+        ``[(exact, overlap), ...]`` list per grid point. This is the
+        layer the PR 2 compatibility wrappers in
+        :mod:`repro.experiments.parallel` consume.
+        """
+        tasks = self._explode(plan)
+        cells = plan._cells
+        # Per-cell chunk slots, filled out of completion order and
+        # merged in task order — the ordered-merge half of the
+        # bit-identity contract.
+        slots: List[List[Optional[list]]] = [[] for _ in cells]
+        remaining: List[int] = [0 for _ in cells]
+        for task in tasks:
+            # task.index counts per cell in explode order, so each
+            # cell's slot list lines up with its task indices.
+            slots[task.cell].append(None)
+            remaining[task.cell] += 1
+
+        def emit(task: _Task, result: list) -> None:
+            if slots[task.cell][task.index] is None:
+                remaining[task.cell] -= 1
+            slots[task.cell][task.index] = result
+
+        if tasks:
+            # (a plan can be task-free — no cells, or cells with empty
+            # m-grids — and must still fold one result per cell)
+            if self.backend == "serial":
+                self._execute_serial(tasks, cells, emit)
+            elif self.backend == "process":
+                self._execute_process(tasks, cells, emit)
+            else:
+                self._execute_socket(tasks, cells, emit)
+
+        missing = [ci for ci, left in enumerate(remaining) if left]
+        if missing:  # pragma: no cover - backends raise before this
+            raise RuntimeError(f"cells {missing} did not complete")
+
+        raw: List[object] = []
+        for ci, cell in enumerate(cells):
+            if cell.kind == CELL_REQUIRED:
+                raw.append([o for chunk in slots[ci] for o in chunk])
+            else:
+                per_m: List[list] = [[] for _ in cell.m_values]
+                task_iter = (t for t in tasks if t.cell == ci)
+                for task, chunk in zip(task_iter, slots[ci]):
+                    per_m[task.m_index].extend(chunk)
+                raw.append(per_m)
+        return raw
+
+    # ---- backends ----
+
+    def _execute_serial(self, tasks, cells, emit) -> None:
+        for task in tasks:
+            emit(
+                task,
+                _run_chunk(cells[task.cell].spec, cells[task.cell].kind,
+                           task.m, task.seeds),
+            )
+
+    def _execute_process(self, tasks, cells, emit) -> None:
+        """Submit the queue to the cached spawn pool; retry once if it
+        breaks mid-sweep, resubmitting every unfinished chunk.
+
+        Every ``pool.submit`` and ``future.result`` runs inside the
+        retry scope: a ``BrokenProcessPool`` surfacing anywhere — the
+        initial wave, a miss-retry resubmission, or a result — parks
+        the affected chunks back on ``unsent`` and reruns them on a
+        fresh pool (results are pure functions of their seeds, so the
+        retry is bit-identical). A second breakage fails the sweep.
+        """
+        blobs = {
+            ci: pickle.dumps(cells[ci].spec, pickle.HIGHEST_PROTOCOL)
+            for ci in {t.cell for t in tasks}
+        }
+        keys = {ci: _next_spec_key(ci) for ci in blobs}
+        # Seed each cell's spec into the pool with its first chunks
+        # (likely to land on distinct workers); later chunks ship only
+        # seeds + indices and fall back to the miss-retry protocol.
+        # FIFO order matters: the blob-carrying chunks must reach the
+        # pool before their cell's blob-less ones.
+        unsent: "deque[Tuple[_Task, bool]]" = deque()
+        seen: Dict[int, int] = {}
+        for task in tasks:
+            shipped = seen.get(task.cell, 0)
+            unsent.append((task, shipped < self.workers))
+            seen[task.cell] = shipped + 1
+
+        retried_broken = False
+        while True:
+            pool = parallel._get_pool(self.workers)
+            pending: Dict[object, _Task] = {}
+            try:
+                while unsent or pending:
+                    while unsent:
+                        # peek, submit, then pop — a submit() that
+                        # raises BrokenProcessPool leaves the chunk
+                        # queued for the fresh-pool retry
+                        task, with_blob = unsent[0]
+                        cell = cells[task.cell]
+                        blob = (
+                            blobs[task.cell]
+                            if (with_blob or not self.intern_specs)
+                            else None
+                        )
+                        future = pool.submit(
+                            _process_chunk, keys[task.cell], blob,
+                            cell.kind, task.m, task.seeds,
+                        )
+                        unsent.popleft()
+                        pending[future] = task
+                    done, _ = wait(
+                        list(pending), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        task = pending.pop(future)
+                        try:
+                            result = future.result()
+                        except _SpecMissing:
+                            unsent.append((task, True))
+                            continue
+                        except BrokenProcessPool:
+                            unsent.append((task, True))
+                            raise
+                        emit(task, result)
+                return
+            except BrokenProcessPool:
+                # A worker died (OOM kill, segfault): the whole
+                # executor is broken for good.
+                if retried_broken:
+                    raise
+                retried_broken = True
+                unsent.extend((t, True) for t in pending.values())
+                parallel.shutdown_pool()
+
+    def _execute_socket(self, tasks, cells, emit) -> None:
+        """Drive remote socket workers: one feeder thread per host
+        pulls chunks off the shared queue; a dead worker's in-flight
+        chunk is requeued onto the survivors."""
+        from repro.experiments import worker as worker_mod
+
+        addresses = parse_hosts(self._hosts)
+        keys = {ci: _next_spec_key(ci) for ci in {t.cell for t in tasks}}
+        task_queue: "queue_module.Queue[_Task]" = queue_module.Queue()
+        for task in tasks:
+            task_queue.put(task)
+        results: "queue_module.Queue[tuple]" = queue_module.Queue()
+        done_event = threading.Event()
+
+        def drive(address: Tuple[str, int]) -> None:
+            try:
+                conn = worker_mod.connect(address)
+            except OSError as exc:
+                results.put(("worker-error", address, exc))
+                return
+            sent: set = set()
+            try:
+                while not done_event.is_set():
+                    try:
+                        task = task_queue.get(timeout=0.05)
+                    except queue_module.Empty:
+                        continue
+                    try:
+                        # intern_specs=False is the benchmark baseline:
+                        # re-ship the spec with every chunk instead of
+                        # once per connection.
+                        if not self.intern_specs or task.cell not in sent:
+                            worker_mod.send_message(
+                                conn,
+                                ("spec", keys[task.cell],
+                                 cells[task.cell].spec),
+                            )
+                            sent.add(task.cell)
+                        worker_mod.send_message(
+                            conn,
+                            ("chunk", keys[task.cell],
+                             cells[task.cell].kind, task.m, task.seeds),
+                        )
+                        # Poll for readiness, then read the frame with
+                        # blocking I/O: an elapsed poll means "worker
+                        # still computing" (a *dead* peer is reset by
+                        # TCP keepalive into a hard OSError), and the
+                        # frame read itself can never time out
+                        # mid-frame.
+                        while not worker_mod.wait_readable(
+                            conn, worker_mod.IO_POLL_TIMEOUT
+                        ):
+                            if done_event.is_set():
+                                task_queue.put(task)
+                                return
+                        reply = worker_mod.recv_message(conn)
+                    except Exception as exc:
+                        # Not only transport errors (OSError/EOFError):
+                        # a pickling failure or corrupted reply must
+                        # also requeue the chunk and retire this
+                        # worker, never die silently and hang the
+                        # sweep. Requeue before reporting: a surviving
+                        # worker must be able to pick the chunk up (a
+                        # chunk that fails the same way everywhere ends
+                        # the sweep via the all-workers-failed error).
+                        task_queue.put(task)
+                        results.put(("worker-error", address, exc))
+                        return
+                    if reply is None:
+                        task_queue.put(task)
+                        results.put(
+                            ("worker-error", address,
+                             OSError("connection closed by worker"))
+                        )
+                        return
+                    if reply[0] == "ok":
+                        results.put(("ok", task, reply[1]))
+                    else:
+                        results.put(("task-error", task, reply[1]))
+                try:
+                    worker_mod.send_message(conn, ("close",))
+                except OSError:
+                    pass
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=drive, args=(addr,), daemon=True)
+            for addr in addresses
+        ]
+        for thread in threads:
+            thread.start()
+        completed = 0
+        failures: List[str] = []
+        try:
+            while completed < len(tasks):
+                try:
+                    message = results.get(timeout=1.0)
+                except queue_module.Empty:
+                    if not any(t.is_alive() for t in threads):
+                        raise RuntimeError(
+                            "all socket workers exited with "
+                            f"{len(tasks) - completed} chunks unfinished"
+                            + (f" (failures: {failures})" if failures else "")
+                        )
+                    continue
+                if message[0] == "ok":
+                    emit(message[1], message[2])
+                    completed += 1
+                elif message[0] == "task-error":
+                    raise RuntimeError(
+                        f"socket worker failed a chunk:\n{message[2]}"
+                    )
+                else:
+                    _, address, exc = message
+                    failures.append(f"{address[0]}:{address[1]}: {exc}")
+                    if len(failures) == len(addresses):
+                        raise RuntimeError(
+                            "every socket worker failed: "
+                            + "; ".join(failures)
+                        )
+        finally:
+            done_event.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "HOSTS_ENV",
+    "DESIGNS",
+    "SweepPlan",
+    "SweepExecutor",
+    "resolve_backend",
+    "parse_hosts",
+]

@@ -7,6 +7,13 @@ algorithms without an incremental form (AMP, two-stage) — is the
 ``P(exact recovery) >= level``. This module estimates it with an
 exponential bracket followed by bisection, evaluating the success rate
 on fresh independent instances at every probe.
+
+Each memoized probe is a one-cell sweep plan on the execution engine
+(:mod:`repro.experiments.scheduler`, via
+:func:`~repro.experiments.runner.success_rate_curve`): ``workers`` and
+``backend`` shard a probe's trials across the chosen backend with
+bit-identical rates, so the search visits exactly the same ``m``
+sequence for any backend and worker count.
 """
 
 from __future__ import annotations
@@ -47,6 +54,8 @@ def success_probability_threshold(
     tolerance: int = 4,
     gamma: Optional[int] = None,
     algorithm_kwargs: Optional[dict] = None,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ThresholdEstimate:
     """Estimate the smallest m with success rate >= ``level``.
 
@@ -56,7 +65,9 @@ def success_probability_threshold(
     one fixed instance. Probed ``m`` values are memoized within one
     search: when the bracket and bisection phases land on the same
     ``m`` twice, the fresh ``success_rate_curve`` sweep is evaluated
-    only once (and ``probes`` records each ``m`` once). Returns
+    only once (and ``probes`` records each ``m`` once). Each probe is
+    a one-cell plan on the sweep engine; ``workers`` / ``backend``
+    shard its trials with bit-identical rates. Returns
     ``threshold_m = None`` if even ``m_cap`` (default ``512 * m_init``)
     does not reach the level.
     """
@@ -83,6 +94,8 @@ def success_probability_threshold(
             seed=next(seeds),
             gamma=gamma,
             algorithm_kwargs=algorithm_kwargs,
+            workers=workers,
+            backend=backend,
         )
         rate = curve.success_rates[0]
         probed[m] = rate
@@ -116,6 +129,8 @@ def compare_algorithm_thresholds(
     level: float = 0.5,
     trials: int = 20,
     seed: RngLike = 0,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, ThresholdEstimate]:
     """Estimate and juxtapose thresholds for several algorithms."""
     out: Dict[str, ThresholdEstimate] = {}
@@ -128,6 +143,8 @@ def compare_algorithm_thresholds(
             trials=trials,
             seed=algo_seed,
             algorithm=algorithm,
+            workers=workers,
+            backend=backend,
         )
     return out
 

@@ -1,0 +1,314 @@
+"""TCP chunk workers for the sweep engine's ``socket`` backend.
+
+A worker is a plain process that listens on a TCP port, accepts
+connections from a :class:`~repro.experiments.scheduler.SweepExecutor`,
+and runs ``(cell, chunk)`` work items with the exact same chunk
+functions the in-process backends use — so its outputs are
+bit-identical to serial execution by construction (every chunk is a
+pure function of its pre-spawned child seeds).
+
+Start workers — **one per core** on multi-core hosts, since a worker
+serves one chunk at a time per connection (chunk pipelining is a
+ROADMAP open item)::
+
+    python -m repro worker serve --host 0.0.0.0 --port 7920
+    python -m repro worker serve --host 0.0.0.0 --port 7921  # core 2
+
+then point any sweep at them::
+
+    REPRO_HOSTS=hosta:7920,hosta:7921 python -m repro fig3 --backend socket
+
+Wire protocol
+-------------
+Length-prefixed pickle frames (8-byte big-endian length + payload),
+synchronous per connection:
+
+``("spec", key, spec)``
+    Intern a cell's invariant payload (channel, kwargs, budgets) under
+    ``key``. Sent once per cell per connection — per-worker payload
+    interning: subsequent chunk frames ship only seeds + indices. No
+    reply.
+``("chunk", key, kind, m, seeds)``
+    Run one chunk against the interned spec. Replies ``("ok", result)``
+    or ``("err", traceback_string)``.
+``("close",)``
+    End the conversation; the worker keeps serving new connections.
+
+**Trust model:** frames are pickles, which execute code when loaded.
+Run workers only on trusted networks for trusted drivers, with every
+host on the same library version — the same assumption every
+pickle-based cluster scheduler makes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import socket
+import struct
+import threading
+import traceback
+from typing import Callable, List, Optional, Tuple
+
+#: default worker port (any free port works; tests use ephemeral ports)
+DEFAULT_PORT = 7920
+
+#: frame header: 8-byte big-endian payload length
+_HEADER = struct.Struct(">Q")
+
+#: connect timeout for executor-side connections (seconds)
+CONNECT_TIMEOUT = 10.0
+
+#: readiness-poll interval on executor-side connections (seconds). An
+#: elapsed poll does NOT mean the worker died — a chunk may
+#: legitimately compute for many minutes at paper scale — it merely
+#: lets the driver thread check for shutdown and re-enter the wait,
+#: so it doubles as the abandon-latency bound when a sweep fails.
+#: Polling happens with :func:`wait_readable` *before* any frame read
+#: (never with a mid-frame socket timeout, which would drop partially
+#: received bytes and desynchronize the protocol); actual dead-peer
+#: detection is TCP keepalive (tuned in :func:`connect`): a host that
+#: vanished without closing the connection is reset by the kernel —
+#: within ~2 minutes where the keepalive knobs exist (Linux, macOS;
+#: elsewhere the OS default interval applies) — which surfaces as a
+#: hard ``OSError`` and triggers the executor's chunk requeue.
+IO_POLL_TIMEOUT = 1.0
+
+
+# -- framing ------------------------------------------------------------
+
+
+def send_message(conn: socket.socket, obj) -> None:
+    """Send one length-prefixed pickle frame."""
+    payload = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+    conn.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(conn: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    while count:
+        part = conn.recv(min(count, 1 << 20))
+        if not part:
+            return None
+        chunks.append(part)
+        count -= len(part)
+    return b"".join(chunks)
+
+
+def wait_readable(conn: socket.socket, timeout: float) -> bool:
+    """Wait up to ``timeout`` seconds for ``conn`` to become readable.
+
+    The executor's poll primitive: returns ``False`` when the wait
+    merely elapsed (worker still computing — re-enter after checking
+    for shutdown) and ``True`` when bytes, EOF, or a connection reset
+    are pending (all of which the following blocking
+    :func:`recv_message` resolves). Keeping the poll *outside* the
+    frame read means a slow link can never lose partially received
+    frame bytes to a timeout.
+    """
+    import select
+
+    return bool(select.select([conn], [], [], timeout)[0])
+
+
+def recv_message(conn: socket.socket):
+    """Receive one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(conn, _HEADER.size)
+    if header is None:
+        return None
+    payload = _recv_exact(conn, _HEADER.unpack(header)[0])
+    if payload is None:
+        raise EOFError("connection closed mid-frame")
+    return pickle.loads(payload)
+
+
+def connect(address: Tuple[str, int]) -> socket.socket:
+    """Open an executor-side connection to a worker.
+
+    Receives poll at :data:`IO_POLL_TIMEOUT` (a timeout means "worker
+    still computing", never "worker dead"), while TCP keepalive turns
+    a host that vanished without closing the connection — power loss,
+    network partition with no RST — into a hard ``OSError``, which the
+    executor answers by requeueing the in-flight chunk onto the
+    surviving workers. Where the platform exposes the tuning knobs
+    (Linux, macOS) a dead peer is declared within about two minutes;
+    platforms without them (e.g. Windows) fall back to the OS default
+    keepalive interval.
+    """
+    conn = socket.create_connection(address, timeout=CONNECT_TIMEOUT)
+    # Blocking I/O: frame reads must never time out mid-frame (partial
+    # bytes would be lost and the stream desynchronized). The executor
+    # polls with wait_readable() before reading, and keepalive below
+    # turns a dead peer into a hard error even mid-read.
+    conn.settimeout(None)
+    conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    # Aggressive keepalive where the platform exposes the knobs:
+    # first probe after 60 s idle (TCP_KEEPIDLE on Linux, spelled
+    # TCP_KEEPALIVE on macOS), then every 15 s, declare the peer dead
+    # after 4 missed probes.
+    for option, value in (
+        ("TCP_KEEPIDLE", 60),
+        ("TCP_KEEPALIVE", 60),
+        ("TCP_KEEPINTVL", 15),
+        ("TCP_KEEPCNT", 4),
+    ):
+        if hasattr(socket, option):
+            conn.setsockopt(
+                socket.IPPROTO_TCP, getattr(socket, option), value
+            )
+    return conn
+
+
+# -- server -------------------------------------------------------------
+
+
+def _serve_connection(conn: socket.socket) -> None:
+    """Serve one executor connection until it closes.
+
+    Frames arrive in order, so a chunk frame can rely on its cell's
+    spec frame having been interned first.
+    """
+    from repro.experiments.scheduler import _run_chunk
+
+    specs = {}
+    try:
+        while True:
+            message = recv_message(conn)
+            if message is None or message[0] == "close":
+                return
+            if message[0] == "spec":
+                specs[message[1]] = message[2]
+            elif message[0] == "chunk":
+                _, key, kind, m, seeds = message
+                try:
+                    if key not in specs:
+                        raise KeyError(
+                            f"chunk for uninterned cell spec {key!r}"
+                        )
+                    send_message(
+                        conn, ("ok", _run_chunk(specs[key], kind, m, seeds))
+                    )
+                except Exception:
+                    send_message(conn, ("err", traceback.format_exc()))
+            else:
+                send_message(
+                    conn, ("err", f"unknown message kind {message[0]!r}")
+                )
+    except (OSError, EOFError):
+        return  # executor went away; nothing to clean up
+    finally:
+        conn.close()
+
+
+def serve_worker(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    ready: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Serve chunk requests forever (the ``repro worker serve`` loop).
+
+    ``port=0`` binds an ephemeral port; ``ready`` is called once with
+    the actual port before the accept loop starts (used by
+    :func:`start_local_workers` and the CLI banner). Each connection is
+    served on its own thread, so several executors (or a reconnecting
+    one) can share a worker.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        listener.bind((host, port))
+        listener.listen()
+        if ready is not None:
+            ready(listener.getsockname()[1])
+        while True:
+            conn, _ = listener.accept()
+            threading.Thread(
+                target=_serve_connection, args=(conn,), daemon=True
+            ).start()
+    finally:
+        listener.close()
+
+
+def _local_worker_main(port_queue) -> None:
+    """Spawn-process entry point for localhost test/CI workers."""
+    serve_worker("127.0.0.1", 0, ready=port_queue.put)
+
+
+def start_local_workers(
+    count: int,
+) -> Tuple[List[str], Callable[[], None]]:
+    """Spawn ``count`` localhost workers on ephemeral ports.
+
+    Returns ``(hosts, shutdown)``: ``hosts`` is a list of
+    ``"127.0.0.1:port"`` strings ready for
+    ``SweepExecutor(backend="socket", hosts=hosts)``; call
+    ``shutdown()`` to terminate the workers. Used by the localhost
+    round-trip tests and the CI socket smoke job — and handy for
+    checking a multi-host setup before pointing it at real machines.
+    """
+    import queue as queue_module
+    import time
+
+    context = multiprocessing.get_context("spawn")
+    port_queue = context.Queue()
+    processes = [
+        context.Process(target=_local_worker_main, args=(port_queue,),
+                        daemon=True)
+        for _ in range(count)
+    ]
+    for process in processes:
+        process.start()
+    hosts = []
+    try:
+        deadline = time.monotonic() + 60.0
+        while len(hosts) < count:
+            # Short poll so a worker that dies during startup (e.g. a
+            # spawn re-import failure) fails fast with its exit code
+            # instead of a bare queue timeout a minute later.
+            try:
+                hosts.append(f"127.0.0.1:{port_queue.get(timeout=0.2)}")
+                continue
+            except queue_module.Empty:
+                pass
+            dead = [p for p in processes if not p.is_alive()]
+            if dead:
+                # A dead worker can never serve chunks, whether or not
+                # it got as far as reporting a port.
+                raise RuntimeError(
+                    "local socket worker died during startup "
+                    f"(exit codes: {[p.exitcode for p in dead]}); "
+                    "note the spawn start method re-imports the driver's "
+                    "main module, so drivers fed via stdin cannot spawn "
+                    "workers — run them from a file or -c instead"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"local socket workers did not report ports "
+                    f"({len(hosts)}/{count} ready after 60s)"
+                )
+    except Exception:
+        for process in processes:
+            process.terminate()
+        raise
+
+    def shutdown() -> None:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(timeout=10)
+
+    return hosts, shutdown
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "CONNECT_TIMEOUT",
+    "IO_POLL_TIMEOUT",
+    "wait_readable",
+    "send_message",
+    "recv_message",
+    "connect",
+    "serve_worker",
+    "start_local_workers",
+]

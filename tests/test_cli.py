@@ -28,6 +28,70 @@ class TestParser:
         args = build_parser().parse_args(["fig2", "--workers", "4"])
         assert args.workers == 4
 
+    def test_backend_flag(self):
+        # every sweep subcommand exposes --backend with the engine's
+        # shared backend constants
+        from repro.experiments.scheduler import BACKENDS
+
+        for command in ("fig2", "fig6", "required-queries", "threshold"):
+            assert build_parser().parse_args([command]).backend is None
+            for backend in BACKENDS:
+                args = build_parser().parse_args(
+                    [command, "--backend", backend]
+                )
+                assert args.backend == backend
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--backend", "quantum"])
+
+    def test_worker_serve_subcommand(self):
+        from repro.experiments.worker import DEFAULT_PORT
+
+        args = build_parser().parse_args(["worker", "serve"])
+        assert args.command == "worker"
+        assert args.worker_command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port is None  # resolved to DEFAULT_PORT at serve time
+        args = build_parser().parse_args(
+            ["worker", "serve", "--host", "0.0.0.0", "--port", "7001"]
+        )
+        assert (args.host, args.port) == ("0.0.0.0", 7001)
+        assert DEFAULT_PORT == 7920
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_ablation_design_subcommand(self):
+        args = build_parser().parse_args(["ablation_design", "--trials", "4"])
+        assert args.figure == "ablation_design"
+        assert args.trials == 4
+        args = build_parser().parse_args(
+            ["ablation_design", "--n-values", "200", "400", "--m-points", "6"]
+        )
+        assert args.n_values == [200, 400]
+        assert args.m_points == 6
+        # the shared fig2-7 grid flags do not apply and are rejected
+        # rather than silently ignored
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation_design", "--n-max", "5000"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation_design", "--full-scale"])
+
+    def test_all_runs_paper_figures_only(self, monkeypatch):
+        # `repro all` regenerates fig2-fig7; the design ablation runs
+        # only by name (it has its own grid and ignores the n flags).
+        import repro.cli as cli
+
+        ran = []
+
+        def fake_run_figure(name, **kwargs):
+            ran.append(name)
+            from repro.experiments.figures import FigureResult
+
+            return FigureResult(figure=name, description="", params={})
+
+        monkeypatch.setattr(cli, "run_figure", fake_run_figure)
+        assert main(["all", "--trials", "1"]) == 0
+        assert ran == ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]
+
     def test_figure_algorithms_flag(self):
         args = build_parser().parse_args(["fig2", "--algorithms", "greedy", "amp"])
         assert args.algorithms == ["greedy", "amp"]

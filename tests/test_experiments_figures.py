@@ -174,6 +174,41 @@ class TestFigure7:
         assert row["overlap"] >= row["success_rate"] - 1e-9
 
 
+class TestDesignAblation:
+    def test_structure_and_comparable_designs(self):
+        from repro.experiments.figures import figure_design_ablation
+
+        result = figure_design_ablation(
+            n_values=(200,), trials=8, m_points=8, seed=3
+        )
+        assert result.figure == "ablation_design"
+        assert {row["series"] for row in result.rows} == {
+            "replacement", "regular",
+        }
+        by_design = {row["series"]: row for row in result.rows}
+        # Both designs must reach the 50% level on the grid and land in
+        # the same order of magnitude (the paper's multigraph costs at
+        # most a small constant over the regular design).
+        for row in by_design.values():
+            assert row["required_m_p50"] is not None
+            assert row["n"] == 200
+        ratio = (
+            by_design["replacement"]["required_m_p50"]
+            / by_design["regular"]["required_m_p50"]
+        )
+        assert 1 / 4 <= ratio <= 4, by_design
+
+    def test_routed_through_engine_backends(self):
+        # The ablation is a multi-cell plan like figures 2-5: sharding
+        # it must not change a single row.
+        from repro.experiments.figures import figure_design_ablation
+
+        kwargs = dict(n_values=(150,), trials=6, m_points=6, seed=1)
+        serial = figure_design_ablation(**kwargs)
+        sharded = figure_design_ablation(workers=2, **kwargs)
+        assert serial.rows == sharded.rows
+
+
 class TestRunFigure:
     def test_dispatch(self):
         result = run_figure("fig2", n_values=(60,), ps=(0.1,), trials=1, seed=0)
@@ -184,7 +219,9 @@ class TestRunFigure:
             run_figure("fig99")
 
     def test_all_figures_registered(self):
-        assert set(FIGURES) == {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+        assert set(FIGURES) == {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation_design",
+        }
 
 
 class TestFigureResultIO:

@@ -10,6 +10,9 @@ merges outcomes in trial order.
 
 import multiprocessing
 import os
+import subprocess
+import sys
+import textwrap
 
 import numpy as np
 import pytest
@@ -21,6 +24,38 @@ from repro.experiments.runner import (
     required_queries_trials,
     success_rate_curve,
 )
+
+
+class _KillOnceChannel(repro.NoiselessChannel):
+    """Noiseless channel that kills its worker process exactly once.
+
+    The first worker to measure while the flag file exists removes it
+    and dies with ``os._exit`` (simulating an OOM kill / segfault mid
+    sweep); every later measurement — in particular the whole fresh
+    pool retry — behaves noiselessly. Module-level so ``spawn`` workers
+    can unpickle it.
+    """
+
+    def __init__(self, flag_path):
+        self.flag_path = flag_path
+
+    def measure(self, e1, gamma, rng=None):
+        if os.path.exists(self.flag_path):
+            try:
+                os.remove(self.flag_path)
+            except OSError:
+                pass
+            os._exit(1)
+        return super().measure(e1, gamma, rng)
+
+
+class _AlwaysKillChannel(repro.NoiselessChannel):
+    """Channel whose every worker-side measurement kills the process."""
+
+    def measure(self, e1, gamma, rng=None):
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        return super().measure(e1, gamma, rng)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -189,6 +224,86 @@ class TestSuccessCurveEquivalence:
         )
         assert sharded.success_rates == serial.success_rates
         assert sharded.overlaps == serial.overlaps
+
+
+class TestPoolLifecycle:
+    def test_atexit_hook_shuts_down_cached_pool(self):
+        # An interpreter that used the cached pool and never called
+        # shutdown_pool() must still run it at exit (the registered
+        # atexit hook) and terminate cleanly. The instance-level
+        # shutdown wrapper proves it is *our* hook doing the work, not
+        # concurrent.futures' own exit handler.
+        code = textwrap.dedent(
+            """
+            import repro
+            from repro.experiments import parallel
+            from repro.experiments.runner import required_queries_trials
+
+            sample = required_queries_trials(
+                100, 3, repro.NoiselessChannel(), trials=2, seed=0, workers=2
+            )
+            assert sample.values, sample
+            pool = parallel._pool
+            assert pool is not None  # cached across the sweep
+            original = pool.shutdown
+
+            def marked(*args, **kwargs):
+                print("SHUTDOWN_POOL_RAN", flush=True)
+                return original(*args, **kwargs)
+
+            pool.shutdown = marked
+            print("SWEEP_DONE", sample.values, flush=True)
+            """
+        )
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop(parallel.WORKERS_ENV, None)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SWEEP_DONE" in proc.stdout
+        assert "SHUTDOWN_POOL_RAN" in proc.stdout, proc.stdout
+
+    def test_broken_pool_mid_sweep_retried_on_fresh_pool(self, tmp_path):
+        # A worker dying *mid-sweep* (not at pool creation) must not
+        # fail the sweep: the engine reruns every unfinished chunk on
+        # a fresh pool, and the merged outcome is bit-identical to the
+        # serial run (trials are pure functions of their seeds).
+        flag = tmp_path / "kill-once"
+        flag.touch()
+        sample = required_queries_trials(
+            120,
+            3,
+            _KillOnceChannel(str(flag)),
+            trials=5,
+            seed=3,
+            workers=2,
+        )
+        reference = required_queries_trials(
+            120, 3, repro.NoiselessChannel(), trials=5, seed=3
+        )
+        assert not flag.exists()  # the first attempt did die
+        assert sample.values == reference.values
+        assert sample.failures == reference.failures
+
+    def test_broken_pool_twice_fails_the_sweep(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with pytest.raises(BrokenProcessPool):
+            required_queries_trials(
+                100, 3, _AlwaysKillChannel(), trials=4, seed=1, workers=2
+            )
+        # the broken executor must not poison later sweeps
+        after = required_queries_trials(
+            100, 3, repro.NoiselessChannel(), trials=3, seed=2, workers=2
+        )
+        assert after.trials == 3
 
 
 class TestSchedulerInternals:

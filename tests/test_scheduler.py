@@ -1,0 +1,410 @@
+"""Bit-identity tests for the sweep execution engine.
+
+The contract under test: a multi-cell :class:`SweepPlan` — mixed
+algorithms (greedy / amp), mixed engines (batch / legacy), mixed n,
+required-m and success-curve cells in one queue — returns results
+identical to running each cell through the pre-engine per-cell serial
+path on the same seeds, for every backend (``serial`` / ``process`` /
+``socket``) and several worker counts. The per-cell references below
+deliberately reimplement the old serial loops (BatchTrialRunner /
+required_queries / required_queries_amp / run_amp_trials on freshly
+spawned child seeds) so the engine is checked against the original
+code shape, not against itself.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.amp.batch_amp import (
+    required_queries_amp,
+    required_queries_amp_linear,
+    run_amp_trials,
+)
+from repro.core.batch import BatchTrialRunner
+from repro.core.incremental import required_queries
+from repro.experiments import parallel
+from repro.experiments.scheduler import (
+    BACKENDS,
+    SweepExecutor,
+    SweepPlan,
+    parse_hosts,
+    resolve_backend,
+    _intern_spec,
+    _SpecMissing,
+    _worker_specs,
+)
+from repro.utils.rng import spawn_rngs, spawn_seeds
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pool_after():
+    yield
+    parallel.shutdown_pool()
+
+
+@pytest.fixture(scope="module")
+def socket_hosts():
+    """Two live localhost socket workers (the cross-host round trip)."""
+    from repro.experiments.worker import start_local_workers
+
+    hosts, shutdown = start_local_workers(2)
+    assert len(hosts) == 2
+    yield hosts
+    shutdown()
+
+
+# -- per-cell serial references (the pre-engine code shape) -------------
+
+
+def reference_required(n, k, channel, *, trials, seed, algorithm="greedy",
+                       engine="batch", check_every=1, max_m=None):
+    """The pre-engine serial required-m loop, folded to (values, failures)."""
+    if algorithm == "amp":
+        scan = (
+            required_queries_amp if engine == "batch"
+            else required_queries_amp_linear
+        )
+        runs = scan(
+            n, k, channel, spawn_seeds(seed, trials),
+            check_every=check_every, max_m=max_m,
+        )
+        outcomes = [(r.succeeded, r.required_m) for r in runs]
+    elif engine == "batch":
+        runner = BatchTrialRunner(n, k, channel)
+        outcomes = [
+            (r.succeeded, r.required_m)
+            for r in (
+                runner.required_queries(
+                    gen, max_m=max_m, check_every=check_every
+                )
+                for gen in spawn_rngs(seed, trials)
+            )
+        ]
+    else:
+        outcomes = []
+        for gen in spawn_rngs(seed, trials):
+            r = required_queries(
+                n, k, channel, gen, max_m=max_m, check_every=check_every
+            )
+            outcomes.append((r.succeeded, r.required_m))
+    values = [int(m) for ok, m in outcomes if ok]
+    failures = sum(1 for ok, _ in outcomes if not ok)
+    return values, failures
+
+
+def reference_curve(n, k, channel, m_values, *, trials, seed,
+                    algorithm="greedy", engine="batch"):
+    """The pre-engine serial success-curve loop -> (rates, overlaps)."""
+    from repro.core.ground_truth import sample_ground_truth
+    from repro.core.measurement import measure
+    from repro.core.pooling import sample_pooling_graph
+    from repro.experiments.runner import _run_algorithm
+
+    rates, overlaps = [], []
+    for m, m_rng in zip(m_values, spawn_rngs(seed, len(m_values))):
+        m = int(m)
+        outcomes = []
+        if algorithm == "greedy" and engine == "batch":
+            runner = BatchTrialRunner(n, k, channel)
+            for r in runner.run_trials(m, trials, seed=m_rng):
+                outcomes.append((bool(r.exact), float(r.overlap)))
+        elif algorithm == "amp" and engine == "batch":
+            for r in run_amp_trials(
+                n, k, channel, m, spawn_rngs(m_rng, trials)
+            ):
+                outcomes.append((bool(r.exact), float(r.overlap)))
+        else:
+            for gen in spawn_rngs(m_rng, trials):
+                truth = sample_ground_truth(n, k, gen)
+                graph = sample_pooling_graph(n, m, None, gen)
+                meas = measure(graph, truth, channel, gen)
+                result = _run_algorithm(algorithm, meas)
+                outcomes.append((bool(result.exact), float(result.overlap)))
+        rates.append(sum(e for e, _ in outcomes) / trials)
+        overlaps.append(sum(o for _, o in outcomes) / trials)
+    return rates, overlaps
+
+
+#: the mixed sweep every backend must reproduce bit-identically:
+#: (kind, kwargs) — mixed algorithms, engines, n, and cell kinds
+MIXED_CELLS = [
+    ("required", dict(n=150, k=4, channel=repro.ZChannel(0.1),
+                      trials=7, seed=11, algorithm="greedy", engine="batch")),
+    ("required", dict(n=100, k=3, channel=repro.ZChannel(0.1),
+                      trials=4, seed=5, algorithm="greedy", engine="legacy")),
+    ("required", dict(n=120, k=3, channel=repro.NoiselessChannel(),
+                      trials=3, seed=2, algorithm="amp", engine="batch",
+                      check_every=4, max_m=400)),
+    ("required", dict(n=90, k=3, channel=repro.NoiselessChannel(),
+                      trials=2, seed=9, algorithm="amp", engine="legacy",
+                      check_every=8, max_m=300)),
+    ("curve", dict(n=150, k=4, channel=repro.ZChannel(0.2),
+                   m_values=[30, 90], trials=6, seed=4,
+                   algorithm="greedy", engine="batch")),
+    ("curve", dict(n=120, k=3, channel=repro.NoiselessChannel(),
+                   m_values=[60], trials=4, seed=5,
+                   algorithm="amp", engine="legacy")),
+]
+
+
+def build_mixed_plan():
+    plan = SweepPlan()
+    for kind, kwargs in MIXED_CELLS:
+        if kind == "required":
+            plan.add_required_queries(
+                kwargs["n"], kwargs["k"], kwargs["channel"],
+                trials=kwargs["trials"], seed=kwargs["seed"],
+                algorithm=kwargs["algorithm"], engine=kwargs["engine"],
+                check_every=kwargs.get("check_every", 1),
+                max_m=kwargs.get("max_m"),
+            )
+        else:
+            plan.add_success_curve(
+                kwargs["n"], kwargs["k"], kwargs["channel"],
+                kwargs["m_values"], trials=kwargs["trials"],
+                seed=kwargs["seed"], algorithm=kwargs["algorithm"],
+                engine=kwargs["engine"],
+            )
+    return plan
+
+
+def assert_matches_references(results):
+    assert len(results) == len(MIXED_CELLS)
+    for (kind, kwargs), result in zip(MIXED_CELLS, results):
+        if kind == "required":
+            values, failures = reference_required(
+                kwargs["n"], kwargs["k"], kwargs["channel"],
+                trials=kwargs["trials"], seed=kwargs["seed"],
+                algorithm=kwargs["algorithm"], engine=kwargs["engine"],
+                check_every=kwargs.get("check_every", 1),
+                max_m=kwargs.get("max_m"),
+            )
+            assert result.values == values, kwargs
+            assert result.failures == failures, kwargs
+            assert result.algorithm == kwargs["algorithm"]
+        else:
+            rates, overlaps = reference_curve(
+                kwargs["n"], kwargs["k"], kwargs["channel"],
+                kwargs["m_values"], trials=kwargs["trials"],
+                seed=kwargs["seed"], algorithm=kwargs["algorithm"],
+                engine=kwargs["engine"],
+            )
+            assert result.success_rates == rates, kwargs
+            assert result.overlaps == overlaps, kwargs
+
+
+class TestBitIdentity:
+    def test_serial_backend_matches_per_cell_references(self):
+        assert_matches_references(build_mixed_plan().run(backend="serial"))
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_process_backend_matches_for_any_worker_count(self, workers):
+        results = build_mixed_plan().run(backend="process", workers=workers)
+        assert_matches_references(results)
+
+    def test_socket_backend_round_trip(self, socket_hosts):
+        # Localhost cross-host round trip with two worker processes:
+        # the full mixed sweep must come back bit-identical.
+        results = build_mixed_plan().run(
+            backend="socket", hosts=socket_hosts
+        )
+        assert_matches_references(results)
+
+    def test_interning_disabled_is_identical(self):
+        plan = build_mixed_plan()
+        interned = SweepExecutor(backend="process", workers=2).run(plan)
+        shipped = SweepExecutor(
+            backend="process", workers=2, intern_specs=False
+        ).run(plan)
+        for a, b in zip(interned, shipped):
+            assert a == b
+
+    def test_plans_are_reusable(self):
+        plan = build_mixed_plan()
+        first = plan.run(backend="serial")
+        second = plan.run(backend="serial")
+        assert first == second
+
+    def test_empty_plan(self):
+        assert SweepPlan().run(backend="serial") == []
+
+    def test_empty_m_grid_still_folds_one_result_per_cell(self):
+        # A cell with an empty m-grid produces zero tasks but must
+        # still fold into an (empty) curve — the pre-engine serial
+        # loop returned an empty SuccessCurve for m_values=[].
+        from repro.experiments.runner import success_rate_curve
+
+        curve = success_rate_curve(
+            50, 2, repro.NoiselessChannel(), [], trials=3, seed=0
+        )
+        assert curve.m_values == []
+        assert curve.success_rates == []
+        assert curve.overlaps == []
+        plan = SweepPlan()
+        plan.add_success_curve(50, 2, repro.NoiselessChannel(), [], trials=3)
+        plan.add_required_queries(
+            100, 3, repro.NoiselessChannel(), trials=2, seed=1
+        )
+        results = plan.run(backend="process", workers=2)
+        assert results[0].m_values == []
+        assert results[1].trials == 2
+
+
+class TestSocketRobustness:
+    def test_dead_worker_does_not_lose_chunks(self, socket_hosts):
+        # One address refuses connections (a dead host): the surviving
+        # worker must pick up every chunk and the merge stays exact.
+        import socket as socket_module
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        hosts = [socket_hosts[0], f"127.0.0.1:{dead_port}"]
+        plan = SweepPlan()
+        plan.add_required_queries(
+            150, 4, repro.ZChannel(0.1), trials=7, seed=11
+        )
+        result = plan.run(backend="socket", hosts=hosts)[0]
+        values, failures = reference_required(
+            150, 4, repro.ZChannel(0.1), trials=7, seed=11
+        )
+        assert result.values == values
+        assert result.failures == failures
+
+    def test_all_workers_dead_raises(self):
+        import socket as socket_module
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        plan = SweepPlan()
+        plan.add_required_queries(
+            100, 3, repro.NoiselessChannel(), trials=2, seed=0
+        )
+        with pytest.raises((RuntimeError, OSError)):
+            plan.run(backend="socket", hosts=[f"127.0.0.1:{dead_port}"])
+
+
+class TestBackendResolution:
+    def test_default_by_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None, 1) == "serial"
+        assert resolve_backend(None, 4) == "process"
+
+    def test_explicit_wins(self):
+        assert resolve_backend("serial", 8) == "serial"
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert resolve_backend(None, 4) == "serial"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("quantum", 1)
+        assert set(BACKENDS) == {"serial", "process", "socket"}
+
+    def test_parse_hosts(self, monkeypatch):
+        assert parse_hosts(["a:1", ("b", 2)]) == [("a", 1), ("b", 2)]
+        monkeypatch.setenv("REPRO_HOSTS", "x:7920, y:7921")
+        assert parse_hosts(None) == [("x", 7920), ("y", 7921)]
+        monkeypatch.setenv("REPRO_HOSTS", "")
+        with pytest.raises(ValueError, match="worker addresses"):
+            parse_hosts(None)
+        with pytest.raises(ValueError, match="host"):
+            parse_hosts(["no-port"])
+
+
+class TestPlanValidation:
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            SweepPlan().add_required_queries(
+                100, 3, repro.ZChannel(0.1), algorithm="twostage"
+            )
+        with pytest.raises(ValueError, match="algorithm"):
+            SweepPlan().add_success_curve(
+                100, 3, repro.ZChannel(0.1), [10], algorithm="warp"
+            )
+
+    def test_bad_engine_and_design_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SweepPlan().add_required_queries(
+                100, 3, repro.ZChannel(0.1), engine="warp"
+            )
+        with pytest.raises(ValueError, match="design"):
+            SweepPlan().add_success_curve(
+                100, 3, repro.ZChannel(0.1), [10], design="fancy"
+            )
+
+    def test_forced_batch_mode_incompatible_with_design(self):
+        # The stacked chunk paths sample the with-replacement design
+        # only; forcing one under another design must fail loudly
+        # instead of silently mislabeling the ablation data.
+        with pytest.raises(ValueError, match="batch_mode"):
+            SweepPlan().add_success_curve(
+                100, 3, repro.ZChannel(0.1), [10],
+                design="regular", batch_mode="greedy",
+            )
+        # the legacy per-trial loop does honor every design
+        plan = SweepPlan()
+        plan.add_success_curve(
+            100, 3, repro.ZChannel(0.1), [10],
+            design="regular", batch_mode=None, trials=2,
+        )
+        assert plan.run(backend="serial")[0].trials == 2
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError, match="trials"):
+            SweepPlan().add_required_queries(
+                100, 3, repro.ZChannel(0.1), trials=0
+            )
+
+
+class TestSpecInterning:
+    def test_intern_then_hit(self):
+        import pickle
+
+        _worker_specs.clear()
+        spec = {"n": 10, "payload": "x" * 100}
+        blob = pickle.dumps(spec)
+        assert _intern_spec("k1", blob) == spec
+        # hit: no blob needed any more
+        assert _intern_spec("k1", None) == spec
+
+    def test_miss_raises_spec_missing(self):
+        _worker_specs.clear()
+        with pytest.raises(_SpecMissing):
+            _intern_spec("never-seen", None)
+
+    def test_cache_bounded(self):
+        import pickle
+
+        from repro.experiments.scheduler import _SPEC_CACHE_LIMIT
+
+        _worker_specs.clear()
+        for i in range(_SPEC_CACHE_LIMIT + 10):
+            _intern_spec(f"key-{i}", pickle.dumps({"i": i}))
+        assert len(_worker_specs) == _SPEC_CACHE_LIMIT
+        # oldest entries were evicted, newest retained
+        with pytest.raises(_SpecMissing):
+            _intern_spec("key-0", None)
+        assert _intern_spec(f"key-{_SPEC_CACHE_LIMIT + 9}", None)
+
+
+class TestSearchThroughEngine:
+    def test_threshold_backend_invariant(self):
+        from repro.experiments.search import success_probability_threshold
+
+        serial = success_probability_threshold(
+            200, 4, repro.NoiselessChannel(), trials=8, seed=0
+        )
+        sharded = success_probability_threshold(
+            200, 4, repro.NoiselessChannel(), trials=8, seed=0,
+            workers=2, backend="process",
+        )
+        assert serial.threshold_m == sharded.threshold_m
+        assert serial.probes == sharded.probes
