@@ -18,9 +18,12 @@ Two entry modes:
   (block-diagonal) AMP sweep cells against the pre-batching per-trial
   loop, a full-scale stacked-AMP poison case, the AMP required-m
   scan (prefix replay + galloping/stacked bisection) against the
-  naive per-m probe loop, and the sweep engine's flattened cross-cell
+  naive per-m probe loop, the sweep engine's flattened cross-cell
   queue against per-cell-barrier execution (with the per-worker
-  spec-interning dispatch payloads) — and appends
+  spec-interning dispatch payloads), the AMP kernel seam (NumPy
+  reference vs the fused Numba backend when importable, float32
+  opt-in alongside), and the shared-memory arena dispatch payload
+  against the pipe-pickled protocols — and appends
   one machine-readable entry (per-case wall time, speedup vs baseline,
   workers used, host info) to ``BENCH_perf_core.json`` at the repo
   root, so regressions across PRs stay visible. ``--smoke`` shrinks
@@ -783,6 +786,169 @@ def _case_sweep_pipeline(smoke, workers):
     }
 
 
+def _case_amp_fused_kernel(smoke):
+    """AMP kernel seam: NumPy reference vs fused Numba vs float32.
+
+    Times the batched AMP sweep cell (sparse Gamma = 64, stacked
+    block-diagonally) under each kernel of the seam. The float64
+    Numba backend is asserted decode-identical to the reference and
+    JIT-warmed outside the timed region; the float32 variant's wall
+    time is recorded alongside (its scores differ only at float32
+    rounding — pinned by tolerance in tests/test_kernels.py, not
+    asserted here). On hosts without Numba (this repo's CI default)
+    the case records the graceful name-level fallback instead of a
+    fused speedup, so the trajectory file shows which backend actually
+    ran.
+    """
+    from repro.amp.batch_amp import run_amp_trials
+    from repro.amp.kernels import numba_available, resolve_kernel
+    from repro.utils.rng import spawn_seeds
+
+    n = 1024 if smoke else 4096
+    trials = 8 if smoke else 32
+    m = 200 if smoke else 600
+    k = repro.sublinear_k(n, 0.25)
+    channel = repro.ZChannel(0.1)
+    seeds = spawn_seeds(2022, trials)
+    repeats = 1 if smoke else 3
+
+    def sweep(kernel):
+        return run_amp_trials(
+            n, k, channel, m, seeds, gamma=64, kernel=kernel
+        )
+
+    baseline_s, reference = _timed(lambda: sweep("numpy"), repeats)
+    f32_s, _ = _timed(lambda: sweep("numpy32"), repeats)
+    entry = {
+        "case": "amp_fused_kernel",
+        "n": n,
+        "m": m,
+        "trials": trials,
+        "gamma": 64,
+        "baseline": 'kernel="numpy" (float64 reference, bit-identical '
+        "to the pre-seam path)",
+        "baseline_s": round(baseline_s, 4),
+        "numpy32_s": round(f32_s, 4),
+        "numba_available": numba_available(),
+    }
+    if numba_available():
+        sweep("numba")  # JIT compilation is a one-time session cost
+        wall_s, fused = _timed(lambda: sweep("numba"), repeats)
+        assert all(
+            np.array_equal(a.estimate, b.estimate)
+            for a, b in zip(reference, fused)
+        )
+        entry["wall_s"] = round(wall_s, 4)
+        entry["speedup"] = round(baseline_s / wall_s, 3) if wall_s else None
+    else:
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            entry["fallback_kernel"] = resolve_kernel("numba").name
+    return entry
+
+
+def _case_shm_dispatch_bytes(smoke, workers):
+    """Shared-memory arena dispatch vs the pipe-pickled protocols.
+
+    Reruns the fig-3-shaped multi-cell sweep of ``sweep_pipeline`` on
+    the process backend with ``shm=True`` (values asserted identical
+    to the serial run) and records the per-chunk submission payload
+    under the three dispatch protocols: spec-per-chunk (pre-
+    interning), interned steady state (seeds + indices through the
+    pipe), and the shm arena (arena name plus two ``(offset, length)``
+    refs — near-constant bytes regardless of spec size or chunk
+    width). **1-core-container caveat** as in ``sweep_pipeline``: the
+    worker processes serialize, so the shm wall time is trajectory
+    only; the payload bytes are hardware-independent.
+    """
+    import pickle
+
+    from repro.core.chunking import chunk_bounds
+    from repro.experiments import shutdown_pool
+    from repro.experiments.parallel import _OVERSUBSCRIBE
+    from repro.experiments.scheduler import SweepPlan
+    from repro.experiments.shm import SweepArena
+
+    n_values = (256, 512) if smoke else (1024, 2048, 4096)
+    trials = 4 if smoke else 8
+    check_every = 4 if smoke else 8
+    channels = [repro.NoiselessChannel(), repro.GaussianQueryNoise(1.0)]
+
+    def build_plan():
+        plan = SweepPlan()
+        for channel in channels:
+            for n in n_values:
+                plan.add_required_queries(
+                    n, repro.sublinear_k(n, 0.25), channel,
+                    trials=trials, seed=2022, check_every=check_every,
+                )
+        return plan
+
+    serial_vals = [s.values for s in build_plan().run(backend="serial")]
+    # Warm the pool outside the timed region (spawn start-up is a
+    # one-time session cost).
+    from repro.experiments.runner import required_queries_trials
+
+    required_queries_trials(
+        100, 3, repro.NoiselessChannel(), trials=workers, seed=0,
+        workers=workers,
+    )
+    pipe_s, pipe_vals = _timed(
+        lambda: [
+            s.values
+            for s in build_plan().run(
+                backend="process", workers=workers, shm=False
+            )
+        ]
+    )
+    shm_s, shm_vals = _timed(
+        lambda: [
+            s.values
+            for s in build_plan().run(
+                backend="process", workers=workers, shm=True
+            )
+        ]
+    )
+    shutdown_pool()
+    assert shm_vals == pipe_vals == serial_vals  # bit-identical
+    # Per-chunk submission payloads: the first cell's first chunk
+    # (chunk_bounds at workers * oversubscribe chunks per cell, the
+    # engine's actual split) pickled under each protocol.
+    cell = build_plan()._cells[0]
+    spec_blob = pickle.dumps(cell.spec, pickle.HIGHEST_PROTOCOL)
+    lo, hi = chunk_bounds(trials, workers * _OVERSUBSCRIBE)[0]
+    seeds_blob = pickle.dumps(
+        tuple(cell.seeds[lo:hi]), pickle.HIGHEST_PROTOCOL
+    )
+    with SweepArena([spec_blob, seeds_blob]) as arena:
+        shm_submission = pickle.dumps(
+            (arena.name, arena.refs[0], arena.refs[1], cell.kind, None),
+            pickle.HIGHEST_PROTOCOL,
+        )
+        arena_bytes = arena.size
+    return {
+        "case": "shm_dispatch_bytes",
+        "n_values": list(n_values),
+        "cells": len(n_values) * len(channels),
+        "trials": trials,
+        "workers": workers,
+        "wall_s": round(shm_s, 4),
+        "baseline": "interned pipe dispatch (process backend, shm off)",
+        "baseline_s": round(pipe_s, 4),
+        "speedup": round(pipe_s / shm_s, 3) if shm_s else None,
+        "chunk_bytes_spec_per_chunk": len(spec_blob) + len(seeds_blob),
+        "chunk_bytes_interned": len(seeds_blob),
+        "chunk_bytes_shm": len(shm_submission),
+        "arena_total_bytes": arena_bytes,
+        "note": "1-core container: worker processes serialize, so the "
+        "shm wall-time delta is trajectory only; payload bytes are "
+        "hardware-independent and chunk_bytes_shm stays near-constant "
+        "as specs or chunks grow",
+    }
+
+
 def run_perf_suite(smoke=False, workers=4, only=None):
     """Run the perf-trajectory cases; returns one JSON-ready entry.
 
@@ -805,6 +971,8 @@ def run_perf_suite(smoke=False, workers=4, only=None):
         ),
         "amp_required_m": lambda: _case_amp_required_m(smoke),
         "sweep_pipeline": lambda: _case_sweep_pipeline(smoke, workers),
+        "amp_fused_kernel": lambda: _case_amp_fused_kernel(smoke),
+        "shm_dispatch_bytes": lambda: _case_shm_dispatch_bytes(smoke, workers),
     }
     if only:
         unknown = set(only) - set(available)

@@ -16,6 +16,10 @@ This package provides:
   (:func:`required_queries_amp_linear`);
 * denoisers (:class:`BayesBernoulliDenoiser`,
   :class:`SoftThresholdDenoiser`);
+* the kernel seam (:mod:`repro.amp.kernels`) — every AMP entry point
+  takes ``kernel=`` (a name from :data:`KERNELS` or an
+  :class:`AMPKernel` instance; default from the ``REPRO_KERNEL`` env
+  var) selecting the compute backend for the inner array passes;
 * :func:`state_evolution` — the scalar recursion predicting AMP's MSE
   trajectory.
 """
@@ -46,6 +50,14 @@ from repro.amp.denoisers import (
     Denoiser,
     SoftThresholdDenoiser,
 )
+from repro.amp.kernels import (
+    KERNEL_ENV,
+    KERNELS,
+    AMPKernel,
+    StackLayout,
+    numba_available,
+    resolve_kernel,
+)
 from repro.amp.state_evolution import (
     StateEvolutionResult,
     denoiser_mse,
@@ -68,6 +80,12 @@ __all__ = [
     "Denoiser",
     "BayesBernoulliDenoiser",
     "SoftThresholdDenoiser",
+    "KERNEL_ENV",
+    "KERNELS",
+    "AMPKernel",
+    "StackLayout",
+    "numba_available",
+    "resolve_kernel",
     "denoiser_mse",
     "state_evolution",
     "StateEvolutionResult",

@@ -43,6 +43,17 @@ sums over contiguous flat segments in the ragged case), elementwise
 broadcasts against per-trial ``(T, 1)`` scalars, and sequential
 per-row CSR matvecs — so a trial's iterate sequence is bit-identical
 no matter which stack (of any size or composition) it runs in.
+
+The per-iteration array passes themselves live behind the pluggable
+compute seam of :mod:`repro.amp.kernels`: :func:`iterate_amp` is one
+stack-shape-agnostic driver (a :class:`~repro.amp.kernels.StackLayout`
+describes uniform vs ragged) that alternates the backend's
+``posterior_step`` / ``residual_step`` phases with the caller's
+matvecs. The default ``numpy`` backend performs exactly the operations
+this module's pre-seam loops performed — bit-identical by construction
+— while ``kernel="numba"`` fuses each phase into one jitted loop and
+``"numpy32"``/``"numba32"`` compute in float32 (both opt-in,
+tolerance-tested; see the kernels module docstring).
 """
 
 from __future__ import annotations
@@ -52,7 +63,8 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.amp.denoisers import BayesBernoulliDenoiser, Denoiser, TAU_FLOOR
+from repro.amp.denoisers import BayesBernoulliDenoiser, Denoiser
+from repro.amp.kernels import StackLayout, resolve_kernel
 from repro.core.measurement import Measurements
 from repro.core.noise import Channel, GaussianQueryNoise, NoiselessChannel, NoisyChannel
 from repro.core.scores import top_k_estimate
@@ -168,6 +180,7 @@ def iterate_amp(
         Callable[[np.ndarray], Tuple[Callable, Callable]]
     ] = None,
     row_sizes: Optional[np.ndarray] = None,
+    kernel=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[List[dict]]]]:
     """Run the AMP iteration on a stack of ``T`` standardized systems.
 
@@ -178,6 +191,8 @@ def iterate_amp(
         vectors: ``matvec`` maps a ``(T*n,)`` stack of signal vectors to
         a ``(T*m,)`` stack of measurement vectors, ``rmatvec`` the
         reverse. For ``T = 1`` these are the ordinary per-trial maps.
+        Under a float32 kernel the operators must produce the kernel
+        dtype (cast the CSR data once; see :mod:`repro.amp.batch_amp`).
     y:
         Standardized measurements, shape ``(T, m)`` (one row per trial),
         or — with ``row_sizes`` — one flat concatenation of the
@@ -203,6 +218,12 @@ def iterate_amp(
         standardized measurements, and matvec outputs / residuals are
         ragged flat stacks segmented by ``row_sizes``. ``None``
         (default) keeps the uniform-``m`` fast path.
+    kernel:
+        Compute backend for the per-iteration array passes: a name
+        from :data:`repro.amp.kernels.KERNELS`, a ready
+        :class:`~repro.amp.kernels.AMPKernel`, or ``None`` (the
+        ``REPRO_KERNEL`` environment variable, else the bit-identical
+        ``numpy`` reference).
 
     Returns
     -------
@@ -217,27 +238,36 @@ def iterate_amp(
     trial whose step norm drops below ``config.tol`` freezes — its row
     stops being written — while the remaining trials keep iterating.
 
-    Both paths perform only row-independent operations (see the module
-    docstring), so a trial's iterate sequence is bit-identical to a
-    standalone one-trial run on the same standardized system no matter
-    which stack — uniform or ragged, of any size — it runs in.
+    Both stack shapes perform only row-independent operations (see the
+    module docstring), so a trial's iterate sequence is bit-identical
+    to a standalone one-trial run on the same standardized system no
+    matter which stack — uniform or ragged, of any size — it runs in.
+    The loop itself is one shape-agnostic driver: a
+    :class:`~repro.amp.kernels.StackLayout` carries the per-trial
+    standardization scalars and segment bounds, and the kernel's two
+    phase methods do every array pass between the matvecs.
     """
-    if row_sizes is not None:
-        return _iterate_amp_ragged(
-            matvec, rmatvec, y, denoiser, config,
-            n=n, row_sizes=row_sizes, restrict=restrict,
-        )
-    y = np.ascontiguousarray(y, dtype=np.float64)
-    total, m = y.shape
-    nm_ratio = n / m
-    sqrt_m = np.sqrt(m)
-    sqrt_n = np.sqrt(n)
+    kern = resolve_kernel(kernel)
+    if row_sizes is None:
+        y = kern.as_working(y)
+        total, m = y.shape
+        layout = StackLayout.for_uniform(total, n, m, kern.dtype)
+    else:
+        row_sizes = np.asarray(row_sizes, dtype=np.int64)
+        y = kern.as_working(y)
+        total = row_sizes.size
+        if y.shape != (int(row_sizes.sum()),):
+            raise ValueError(
+                f"flat y must have shape ({int(row_sizes.sum())},), "
+                f"got {y.shape}"
+            )
+        layout = StackLayout.for_ragged(n, row_sizes, kern.dtype)
 
     live = np.arange(total)  # original trial ids of the current rows
     active = np.ones(total, dtype=bool)  # per current row
-    sigma = np.zeros((total, n), dtype=np.float64)
+    sigma = np.zeros((total, n), dtype=kern.dtype)
     z = y.copy()
-    out_sigma = np.zeros((total, n), dtype=np.float64)
+    out_sigma = np.zeros((total, n), dtype=kern.dtype)
     iterations = np.zeros(total, dtype=np.int64)
     converged = np.zeros(total, dtype=bool)
     histories: Optional[List[List[dict]]] = (
@@ -245,26 +275,17 @@ def iterate_amp(
     )
 
     for t in range(config.max_iter):
-        rows = live.size
-        tau = np.maximum(np.sqrt(np.sum(z * z, axis=1)) / sqrt_m, TAU_FLOOR)
-        tau_col = tau[:, None]
-        r = rmatvec(z.reshape(-1)).reshape(rows, n) + sigma
-        # One shared evaluation: the derivative of the Bayes denoiser
-        # reuses eta, and both arrays equal the separate calls bit for
-        # bit (see Denoiser.value_and_derivative).
-        sigma_new, deriv = denoiser.value_and_derivative(r, tau_col)
-        if config.damping > 0.0 and t > 0:
-            sigma_new = (1.0 - config.damping) * sigma_new + config.damping * sigma
+        # Damping is skipped on the very first iteration (there is no
+        # previous state worth mixing in) — the kernels receive the
+        # effective factor so the phase methods stay stateless.
+        damping = config.damping if t > 0 else 0.0
 
-        # Onsager coefficient for the *next* residual update.
-        onsager = nm_ratio * np.mean(deriv, axis=1)
-
-        z_new = y - matvec(sigma_new.reshape(-1)).reshape(rows, m) + onsager[:, None] * z
-        if config.damping > 0.0 and t > 0:
-            z_new = (1.0 - config.damping) * z_new + config.damping * z
-
-        diff = sigma_new - sigma
-        step = np.sqrt(np.sum(diff * diff, axis=1)) / sqrt_n
+        rmv = rmatvec(z.reshape(-1))
+        sigma_new, onsager, tau, step = kern.posterior_step(
+            denoiser, rmv, sigma, z, layout, damping
+        )
+        mv = matvec(sigma_new.reshape(-1))
+        z_new = kern.residual_step(y, mv, z, onsager, layout, damping)
 
         # Frozen rows must stay bit-frozen: their (discarded) updates
         # above were computed from stale state purely so the stacked
@@ -272,10 +293,10 @@ def iterate_amp(
         inactive = ~active
         if inactive.any():
             sigma_new[inactive] = sigma[inactive]
-            z_new[inactive] = z[inactive]
+            layout.restore_rows(z_new, z, inactive)
 
         if histories is not None:
-            z_norms = np.sqrt(np.sum(z_new * z_new, axis=1))
+            z_norms = kern.residual_norms(z_new, layout)
             for i in np.flatnonzero(active):
                 histories[live[i]].append(
                     {
@@ -299,153 +320,9 @@ def iterate_amp(
         if restrict is not None and 2 * int(np.count_nonzero(active)) <= live.size:
             live = live[active]
             sigma = np.ascontiguousarray(sigma[active])
-            z = np.ascontiguousarray(z[active])
-            y = np.ascontiguousarray(y[active])
-            active = np.ones(live.size, dtype=bool)
-            matvec, rmatvec = restrict(live)
-
-    if active.any():  # trials that exhausted max_iter without converging
-        out_sigma[live[active]] = sigma[active]
-    return out_sigma, iterations, converged, histories
-
-
-def _segment_bounds(row_sizes: np.ndarray) -> np.ndarray:
-    """Flat-stack segment boundaries ``[0, m_0, m_0+m_1, ...]``."""
-    bounds = np.empty(row_sizes.size + 1, dtype=np.int64)
-    bounds[0] = 0
-    np.cumsum(row_sizes, out=bounds[1:])
-    return bounds
-
-
-def _iterate_amp_ragged(
-    matvec: Callable[[np.ndarray], np.ndarray],
-    rmatvec: Callable[[np.ndarray], np.ndarray],
-    y: np.ndarray,
-    denoiser: Denoiser,
-    config: AMPConfig,
-    *,
-    n: int,
-    row_sizes: np.ndarray,
-    restrict: Optional[
-        Callable[[np.ndarray], Tuple[Callable, Callable]]
-    ] = None,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[List[dict]]]]:
-    """Heterogeneous-``m`` sibling of the uniform :func:`iterate_amp` loop.
-
-    The signal side stays a dense ``(T, n)`` stack (every trial shares
-    the agent dimension), while the measurement side — ``y``, the
-    residual ``z`` and matvec outputs — is one flat array segmented by
-    ``row_sizes``. All per-trial scalars (``tau``, the Onsager
-    coefficient, the standardization scale inside the operators) become
-    length-``T`` vectors broadcast onto the flat stack via
-    ``np.repeat``.
-
-    Bit-identity: per-trial residual reductions are computed with
-    ``flat[lo:hi].sum()`` on contiguous segment views — the same
-    pairwise summation a standalone run's ``np.sum(z * z, axis=1)``
-    performs on its single contiguous row — and every other operation
-    is an elementwise broadcast of per-trial scalars, so each trial's
-    iterate sequence equals a standalone :func:`run_amp` on the same
-    standardized system bit for bit (pinned across stack compositions
-    in ``tests/test_amp_required.py``).
-    """
-    y = np.ascontiguousarray(y, dtype=np.float64)
-    row_sizes = np.asarray(row_sizes, dtype=np.int64)
-    total = row_sizes.size
-    if y.shape != (int(row_sizes.sum()),):
-        raise ValueError(
-            f"flat y must have shape ({int(row_sizes.sum())},), got {y.shape}"
-        )
-    sqrt_n = np.sqrt(n)
-
-    live = np.arange(total)  # original trial ids of the current rows
-    active = np.ones(total, dtype=bool)  # per current row
-    m_cur = row_sizes.copy()
-    bounds = _segment_bounds(m_cur)
-    sqrt_m = np.sqrt(m_cur.astype(np.float64))
-    nm_ratio = n / m_cur
-    sigma = np.zeros((total, n), dtype=np.float64)
-    z = y.copy()
-    out_sigma = np.zeros((total, n), dtype=np.float64)
-    iterations = np.zeros(total, dtype=np.int64)
-    converged = np.zeros(total, dtype=bool)
-    histories: Optional[List[List[dict]]] = (
-        [[] for _ in range(total)] if config.track_history else None
-    )
-
-    def segment_sums(flat: np.ndarray) -> np.ndarray:
-        # Per-trial pairwise sums over contiguous segment views — the
-        # ragged analogue of a C-contiguous last-axis reduction. When
-        # every segment happens to share one length (e.g. a galloping
-        # round probing the same grid point for every trial), the
-        # reshape reduction computes the identical pairwise sums
-        # without the per-segment Python dispatch.
-        if m_cur.size and (m_cur == m_cur[0]).all():
-            return np.sum(flat.reshape(m_cur.size, int(m_cur[0])), axis=1)
-        return np.array(
-            [flat[bounds[i] : bounds[i + 1]].sum() for i in range(live.size)]
-        )
-
-    for t in range(config.max_iter):
-        rows = live.size
-        tau = np.maximum(np.sqrt(segment_sums(z * z)) / sqrt_m, TAU_FLOOR)
-        tau_col = tau[:, None]
-        r = rmatvec(z).reshape(rows, n) + sigma
-        sigma_new, deriv = denoiser.value_and_derivative(r, tau_col)
-        if config.damping > 0.0 and t > 0:
-            sigma_new = (1.0 - config.damping) * sigma_new + config.damping * sigma
-
-        # Onsager coefficient for the *next* residual update.
-        onsager = nm_ratio * np.mean(deriv, axis=1)
-
-        z_new = y - matvec(sigma_new.reshape(-1)) + np.repeat(onsager, m_cur) * z
-        if config.damping > 0.0 and t > 0:
-            z_new = (1.0 - config.damping) * z_new + config.damping * z
-
-        diff = sigma_new - sigma
-        step = np.sqrt(np.sum(diff * diff, axis=1)) / sqrt_n
-
-        # Frozen rows must stay bit-frozen: their (discarded) updates
-        # above were computed from stale state purely so the stacked
-        # operators could run unmasked.
-        inactive = ~active
-        if inactive.any():
-            sigma_new[inactive] = sigma[inactive]
-            for i in np.flatnonzero(inactive):
-                z_new[bounds[i] : bounds[i + 1]] = z[bounds[i] : bounds[i + 1]]
-
-        if histories is not None:
-            z_norms = np.sqrt(segment_sums(z_new * z_new))
-            for i in np.flatnonzero(active):
-                histories[live[i]].append(
-                    {
-                        "iteration": t,
-                        "tau": float(tau[i]),
-                        "step": float(step[i]),
-                        "residual_norm": float(z_norms[i]),
-                    }
-                )
-
-        sigma = sigma_new
-        z = z_new
-        iterations[live[active]] = t + 1
-        newly = active & (step < config.tol)
-        if newly.any():
-            converged[live[newly]] = True
-            out_sigma[live[newly]] = sigma[newly]
-            active &= ~newly
-        if not active.any():
-            break
-        if restrict is not None and 2 * int(np.count_nonzero(active)) <= live.size:
-            keep = np.flatnonzero(active)
-            live = live[active]
-            sigma = np.ascontiguousarray(sigma[active])
-            z = np.concatenate([z[bounds[i] : bounds[i + 1]] for i in keep])
-            y = np.concatenate([y[bounds[i] : bounds[i + 1]] for i in keep])
-            m_cur = m_cur[active]
-            bounds = _segment_bounds(m_cur)
-            sqrt_m = sqrt_m[active]
-            nm_ratio = nm_ratio[active]
+            z = layout.compact_measure(z, active)
+            y = layout.compact_measure(y, active)
+            layout = layout.restrict(active)
             active = np.ones(live.size, dtype=bool)
             matvec, rmatvec = restrict(live)
 
@@ -460,6 +337,7 @@ def run_amp(
     denoiser: Optional[Denoiser] = None,
     config: Optional[AMPConfig] = None,
     sparse: Optional[bool] = True,
+    kernel=None,
 ) -> ReconstructionResult:
     """Run AMP on a set of pooled measurements and decode by top-k.
 
@@ -482,12 +360,19 @@ def run_amp(
         path (small-problem debugging; both paths compute identical
         iterates up to float round-off). ``None`` — the pre-sparse-era
         "choose automatically" sentinel — now also means sparse.
+    kernel:
+        Compute backend (see :mod:`repro.amp.kernels`): a name from
+        :data:`~repro.amp.kernels.KERNELS`, a ready kernel instance,
+        or ``None`` for the ``REPRO_KERNEL`` environment variable /
+        bit-identical ``numpy`` default. Under a float32 kernel the
+        adjacency data is cast once up front so the whole iteration —
+        matvecs included — runs in float32.
 
     Returns
     -------
     ReconstructionResult
-        With ``meta`` recording iterations, convergence flag and the
-        per-iteration history.
+        With ``meta`` recording iterations, convergence flag, the
+        kernel backend and the per-iteration history.
 
     For sweeps over many trials use
     :func:`repro.amp.batch_amp.run_amp_trials`, which stacks the trials
@@ -495,6 +380,7 @@ def run_amp(
     decode (estimate, exact, overlap, iterations) bit for bit.
     """
     config = config if config is not None else AMPConfig()
+    kern = resolve_kernel(kernel)
     graph = measurements.graph
     n, m, k = graph.n, graph.m, measurements.k
     if m == 0:
@@ -514,6 +400,8 @@ def run_amp(
     c, scale = standardization_constants(n, m, graph.gamma)
     y = (y_raw - c * k) / scale
     adjacency = graph.adjacency_sparse() if sparse else graph.adjacency_dense()
+    if kern.dtype != np.float64:
+        adjacency = adjacency.astype(kern.dtype)
     # The transpose is a free view: CSC in the sparse case, whose
     # matvec matches the converted-CSR one in speed while skipping the
     # O(nnz) cache-hostile tocsr() conversion per call (~300 ms at the
@@ -527,7 +415,7 @@ def run_amp(
         return (adjacency_t @ z - c * z.sum()) / scale
 
     stacked, iterations, converged, histories = iterate_amp(
-        matvec, rmatvec, y[None, :], denoiser, config, n=n
+        matvec, rmatvec, y[None, :], denoiser, config, n=n, kernel=kern
     )
     scores = stacked[0]
     estimate = top_k_estimate(scores, k)
@@ -550,6 +438,7 @@ def run_amp(
             "k": k,
             "channel": measurements.channel.describe(),
             "sparse": bool(sparse),
+            "kernel": kern.name,
             "history": histories[0] if histories is not None else [],
         },
     )

@@ -55,6 +55,7 @@ from repro.amp.amp import (
     standardization_constants,
 )
 from repro.amp.denoisers import Denoiser
+from repro.amp.kernels import AMPKernel, resolve_kernel
 from repro.core.batch import (
     DEFAULT_BLOCK_ELEMENTS,
     DEFAULT_INITIAL_BLOCK,
@@ -102,6 +103,7 @@ def _default_batch_config() -> AMPConfig:
 def _stack_blocks(
     blocks: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
     cols: int,
+    dtype=np.float64,
 ):
     """Assemble per-trial CSR triples into one block-diagonal CSR.
 
@@ -112,7 +114,8 @@ def _stack_blocks(
     indices shifted by ``t * cols``. Row contents (order and values)
     are exactly the per-trial rows, so a matvec on the stack computes
     every output coordinate by the same sequential sum as the per-trial
-    matvec.
+    matvec. ``dtype`` is the stacked data dtype — float64 (default)
+    for the bit-identical path, float32 under a float32 kernel.
     """
     from scipy import sparse
 
@@ -131,7 +134,7 @@ def _stack_blocks(
     )
     indptr = np.empty(int(row_offsets[-1]) + 1, dtype=index_dtype)
     indptr[0] = 0
-    data = np.empty(offsets[-1], dtype=np.float64)
+    data = np.empty(offsets[-1], dtype=dtype)
     indices = np.empty(offsets[-1], dtype=index_dtype)
     for t, (block_indptr, block_indices, block_data) in enumerate(blocks):
         lo, hi = offsets[t], offsets[t + 1]
@@ -169,12 +172,16 @@ class _StackedOperators:
         m: int,
         c: float,
         scale: float,
+        dtype=np.float64,
     ):
         self.blocks = list(blocks)
         self.n = n
         self.m = m
         self.c = c
-        self.scale = scale
+        # Plain floats are weak scalars: under a float32 kernel the
+        # standardization constants never upcast the working arrays.
+        self.scale = float(scale)
+        self.dtype = np.dtype(dtype)
 
     def operators(
         self, idx: Sequence[int]
@@ -183,8 +190,8 @@ class _StackedOperators:
         n, m, c, scale = self.n, self.m, self.c, self.scale
         chosen = [int(i) for i in idx]
         trials = len(chosen)
-        # the fill loop casts int64 counts to float64 on assignment
-        a = _stack_blocks([self.blocks[i] for i in chosen], n)
+        # the fill loop casts int64 counts to the data dtype on assignment
+        a = _stack_blocks([self.blocks[i] for i in chosen], n, self.dtype)
         a_t = a.T
 
         def matvec(x: np.ndarray) -> np.ndarray:
@@ -203,6 +210,7 @@ def run_amp_batch(
     *,
     denoiser: Optional[Denoiser] = None,
     config: Optional[AMPConfig] = None,
+    kernel=None,
 ) -> List[ReconstructionResult]:
     """Run AMP on many same-cell measurement sets as one stacked system.
 
@@ -214,11 +222,14 @@ def run_amp_batch(
 
     ``config`` defaults to ``AMPConfig(track_history=False)`` (see
     :func:`_default_batch_config`); pass an explicit config with
-    ``track_history=True`` to retain per-iteration records.
+    ``track_history=True`` to retain per-iteration records. ``kernel``
+    selects the compute backend (see :mod:`repro.amp.kernels`); under
+    a float32 kernel the stacked CSR data is built in float32.
     """
     if not measurements:
         return []
     config = config if config is not None else _default_batch_config()
+    kern = resolve_kernel(kernel)
     first = measurements[0]
     n, m, k = first.n, first.m, first.k
     gamma = first.graph.gamma
@@ -250,11 +261,12 @@ def run_amp_batch(
     stacked = _StackedOperators(
         [(meas.graph.indptr, meas.graph.agents, meas.graph.counts)
          for meas in measurements],
-        n, m, c, scale,
+        n, m, c, scale, dtype=kern.dtype,
     )
     matvec, rmatvec = stacked.operators(np.arange(trials))
     scores, iterations, converged, histories = iterate_amp(
-        matvec, rmatvec, y, denoiser, config, n=n, restrict=stacked.operators
+        matvec, rmatvec, y, denoiser, config, n=n,
+        restrict=stacked.operators, kernel=kern,
     )
 
     sigma_truth = np.empty((trials, n), dtype=np.int8)
@@ -285,6 +297,7 @@ def run_amp_batch(
                     "k": k,
                     "channel": channel_desc,
                     "sparse": True,
+                    "kernel": kern.name,
                     "history": histories[t] if histories is not None else [],
                 },
             )
@@ -318,6 +331,7 @@ def run_amp_trials(
     denoiser: Optional[Denoiser] = None,
     config: Optional[AMPConfig] = None,
     stack_elements: int = DEFAULT_STACK_ELEMENTS,
+    kernel=None,
 ) -> List[ReconstructionResult]:
     """Sample and batch-decode one AMP trial per seed.
 
@@ -337,7 +351,9 @@ def run_amp_trials(
     :data:`STACK_NNZ_CUTOFF` run standalone ``run_amp`` per trial
     instead — there a single trial's matvec is already memory-bound
     and stacking only adds assembly cost; the dispatch never changes
-    any output (shared kernel, bit-identical either way).
+    any output (shared kernel, bit-identical either way). ``kernel``
+    selects the compute backend for every trial, stacked or standalone
+    (see :mod:`repro.amp.kernels`).
     """
     n = check_positive_int(n, "n")
     m = check_positive_int(m, "m")
@@ -346,6 +362,7 @@ def run_amp_trials(
     if not seeds:
         return out
     config = config if config is not None else _default_batch_config()
+    kern = resolve_kernel(kernel)
     if _expected_trial_nnz(n, m, gamma) > STACK_NNZ_CUTOFF:
         for seed in seeds:
             gen = normalize_rng(seed)
@@ -356,6 +373,7 @@ def run_amp_trials(
                     measure(graph, truth, channel, gen),
                     denoiser=denoiser,
                     config=config,
+                    kernel=kern,
                 )
             )
         return out
@@ -368,7 +386,7 @@ def run_amp_trials(
             graph = sample_pooling_graph_batch(n, m, gamma, gen)
             batch.append(measure(graph, truth, channel, gen))
         out.extend(
-            run_amp_batch(batch, denoiser=denoiser, config=config)
+            run_amp_batch(batch, denoiser=denoiser, config=config, kernel=kern)
         )
     return out
 
@@ -404,12 +422,14 @@ class _PrefixStackOperators:
         m_per: np.ndarray,
         c: float,
         scales: np.ndarray,
+        dtype=np.float64,
     ):
         self.prefixes = list(prefixes)
         self.n = n
         self.m_per = np.asarray(m_per, dtype=np.int64)
         self.c = c
         self.scales = np.asarray(scales, dtype=np.float64)
+        self.dtype = np.dtype(dtype)
 
     def operators(
         self, idx: Sequence[int]
@@ -420,11 +440,14 @@ class _PrefixStackOperators:
         trials = len(chosen)
         m_per = self.m_per[chosen]
         scales = self.scales[chosen]
-        a = _stack_blocks([self.prefixes[i] for i in chosen], n)
+        a = _stack_blocks([self.prefixes[i] for i in chosen], n, self.dtype)
         a_t = a.T
         bounds = np.concatenate(([0], np.cumsum(m_per)))
-        row_scale = np.repeat(scales, m_per)
-        scales_col = scales[:, None]
+        # Per-trial scale vectors in the working dtype: float64 stays
+        # the exact pre-float32 arithmetic, float32 avoids the silent
+        # promotion a float64 divisor would cause under NEP 50.
+        row_scale = np.repeat(scales, m_per).astype(self.dtype, copy=False)
+        scales_col = scales.astype(self.dtype, copy=False)[:, None]
 
         def matvec(x: np.ndarray) -> np.ndarray:
             s = x.reshape(trials, n).sum(axis=1)
@@ -619,6 +642,7 @@ def _decode_prefix_stack(
     channel: Channel,
     denoiser: Denoiser,
     config: AMPConfig,
+    kernel: Optional[AMPKernel] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Decode one stacked round of ``(trial, m)`` prefix probes.
 
@@ -645,8 +669,9 @@ def _decode_prefix_stack(
             / scales[j]
         )
         sigma_truth[j] = streams[i].truth.sigma
+    kern = resolve_kernel(kernel)
     y = np.concatenate(y_parts)
-    ops = _PrefixStackOperators(prefixes, n, m_per, c, scales)
+    ops = _PrefixStackOperators(prefixes, n, m_per, c, scales, dtype=kern.dtype)
     matvec, rmatvec = ops.operators(np.arange(trials))
     scores, _, _, _ = iterate_amp(
         matvec,
@@ -657,6 +682,7 @@ def _decode_prefix_stack(
         n=n,
         restrict=ops.operators,
         row_sizes=m_per,
+        kernel=kern,
     )
     _, errors, _, _ = decode_top_k_stacked(scores, sigma_truth, k)
     return errors == 0, scores
@@ -670,6 +696,7 @@ def _probe_standalone(
     channel: Channel,
     denoiser: Denoiser,
     config: AMPConfig,
+    kernel: Optional[AMPKernel] = None,
 ) -> bool:
     """Standalone ``run_amp`` probe of one trial's ``m``-query prefix."""
     indptr, agents, counts, results = stream.prefix(m)
@@ -677,7 +704,9 @@ def _probe_standalone(
     meas = Measurements(
         graph=graph, truth=stream.truth, channel=channel, results=results
     )
-    return bool(run_amp(meas, denoiser=denoiser, config=config).exact)
+    return bool(
+        run_amp(meas, denoiser=denoiser, config=config, kernel=kernel).exact
+    )
 
 
 def _run_probe_round(
@@ -690,6 +719,7 @@ def _run_probe_round(
     denoiser: Denoiser,
     config: AMPConfig,
     stack_elements: int,
+    kernel: Optional[AMPKernel] = None,
 ) -> List[bool]:
     """Execute one round of probes; returns exact flags aligned with jobs.
 
@@ -706,7 +736,7 @@ def _run_probe_round(
         streams[i].grow_to(m)
         if int(streams[i].indptr[m]) > STACK_NNZ_CUTOFF:
             flags[j] = _probe_standalone(
-                streams[i], m, n, gamma, channel, denoiser, config
+                streams[i], m, n, gamma, channel, denoiser, config, kernel
             )
         else:
             stacked.append(j)
@@ -725,7 +755,7 @@ def _run_probe_round(
         pack = stacked[lo:hi]
         exact, _ = _decode_prefix_stack(
             [jobs[j] for j in pack],
-            streams, n, k, gamma, channel, denoiser, config,
+            streams, n, k, gamma, channel, denoiser, config, kernel,
         )
         for j, ok in zip(pack, exact):
             flags[j] = bool(ok)
@@ -767,6 +797,7 @@ def required_queries_amp(
     initial_block: int = DEFAULT_INITIAL_BLOCK,
     block_elements: int = DEFAULT_BLOCK_ELEMENTS,
     stack_elements: int = DEFAULT_STACK_ELEMENTS,
+    kernel=None,
 ) -> List[RequiredQueriesResult]:
     """Smallest m per trial at which AMP decodes exactly (Figures 2-5).
 
@@ -812,12 +843,14 @@ def required_queries_amp(
     if denoiser is None:
         denoiser = default_denoiser(n, k)
     config = config if config is not None else _default_batch_config()
+    kern = resolve_kernel(kernel)
     if not seeds:
         return []
     step = check_every
     grid_max = (max_m // step) * step
     meta = _required_meta(channel, gamma, max_m, check_every, denoiser, "batch")
     meta["verify"] = verify
+    meta["kernel"] = kern.name
 
     searches = [_RequiredMSearch(step, grid_max, verify) for _ in seeds]
     streams: List[MeasurementStream] = []
@@ -847,7 +880,7 @@ def required_queries_amp(
             break
         flags = _run_probe_round(
             jobs, streams, n, k, gamma, channel, denoiser, config,
-            stack_elements,
+            stack_elements, kern,
         )
         touched = []
         for (i, m), ok in zip(jobs, flags):
@@ -883,6 +916,7 @@ def required_queries_amp_linear(
     config: Optional[AMPConfig] = None,
     initial_block: int = DEFAULT_INITIAL_BLOCK,
     block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+    kernel=None,
 ) -> List[RequiredQueriesResult]:
     """Brute-force per-grid-point linear scan — the required-m reference.
 
@@ -904,9 +938,11 @@ def required_queries_amp_linear(
     if denoiser is None:
         denoiser = default_denoiser(n, k)
     config = config if config is not None else _default_batch_config()
+    kern = resolve_kernel(kernel)
     step = check_every
     grid_max = (max_m // step) * step
     meta = _required_meta(channel, gamma, max_m, check_every, denoiser, "legacy")
+    meta["kernel"] = kern.name
     out: List[RequiredQueriesResult] = []
     for seed in seeds:
         gen = normalize_rng(seed)
@@ -927,7 +963,9 @@ def required_queries_amp_linear(
         for g in range(step, grid_max + 1, step):
             stream.grow_to(g)
             checks += 1
-            if _probe_standalone(stream, g, n, gamma, channel, denoiser, config):
+            if _probe_standalone(
+                stream, g, n, gamma, channel, denoiser, config, kern
+            ):
                 required = g
                 break
         out.append(

@@ -15,11 +15,33 @@ Two denoisers are provided:
   comparison.
 * :class:`SoftThresholdDenoiser` — the classical compressed-sensing
   soft threshold of Donoho-Maleki-Montanari, used by ablation A4.
+
+Dtype contract
+--------------
+Every method computes in the dtype of its input: float64 inputs (the
+default everywhere) run the exact arithmetic they always ran, while
+float32 inputs — produced by the opt-in float32 AMP kernels
+(:mod:`repro.amp.kernels`) — stay float32 end to end instead of being
+silently upcast through float64 intermediates. The scalar constants a
+denoiser bakes in (prior log-odds, threshold multipliers) are kept as
+Python floats, which NumPy treats as weak scalars: they never promote
+a float32 array. The exponent clip is dtype-dependent
+(:meth:`Denoiser.exp_clip_for`) because ``exp(88)`` already overflows
+float32.
+
+Fused-kernel form
+-----------------
+:meth:`Denoiser.kernel_form` exposes the denoiser as a flat
+``(kind, parameters)`` pair so the fused native kernels can inline the
+value *and* derivative computation in one loop over the stack without
+calling back into Python per segment. Denoisers without a fused form
+return ``None`` and run through the NumPy phase implementation.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,16 +53,28 @@ TAU_FLOOR = 1e-8
 #: exponent clip to keep exp() finite in float64
 _EXP_CLIP = 500.0
 
+#: exponent clip for float32 computation (exp(89) overflows float32)
+_EXP_CLIP32 = 80.0
 
-def _floor_tau(tau) -> np.ndarray:
+
+def _working_dtype(x: np.ndarray) -> np.dtype:
+    """Computation dtype for an input: float32 stays, all else float64."""
+    if np.asarray(x).dtype == np.float32:
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def _floor_tau(tau, dtype=np.float64) -> np.ndarray:
     """Clamp the effective noise level at :data:`TAU_FLOOR`.
 
     ``tau`` may be a scalar (one trial) or an array broadcastable
     against ``x`` — the stacked AMP kernel passes a per-trial ``(T, 1)``
     column so every row of a trial stack sees exactly its own noise
     level. Both forms produce bit-identical per-element arithmetic.
+    ``dtype`` is the caller's working dtype (float64 default — the
+    pre-float32-era arithmetic unchanged).
     """
-    return np.maximum(np.asarray(tau, dtype=np.float64), TAU_FLOOR)
+    return np.maximum(np.asarray(tau, dtype=dtype), TAU_FLOOR)
 
 
 class Denoiser(ABC):
@@ -71,6 +105,25 @@ class Denoiser(ABC):
         """
         return self(x, tau), self.derivative(x, tau)
 
+    def kernel_form(self) -> Optional[Tuple[str, Tuple[float, ...]]]:
+        """Flat ``(kind, parameters)`` form for fused native kernels.
+
+        ``kind`` names the fused value+derivative loop a native
+        backend may implement for this family and ``parameters`` are
+        its scalar constants (plain floats, ready to pass into a
+        jitted function). ``None`` (the default) means "no fused form"
+        — the backend falls back to the NumPy phase implementation,
+        which evaluates :meth:`value_and_derivative` vectorized.
+        """
+        return None
+
+    @staticmethod
+    def exp_clip_for(dtype) -> float:
+        """Largest safe ``exp()`` argument magnitude for ``dtype``."""
+        if np.dtype(dtype) == np.float32:
+            return _EXP_CLIP32
+        return _EXP_CLIP
+
     @abstractmethod
     def describe(self) -> str:
         """Short human-readable description."""
@@ -94,17 +147,21 @@ class BayesBernoulliDenoiser(Denoiser):
 
     def __init__(self, pi: float):
         self.pi = check_fraction(pi, "pi")
-        self._log_odds_prior = np.log((1.0 - self.pi) / self.pi)
+        # A Python float: a weak scalar under NumPy promotion, so it
+        # never upcasts a float32 stack (float64 arithmetic unchanged).
+        self._log_odds_prior = float(np.log((1.0 - self.pi) / self.pi))
 
     def __call__(self, x: np.ndarray, tau) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        tau = _floor_tau(tau)
+        dtype = _working_dtype(x)
+        x = np.asarray(x, dtype=dtype)
+        tau = _floor_tau(tau, dtype)
         exponent = self._log_odds_prior + (1.0 - 2.0 * x) / (2.0 * tau * tau)
-        exponent = np.clip(exponent, -_EXP_CLIP, _EXP_CLIP)
+        clip = self.exp_clip_for(dtype)
+        exponent = np.clip(exponent, -clip, clip)
         return 1.0 / (1.0 + np.exp(exponent))
 
     def derivative(self, x: np.ndarray, tau) -> np.ndarray:
-        tau = _floor_tau(tau)
+        tau = _floor_tau(tau, _working_dtype(x))
         eta = self(x, tau)
         return eta * (1.0 - eta) / (tau * tau)
 
@@ -117,9 +174,12 @@ class BayesBernoulliDenoiser(Denoiser):
         both; the returned arrays are bit-identical to the separate
         calls (same inputs, same operations).
         """
-        tau = _floor_tau(tau)
+        tau = _floor_tau(tau, _working_dtype(x))
         eta = self(x, tau)
         return eta, eta * (1.0 - eta) / (tau * tau)
+
+    def kernel_form(self) -> Tuple[str, Tuple[float, ...]]:
+        return ("bayes-bernoulli", (self._log_odds_prior,))
 
     def posterior_variance(self, x: np.ndarray, tau) -> np.ndarray:
         """``Var(sigma | x) = eta (1 - eta)`` for the 0/1 prior."""
@@ -138,18 +198,23 @@ class SoftThresholdDenoiser(Denoiser):
     """
 
     def __init__(self, alpha: float = 1.5):
-        self.alpha = check_positive(alpha, "alpha")
+        self.alpha = float(check_positive(alpha, "alpha"))
 
     def __call__(self, x: np.ndarray, tau) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        tau = _floor_tau(tau)
+        dtype = _working_dtype(x)
+        x = np.asarray(x, dtype=dtype)
+        tau = _floor_tau(tau, dtype)
         threshold = self.alpha * tau
         return np.sign(x) * np.maximum(np.abs(x) - threshold, 0.0)
 
     def derivative(self, x: np.ndarray, tau) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        tau = _floor_tau(tau)
-        return (np.abs(x) > self.alpha * tau).astype(np.float64)
+        dtype = _working_dtype(x)
+        x = np.asarray(x, dtype=dtype)
+        tau = _floor_tau(tau, dtype)
+        return (np.abs(x) > self.alpha * tau).astype(dtype)
+
+    def kernel_form(self) -> Tuple[str, Tuple[float, ...]]:
+        return ("soft-threshold", (self.alpha,))
 
     def describe(self) -> str:
         return f"soft-threshold(alpha={self.alpha:g})"

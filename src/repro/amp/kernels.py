@@ -1,0 +1,574 @@
+"""Pluggable compute kernels for the AMP iteration.
+
+Every AMP path in the library — standalone :func:`repro.amp.run_amp`,
+the block-diagonal batched runner, and the heterogeneous-m
+required-queries probe stacks — funnels through one iteration driver
+(:func:`repro.amp.amp.iterate_amp`). This module is the compute seam
+underneath that driver: the per-iteration array passes are grouped
+into two phase calls an :class:`AMPKernel` backend implements,
+
+``posterior_step``
+    everything between the adjoint matvec and the forward matvec —
+    per-trial effective noise ``tau`` from residual segment sums, the
+    denoiser value+derivative, damping, the Onsager coefficient and
+    the step norm;
+``residual_step``
+    everything after the forward matvec — the residual update
+    ``z' = y - A sigma + onsager * z`` plus damping,
+
+with the sparse matvec itself staying outside the seam (it is the one
+operation that cannot fuse across the phase boundary). A
+:class:`StackLayout` value describes the trial stack — uniform
+``(T, m)`` or ragged ``row_sizes`` — so one driver and one kernel
+interface cover both stack shapes.
+
+Backends
+--------
+``numpy`` (default)
+    The reference kernel: performs exactly the array operations the
+    pre-seam loops performed, in the same order, in float64 — its
+    outputs are **bit-identical by construction** to the pre-refactor
+    implementation (pinned against captured goldens in
+    ``tests/test_kernels.py``).
+``numpy32``
+    The same operations computed in float32 end to end (inputs are
+    cast once at the seam; the denoisers honor the input dtype).
+    Opt-in, tolerance-tested — halves the memory traffic of every
+    pass.
+``numba`` / ``numba32``
+    Optional fused backend: each phase runs as one jitted loop over
+    the ragged segment bounds — segment sums, denoiser, damping,
+    Onsager and step norm in a single pass over the stack, with the
+    denoiser inlined from its flat :meth:`repro.amp.denoisers.
+    Denoiser.kernel_form` parameters (no Python callback per segment).
+    Requires the ``numba`` package; when it is missing,
+    :func:`resolve_kernel` warns once and falls back to the matching
+    NumPy kernel, so ``REPRO_KERNEL=numba`` is always safe to export.
+    Accumulation order inside a fused loop differs from NumPy's
+    pairwise sums, so these backends are equivalence-tested within
+    tolerance, not bit-identical.
+
+Selection
+---------
+``resolve_kernel(kernel)`` resolves, in precedence order: an explicit
+:class:`AMPKernel` instance or name passed as ``kernel=`` to any AMP
+entry point, then the :data:`REPRO_KERNEL` environment variable, then
+``"numpy"``. The environment route reaches process-pool workers for
+free (spawned workers inherit the environment), so exporting
+``REPRO_KERNEL`` switches every backend of a sweep at once.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.amp.denoisers import TAU_FLOOR, Denoiser
+
+#: environment variable consulted when ``kernel`` is not given
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: registered kernel backend names (see the module docstring)
+KERNELS = ("numpy", "numpy32", "numba", "numba32")
+
+
+# -- stack layout --------------------------------------------------------
+
+
+class StackLayout:
+    """Shape descriptor for one AMP trial stack.
+
+    Unifies the two stack forms the iteration driver runs on: the
+    uniform ``(T, m)`` stack (every trial shares one query count) and
+    the ragged flat stack segmented by per-trial ``row_sizes`` (the
+    required-m prefix probes). Kernels read per-trial standardization
+    scalars — ``sqrt_m``, ``n/m`` — from the layout; the layout stores
+    them in the kernel's dtype so a float32 kernel never silently
+    promotes through a float64 scalar.
+
+    For the float64 reference kernel the stored scalars are exactly
+    the values the pre-seam loops computed inline (``np.sqrt(m)``,
+    ``n / m``, ``np.sqrt(m_cur.astype(float64))``, ``n / m_cur``), so
+    layout-mediated arithmetic is bit-identical to the originals.
+    """
+
+    def __init__(
+        self,
+        *,
+        rows: int,
+        n: int,
+        dtype: np.dtype,
+        m: Optional[int] = None,
+        m_cur: Optional[np.ndarray] = None,
+    ) -> None:
+        self.rows = rows
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.m = m
+        self.m_cur = m_cur
+        self.uniform = m_cur is None
+        if self.uniform:
+            self.sqrt_m = self.dtype.type(np.sqrt(m))
+            self.nm_ratio = self.dtype.type(n / m)
+        else:
+            self.sqrt_m = np.sqrt(m_cur.astype(np.float64)).astype(
+                self.dtype, copy=False
+            )
+            self.nm_ratio = (n / m_cur).astype(self.dtype, copy=False)
+        self.sqrt_n = self.dtype.type(np.sqrt(n))
+        self._bounds: Optional[np.ndarray] = None
+
+    @classmethod
+    def for_uniform(cls, rows: int, n: int, m: int, dtype) -> "StackLayout":
+        return cls(rows=rows, n=n, dtype=dtype, m=m)
+
+    @classmethod
+    def for_ragged(cls, n: int, row_sizes: np.ndarray, dtype) -> "StackLayout":
+        m_cur = np.asarray(row_sizes, dtype=np.int64)
+        return cls(rows=m_cur.size, n=n, dtype=dtype, m_cur=m_cur)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Flat-stack segment boundaries ``[0, m_0, m_0+m_1, ...]``.
+
+        Built lazily: the uniform NumPy path never touches them, while
+        the fused backends loop over them for both stack shapes.
+        """
+        if self._bounds is None:
+            if self.uniform:
+                self._bounds = np.arange(
+                    self.rows + 1, dtype=np.int64
+                ) * int(self.m)
+            else:
+                bounds = np.empty(self.rows + 1, dtype=np.int64)
+                bounds[0] = 0
+                np.cumsum(self.m_cur, out=bounds[1:])
+                self._bounds = bounds
+        return self._bounds
+
+    def per_row(self, value) -> np.ndarray:
+        """Broadcast a layout scalar (or pass a vector) to ``(rows,)``."""
+        if np.ndim(value) == 0:
+            return np.full(self.rows, value, dtype=self.dtype)
+        return np.ascontiguousarray(value, dtype=self.dtype)
+
+    def restrict(self, active: np.ndarray) -> "StackLayout":
+        """Layout for the surviving rows after stack compaction."""
+        rows = int(np.count_nonzero(active))
+        if self.uniform:
+            return StackLayout(rows=rows, n=self.n, dtype=self.dtype, m=self.m)
+        layout = StackLayout(
+            rows=rows, n=self.n, dtype=self.dtype, m_cur=self.m_cur[active]
+        )
+        # Slice (not recompute) the standardization vectors, exactly
+        # like the pre-seam compaction did.
+        layout.sqrt_m = self.sqrt_m[active]
+        layout.nm_ratio = self.nm_ratio[active]
+        return layout
+
+    def compact_measure(self, arr: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Drop frozen rows from a measurement-side array (``y``/``z``)."""
+        if self.uniform:
+            return np.ascontiguousarray(arr[active])
+        bounds = self.bounds
+        return np.concatenate(
+            [arr[bounds[i] : bounds[i + 1]] for i in np.flatnonzero(active)]
+        )
+
+    def restore_rows(
+        self, dst: np.ndarray, src: np.ndarray, inactive: np.ndarray
+    ) -> None:
+        """Copy frozen rows of a measurement-side array back into ``dst``."""
+        if self.uniform:
+            dst[inactive] = src[inactive]
+            return
+        bounds = self.bounds
+        for i in np.flatnonzero(inactive):
+            dst[bounds[i] : bounds[i + 1]] = src[bounds[i] : bounds[i + 1]]
+
+
+# -- kernel interface ----------------------------------------------------
+
+
+class AMPKernel:
+    """One backend of the AMP compute seam (the NumPy reference).
+
+    The float64 instance of this class *is* the pre-refactor
+    implementation: each method performs the identical NumPy
+    operations, in the identical order, that the uniform and ragged
+    ``iterate_amp`` loops previously inlined — which is what makes the
+    default kernel bit-identical by construction. Subclasses override
+    the phase methods with fused implementations.
+    """
+
+    def __init__(self, dtype=np.float64, name: str = "numpy") -> None:
+        self.dtype = np.dtype(dtype)
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, dtype={self.dtype})"
+
+    def as_working(self, arr: np.ndarray) -> np.ndarray:
+        """Cast an input array to the kernel dtype (the one cast point)."""
+        return np.ascontiguousarray(arr, dtype=self.dtype)
+
+    def segment_square_sums(
+        self, arr: np.ndarray, layout: StackLayout
+    ) -> np.ndarray:
+        """Per-trial ``sum(arr_i^2)`` over the stack's segments.
+
+        Uniform stacks reduce along the last axis of the ``(T, m)``
+        array; ragged stacks use per-segment pairwise sums on
+        contiguous views, with the all-equal-length fast path reducing
+        via one reshape (both orderings match a standalone run's
+        single-row reduction bit for bit — see
+        :func:`repro.amp.amp.iterate_amp`).
+        """
+        if layout.uniform:
+            return np.sum(arr * arr, axis=1)
+        flat = arr * arr
+        m_cur = layout.m_cur
+        if m_cur.size and (m_cur == m_cur[0]).all():
+            return np.sum(flat.reshape(m_cur.size, int(m_cur[0])), axis=1)
+        bounds = layout.bounds
+        return np.array(
+            [flat[bounds[i] : bounds[i + 1]].sum() for i in range(layout.rows)]
+        )
+
+    def posterior_step(
+        self,
+        denoiser: Denoiser,
+        rmv: np.ndarray,
+        sigma: np.ndarray,
+        z: np.ndarray,
+        layout: StackLayout,
+        damping: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The pre-matvec phase of one AMP iteration.
+
+        Consumes the adjoint matvec output ``rmv`` (flat) and the
+        current state; returns ``(sigma_new, onsager, tau, step)``:
+        the (damped) denoised iterate, the Onsager coefficient for the
+        coming residual update, the per-trial effective noise level,
+        and the per-trial step norm ``||sigma' - sigma|| / sqrt(n)``.
+        ``damping`` is the effective factor for *this* iteration
+        (the driver passes 0 on the first one).
+        """
+        tau = np.maximum(
+            np.sqrt(self.segment_square_sums(z, layout)) / layout.sqrt_m,
+            TAU_FLOOR,
+        )
+        r = rmv.reshape(layout.rows, layout.n) + sigma
+        # One shared evaluation: the derivative of the Bayes denoiser
+        # reuses eta, and both arrays equal the separate calls bit for
+        # bit (see Denoiser.value_and_derivative).
+        sigma_new, deriv = denoiser.value_and_derivative(r, tau[:, None])
+        if damping > 0.0:
+            sigma_new = (1.0 - damping) * sigma_new + damping * sigma
+        # Onsager coefficient for the *next* residual update (from the
+        # undamped derivative).
+        onsager = layout.nm_ratio * np.mean(deriv, axis=1)
+        diff = sigma_new - sigma
+        step = np.sqrt(np.sum(diff * diff, axis=1)) / layout.sqrt_n
+        return sigma_new, onsager, tau, step
+
+    def residual_step(
+        self,
+        y: np.ndarray,
+        mv: np.ndarray,
+        z: np.ndarray,
+        onsager: np.ndarray,
+        layout: StackLayout,
+        damping: float,
+    ) -> np.ndarray:
+        """The post-matvec phase: Onsager-corrected residual update."""
+        if layout.uniform:
+            z_new = y - mv.reshape(layout.rows, layout.m) + onsager[:, None] * z
+        else:
+            z_new = y - mv + np.repeat(onsager, layout.m_cur) * z
+        if damping > 0.0:
+            z_new = (1.0 - damping) * z_new + damping * z
+        return z_new
+
+    def residual_norms(self, z: np.ndarray, layout: StackLayout) -> np.ndarray:
+        """Per-trial ``||z||_2`` (history tracking)."""
+        return np.sqrt(self.segment_square_sums(z, layout))
+
+
+# -- numba backend -------------------------------------------------------
+
+_NUMBA_AVAILABLE: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """Whether the optional ``numba`` package is importable (cached)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except ImportError:
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+_numba_functions: Optional[Dict[str, Callable]] = None
+
+
+def _get_numba_functions() -> Dict[str, Callable]:
+    """Compile (once) the fused jitted loops; import-gated on numba."""
+    global _numba_functions
+    if _numba_functions is not None:
+        return _numba_functions
+    import math
+
+    import numba
+
+    @numba.njit(cache=True)
+    def seg_sq_sums(flat, bounds):
+        rows = bounds.shape[0] - 1
+        out = np.empty(rows, dtype=flat.dtype)
+        for i in range(rows):
+            acc = 0.0
+            for j in range(bounds[i], bounds[i + 1]):
+                acc += flat[j] * flat[j]
+            out[i] = acc
+        return out
+
+    @numba.njit(cache=True)
+    def bayes_posterior(
+        rmv, sigma, z_flat, bounds, sqrt_m, nm_ratio, sqrt_n,
+        log_odds, exp_clip, tau_floor, damping,
+    ):
+        # One pass per trial: residual segment sum -> tau -> inlined
+        # Bayes posterior mean + derivative -> damping -> Onsager ->
+        # step norm. No Python callback, no intermediate stack arrays.
+        rows, n = sigma.shape
+        sigma_new = np.empty_like(sigma)
+        onsager = np.empty(rows, dtype=sigma.dtype)
+        tau = np.empty(rows, dtype=sigma.dtype)
+        step = np.empty(rows, dtype=sigma.dtype)
+        for i in range(rows):
+            acc = 0.0
+            for j in range(bounds[i], bounds[i + 1]):
+                acc += z_flat[j] * z_flat[j]
+            t = math.sqrt(acc) / sqrt_m[i]
+            if t < tau_floor:
+                t = tau_floor
+            tau[i] = t
+            half_inv_t2 = 1.0 / (2.0 * t * t)
+            deriv_sum = 0.0
+            step_sum = 0.0
+            base = i * n
+            for j in range(n):
+                x = rmv[base + j] + sigma[i, j]
+                e = log_odds + (1.0 - 2.0 * x) * half_inv_t2
+                if e > exp_clip:
+                    e = exp_clip
+                elif e < -exp_clip:
+                    e = -exp_clip
+                eta = 1.0 / (1.0 + math.exp(e))
+                deriv_sum += eta * (1.0 - eta)
+                value = eta
+                if damping > 0.0:
+                    value = (1.0 - damping) * eta + damping * sigma[i, j]
+                d = value - sigma[i, j]
+                step_sum += d * d
+                sigma_new[i, j] = value
+            onsager[i] = nm_ratio[i] * (deriv_sum / (t * t) / n)
+            step[i] = math.sqrt(step_sum) / sqrt_n
+        return sigma_new, onsager, tau, step
+
+    @numba.njit(cache=True)
+    def soft_threshold_posterior(
+        rmv, sigma, z_flat, bounds, sqrt_m, nm_ratio, sqrt_n,
+        alpha, tau_floor, damping,
+    ):
+        rows, n = sigma.shape
+        sigma_new = np.empty_like(sigma)
+        onsager = np.empty(rows, dtype=sigma.dtype)
+        tau = np.empty(rows, dtype=sigma.dtype)
+        step = np.empty(rows, dtype=sigma.dtype)
+        for i in range(rows):
+            acc = 0.0
+            for j in range(bounds[i], bounds[i + 1]):
+                acc += z_flat[j] * z_flat[j]
+            t = math.sqrt(acc) / sqrt_m[i]
+            if t < tau_floor:
+                t = tau_floor
+            tau[i] = t
+            threshold = alpha * t
+            deriv_sum = 0.0
+            step_sum = 0.0
+            base = i * n
+            for j in range(n):
+                x = rmv[base + j] + sigma[i, j]
+                mag = abs(x) - threshold
+                if mag > 0.0:
+                    value = mag if x > 0.0 else -mag
+                    deriv_sum += 1.0
+                else:
+                    value = 0.0
+                if damping > 0.0:
+                    value = (1.0 - damping) * value + damping * sigma[i, j]
+                d = value - sigma[i, j]
+                step_sum += d * d
+                sigma_new[i, j] = value
+            onsager[i] = nm_ratio[i] * (deriv_sum / n)
+            step[i] = math.sqrt(step_sum) / sqrt_n
+        return sigma_new, onsager, tau, step
+
+    @numba.njit(cache=True)
+    def residual(y_flat, mv, z_flat, onsager, bounds, damping):
+        z_new = np.empty_like(z_flat)
+        rows = onsager.shape[0]
+        for i in range(rows):
+            o = onsager[i]
+            for j in range(bounds[i], bounds[i + 1]):
+                value = y_flat[j] - mv[j] + o * z_flat[j]
+                if damping > 0.0:
+                    value = (1.0 - damping) * value + damping * z_flat[j]
+                z_new[j] = value
+        return z_new
+
+    _numba_functions = {
+        "seg_sq_sums": seg_sq_sums,
+        "bayes-bernoulli": bayes_posterior,
+        "soft-threshold": soft_threshold_posterior,
+        "residual": residual,
+    }
+    return _numba_functions
+
+
+class NumbaKernel(AMPKernel):
+    """Fused backend: one jitted loop per phase over the segment bounds.
+
+    The posterior phase inlines the denoiser from its flat
+    :meth:`~repro.amp.denoisers.Denoiser.kernel_form` parameters;
+    denoisers without a registered fused form fall back to the NumPy
+    phase implementation (inherited), which keeps every denoiser
+    correct under this backend. Fused accumulation is sequential (not
+    NumPy's pairwise sums), so outputs are tolerance-equivalent to the
+    reference kernel, not bit-identical.
+    """
+
+    def __init__(self, dtype=np.float64, name: str = "numba") -> None:
+        super().__init__(dtype, name)
+        self._functions = _get_numba_functions()
+
+    def segment_square_sums(
+        self, arr: np.ndarray, layout: StackLayout
+    ) -> np.ndarray:
+        return self._functions["seg_sq_sums"](
+            np.ascontiguousarray(arr).reshape(-1), layout.bounds
+        )
+
+    def posterior_step(self, denoiser, rmv, sigma, z, layout, damping):
+        form = denoiser.kernel_form()
+        if form is None or form[0] not in self._functions:
+            return super().posterior_step(
+                denoiser, rmv, sigma, z, layout, damping
+            )
+        kind, params = form
+        # The float32 exp clip never loosens a float64 run: the kernel
+        # dtype decides, matching the NumPy denoiser's dtype rule.
+        exp_clip = Denoiser.exp_clip_for(self.dtype)
+        fused = self._functions[kind]
+        args = params + (float(exp_clip),) if kind == "bayes-bernoulli" else params
+        return fused(
+            np.ascontiguousarray(rmv),
+            np.ascontiguousarray(sigma),
+            np.ascontiguousarray(z).reshape(-1),
+            layout.bounds,
+            layout.per_row(layout.sqrt_m),
+            layout.per_row(layout.nm_ratio),
+            float(layout.sqrt_n),
+            *args,
+            float(TAU_FLOOR),
+            float(damping),
+        )
+
+    def residual_step(self, y, mv, z, onsager, layout, damping):
+        z_new = self._functions["residual"](
+            np.ascontiguousarray(y).reshape(-1),
+            np.ascontiguousarray(mv),
+            np.ascontiguousarray(z).reshape(-1),
+            np.ascontiguousarray(onsager),
+            layout.bounds,
+            float(damping),
+        )
+        return z_new.reshape(y.shape)
+
+
+# -- registry ------------------------------------------------------------
+
+_fallback_warned = False
+
+
+def _numpy_fallback(name: str) -> AMPKernel:
+    """Graceful degrade when numba is requested but not installed."""
+    global _fallback_warned
+    if not _fallback_warned:
+        warnings.warn(
+            f"AMP kernel {name!r} requested but numba is not installed; "
+            "falling back to the NumPy reference kernel (identical "
+            "results, no fusion). Install numba to enable the fused "
+            "backend.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        _fallback_warned = True
+    if name.endswith("32"):
+        return AMPKernel(np.float32, "numpy32")
+    return AMPKernel(np.float64, "numpy")
+
+
+def _make_kernel(name: str) -> AMPKernel:
+    if name == "numpy":
+        return AMPKernel(np.float64, "numpy")
+    if name == "numpy32":
+        return AMPKernel(np.float32, "numpy32")
+    if name in ("numba", "numba32"):
+        if not numba_available():
+            return _numpy_fallback(name)
+        dtype = np.float32 if name == "numba32" else np.float64
+        return NumbaKernel(dtype, name)
+    raise ValueError(f"unknown AMP kernel {name!r}; valid: {KERNELS}")
+
+
+#: resolved-kernel cache: backends are stateless, one instance per name
+_kernel_cache: Dict[str, AMPKernel] = {}
+
+
+def resolve_kernel(kernel=None) -> AMPKernel:
+    """Resolve a kernel request into an :class:`AMPKernel` instance.
+
+    Precedence: an explicit :class:`AMPKernel` instance passes
+    through; an explicit name string wins over the environment; then
+    the :data:`REPRO_KERNEL` environment variable; then ``"numpy"``.
+    A ``numba`` request without numba installed warns once and returns
+    the NumPy kernel of the matching precision.
+    """
+    if isinstance(kernel, AMPKernel):
+        return kernel
+    name = kernel if kernel is not None else os.environ.get(KERNEL_ENV) or None
+    if name is None:
+        name = "numpy"
+    if name not in _kernel_cache:
+        _kernel_cache[name] = _make_kernel(str(name))
+    return _kernel_cache[name]
+
+
+__all__ = [
+    "KERNEL_ENV",
+    "KERNELS",
+    "StackLayout",
+    "AMPKernel",
+    "NumbaKernel",
+    "numba_available",
+    "resolve_kernel",
+]

@@ -26,13 +26,16 @@ subcommands can never drift apart.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
+from repro.amp.kernels import KERNEL_ENV, KERNELS
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.runner import ALGORITHMS, REQUIRED_QUERIES_ALGORITHMS
 from repro.experiments.scheduler import BACKENDS
+from repro.experiments.shm import SHM_ENV
 from repro.experiments.stats import geometric_space
 from repro.experiments.worker import DEFAULT_PORT as DEFAULT_WORKER_PORT
 
@@ -116,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
         "var, else process when --workers > 1, serial otherwise); "
         "socket ships chunks to the REPRO_HOSTS workers — results are "
         "bit-identical on every backend",
+    )
+    execution.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="AMP compute backend (default: the REPRO_KERNEL env var, "
+        "else numpy); float64 kernels are bit-identical, the *32 "
+        "variants trade bit-identity for float32 throughput",
+    )
+    execution.add_argument(
+        "--shm",
+        action="store_true",
+        default=None,
+        help="dispatch process-backend chunks through a shared-memory "
+        "arena instead of the pool pipe (default: the REPRO_SHM env "
+        "var); bit-identical output",
     )
     execution.add_argument(
         "--out", type=str, default=None, help="save JSON/CSV here"
@@ -241,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep execution backend (serial / process / socket); "
         "bit-identical output on every backend",
     )
+    rq.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="AMP compute backend (AMP algorithm only; float64 kernels "
+        "are bit-identical, the *32 variants are float32)",
+    )
+    rq.add_argument(
+        "--shm",
+        action="store_true",
+        default=None,
+        help="shared-memory chunk dispatch on the process backend; "
+        "bit-identical output",
+    )
 
     # -- threshold ------------------------------------------------------
     th = sub.add_parser(
@@ -350,6 +383,8 @@ def _run_required_queries(args: argparse.Namespace) -> int:
         engine=args.engine,
         workers=args.workers,
         backend=args.backend,
+        kernel=args.kernel,
+        shm=args.shm,
     )
     elapsed = time.perf_counter() - started
     print(
@@ -502,6 +537,14 @@ def _figure_kwargs(args: argparse.Namespace, name: str) -> dict:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # The figure pipelines resolve kernel/shm from the environment (the
+    # runner has no per-figure plumbing for them), and spawned pool
+    # workers inherit the variables either way — so the flags become
+    # env vars before any dispatch.
+    if getattr(args, "kernel", None) is not None:
+        os.environ[KERNEL_ENV] = args.kernel
+    if getattr(args, "shm", None):
+        os.environ[SHM_ENV] = "1"
     if args.command == "required-queries":
         return _run_required_queries(args)
     if args.command == "threshold":

@@ -27,6 +27,7 @@ from repro.experiments.scheduler import (
     SweepPlan,
     resolve_backend,
 )
+from repro.experiments.shm import SHM_ENV, SweepArena, resolve_shm
 from repro.experiments.worker import serve_worker, start_local_workers
 from repro.experiments.runner import (
     ALGORITHMS,
@@ -78,6 +79,9 @@ __all__ = [
     "SweepPlan",
     "SweepExecutor",
     "resolve_backend",
+    "SHM_ENV",
+    "SweepArena",
+    "resolve_shm",
     "serve_worker",
     "start_local_workers",
     "ALGORITHMS",

@@ -167,6 +167,7 @@ def _required_queries_chunk(
                 max_m=spec["max_m"],
                 check_every=spec["check_every"],
                 verify=spec.get("verify", "full"),
+                kernel=spec.get("kernel"),
             )
         else:
             runs = required_queries_amp_linear(
@@ -177,6 +178,7 @@ def _required_queries_chunk(
                 gamma=spec["gamma"],
                 max_m=spec["max_m"],
                 check_every=spec["check_every"],
+                kernel=spec.get("kernel"),
             )
         return [(result.succeeded, result.required_m) for result in runs]
     if spec["engine"] == "batch":
@@ -326,6 +328,8 @@ def required_queries_outcomes(
     algorithm: str = "greedy",
     verify: str = "full",
     engine: str = "batch",
+    kernel: Optional[str] = None,
+    shm: Optional[bool] = None,
 ) -> List[Tuple[bool, Optional[int]]]:
     """Sharded required-queries trials; outcomes in trial order.
 
@@ -352,8 +356,9 @@ def required_queries_outcomes(
         algorithm=algorithm,
         verify=verify,
         engine=engine,
+        kernel=kernel,
     )
-    executor = SweepExecutor(backend="process", workers=workers)
+    executor = SweepExecutor(backend="process", workers=workers, shm=shm)
     return executor.run_outcomes(plan)[0]
 
 
@@ -370,6 +375,7 @@ def success_curve_outcomes(
     algorithm_kwargs: Optional[dict] = None,
     gamma: Optional[int] = None,
     batch_mode: Optional[str] = None,
+    shm: Optional[bool] = None,
 ) -> List[List[Tuple[bool, float]]]:
     """Sharded fixed-``m`` trials for a whole m-grid.
 
@@ -403,7 +409,7 @@ def success_curve_outcomes(
         algorithm_kwargs=algorithm_kwargs,
         batch_mode=batch_mode,
     )
-    executor = SweepExecutor(backend="process", workers=workers)
+    executor = SweepExecutor(backend="process", workers=workers, shm=shm)
     return executor.run_outcomes(plan)[0]
 
 

@@ -134,7 +134,7 @@ def _batch_mode(algorithm: str, engine: str, algorithm_kwargs: dict) -> Optional
         return "greedy"
     if (
         algorithm == "amp"
-        and set(algorithm_kwargs) <= {"denoiser", "config", "sparse"}
+        and set(algorithm_kwargs) <= {"denoiser", "config", "sparse", "kernel"}
         # the stacked runner is sparse by construction; a dense
         # override runs through the per-trial loop
         and algorithm_kwargs.get("sparse", True) in (True, None)
@@ -148,7 +148,7 @@ def _amp_batch_kwargs(algorithm_kwargs: dict) -> dict:
     return {
         key: value
         for key, value in algorithm_kwargs.items()
-        if key in ("denoiser", "config")
+        if key in ("denoiser", "config", "kernel")
     }
 
 
@@ -234,6 +234,8 @@ def required_queries_trials(
     engine: str = "batch",
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
+    shm: Optional[bool] = None,
 ) -> RequiredQueriesSample:
     """Run the required-m procedure ``trials`` times, collect required m.
 
@@ -259,6 +261,10 @@ def required_queries_trials(
     backend, worker count and mode (see the module docstring and
     :mod:`repro.experiments.scheduler`). Multi-cell sweeps should
     build one plan directly so cells share the global work queue.
+    ``kernel`` selects the AMP compute backend by name (AMP only; see
+    :mod:`repro.amp.kernels`); ``shm`` routes process-backend dispatch
+    through the shared-memory arena (:mod:`repro.experiments.shm`) —
+    neither changes any float64-default output.
     """
     plan = SweepPlan()
     plan.add_required_queries(
@@ -274,8 +280,9 @@ def required_queries_trials(
         algorithm=algorithm,
         verify=verify,
         engine=engine,
+        kernel=kernel,
     )
-    return plan.run(backend=backend, workers=workers)[0]
+    return plan.run(backend=backend, workers=workers, shm=shm)[0]
 
 
 def fold_required_queries(
@@ -341,6 +348,8 @@ def success_rate_curve(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     design: str = "replacement",
+    kernel: Optional[str] = None,
+    shm: Optional[bool] = None,
 ) -> SuccessCurve:
     """Estimate success rate and overlap per query count ``m``.
 
@@ -367,7 +376,20 @@ def success_rate_curve(
     the same accumulation as the serial loop, so the reported curves
     are bit-identical for every backend and worker count (see
     :mod:`repro.experiments.scheduler`).
+
+    ``kernel`` selects the AMP compute backend by name and is merged
+    into ``algorithm_kwargs`` (AMP only — other algorithms reject it);
+    ``shm`` routes process-backend dispatch through the shared-memory
+    arena. Neither changes any float64-default output.
     """
+    if kernel is not None:
+        if algorithm != "amp":
+            raise ValueError(
+                f"kernel={kernel!r} selects an AMP compute backend; "
+                f"algorithm {algorithm!r} has none"
+            )
+        algorithm_kwargs = dict(algorithm_kwargs or {})
+        algorithm_kwargs["kernel"] = kernel
     plan = SweepPlan()
     plan.add_success_curve(
         n,
@@ -382,7 +404,7 @@ def success_rate_curve(
         engine=engine,
         design=design,
     )
-    return plan.run(backend=backend, workers=workers)[0]
+    return plan.run(backend=backend, workers=workers, shm=shm)[0]
 
 
 def fold_success_curve(

@@ -73,6 +73,13 @@ the socket backend tracks per-connection which specs it has sent.
 Steady-state chunk dispatch therefore ships only seeds + indices
 (measured in the ``sweep_pipeline`` benchmark case).
 
+The ``shm`` option (``REPRO_SHM``) moves even that residue out of the
+pipe for the process backend: specs *and* per-task seed tuples are
+written once into a sweep-scoped shared-memory arena
+(:mod:`repro.experiments.shm`) and each submission ships only the
+arena name plus two ``(offset, length)`` refs — near-constant bytes
+per chunk, measured in the ``shm_dispatch_bytes`` benchmark case.
+
 When the engine helps
 ---------------------
 The flattened queue pays off whenever a sweep has more than one cell
@@ -99,6 +106,7 @@ import numpy as np
 
 from repro.core.chunking import chunk_bounds
 from repro.experiments import parallel
+from repro.experiments import shm as shm_module
 from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
 from repro.utils.validation import check_positive_int
 
@@ -231,11 +239,14 @@ class SweepPlan:
         algorithm: str = "greedy",
         verify: str = "full",
         engine: str = "batch",
+        kernel: Optional[str] = None,
     ) -> int:
         """Add one required-m cell; returns its index in the plan.
 
         Seed derivation matches the serial loop: ``trials`` child seeds
-        spawned from ``seed`` in trial order.
+        spawned from ``seed`` in trial order. ``kernel`` selects the
+        AMP compute backend by name (see :mod:`repro.amp.kernels`;
+        AMP cells only — the greedy scan has no kernel seam).
         """
         from repro.experiments.runner import (
             REQUIRED_QUERIES_ALGORITHMS,
@@ -248,6 +259,11 @@ class SweepPlan:
                 f"unknown required-queries algorithm {algorithm!r}; "
                 f"valid: {REQUIRED_QUERIES_ALGORITHMS}"
             )
+        if kernel is not None and algorithm != "amp":
+            raise ValueError(
+                f"kernel={kernel!r} selects an AMP compute backend; "
+                f"algorithm {algorithm!r} has none"
+            )
         spec = {
             "n": n,
             "k": k,
@@ -259,6 +275,7 @@ class SweepPlan:
             "engine": _check_engine(engine),
             "max_m": max_m,
             "check_every": check_every,
+            "kernel": kernel,
         }
         self._cells.append(
             _PlanCell(
@@ -361,6 +378,7 @@ class SweepPlan:
         workers: Optional[int] = None,
         hosts=None,
         intern_specs: bool = True,
+        shm: Optional[bool] = None,
     ) -> List[object]:
         """Execute the plan; one result object per cell, in add order."""
         return SweepExecutor(
@@ -368,6 +386,7 @@ class SweepPlan:
             workers=workers,
             hosts=hosts,
             intern_specs=intern_specs,
+            shm=shm,
         ).run(self)
 
 
@@ -461,6 +480,17 @@ class SweepExecutor:
         (default). ``False`` re-ships the full spec with every chunk —
         kept as a benchmark baseline for the dispatch-overhead
         measurement in ``bench_perf_core.py``.
+    shm:
+        Dispatch the ``process`` backend's chunk payloads through a
+        sweep-scoped shared-memory arena
+        (:class:`~repro.experiments.shm.SweepArena`): specs and seed
+        tuples live in one segment and each submission ships only
+        ``(arena name, offsets)`` — near-constant bytes per chunk.
+        ``None`` (default) consults the ``REPRO_SHM`` environment
+        variable. Ignored by the serial backend (nothing to dispatch)
+        and the socket backend (remote hosts cannot see local shared
+        memory). Results are bit-identical either way — the arena
+        only changes how the identical payload travels.
     """
 
     def __init__(
@@ -470,11 +500,13 @@ class SweepExecutor:
         workers: Optional[int] = None,
         hosts=None,
         intern_specs: bool = True,
+        shm: Optional[bool] = None,
     ) -> None:
         self.workers = parallel.resolve_workers(workers)
         self.backend = resolve_backend(backend, self.workers)
         self._hosts = hosts
         self.intern_specs = intern_specs
+        self.shm = shm_module.resolve_shm(shm)
 
     # ---- plan explosion ----
 
@@ -562,7 +594,10 @@ class SweepExecutor:
             if self.backend == "serial":
                 self._execute_serial(tasks, cells, emit)
             elif self.backend == "process":
-                self._execute_process(tasks, cells, emit)
+                if self.shm:
+                    self._execute_process_shm(tasks, cells, emit)
+                else:
+                    self._execute_process(tasks, cells, emit)
             else:
                 self._execute_socket(tasks, cells, emit)
 
@@ -666,6 +701,69 @@ class SweepExecutor:
                 retried_broken = True
                 unsent.extend((t, True) for t in pending.values())
                 parallel.shutdown_pool()
+
+    def _execute_process_shm(self, tasks, cells, emit) -> None:
+        """Process backend with shared-memory payload dispatch.
+
+        All cell specs and per-task seed tuples are pickled once into
+        one :class:`~repro.experiments.shm.SweepArena`; every
+        submission then carries only the arena name plus two
+        ``(offset, length)`` refs, so steady-state dispatch bytes are
+        near-constant per chunk (no stacked seed pickling through the
+        pool pipe, no spec-miss retry protocol — the arena always has
+        everything). The arena is unlinked in the ``finally`` whether
+        the sweep finishes, raises, or retries; the retry-once
+        ``BrokenProcessPool`` semantics mirror
+        :meth:`_execute_process` (chunks are pure functions of their
+        seeds, and the arena outlives the broken pool, so the fresh
+        pool replays the identical payload).
+        """
+        used = sorted({t.cell for t in tasks})
+        arena = shm_module.SweepArena.from_payloads(
+            [cells[ci].spec for ci in used] + [t.seeds for t in tasks]
+        )
+        try:
+            spec_refs = {ci: arena.refs[i] for i, ci in enumerate(used)}
+            seed_refs = arena.refs[len(used):]
+            unsent: "deque[int]" = deque(range(len(tasks)))
+            retried_broken = False
+            while True:
+                pool = parallel._get_pool(self.workers)
+                pending: Dict[object, int] = {}
+                try:
+                    while unsent or pending:
+                        while unsent:
+                            # peek, submit, then pop — see
+                            # _execute_process
+                            ti = unsent[0]
+                            task = tasks[ti]
+                            future = pool.submit(
+                                shm_module.shm_chunk, arena.name,
+                                spec_refs[task.cell], seed_refs[ti],
+                                cells[task.cell].kind, task.m,
+                            )
+                            unsent.popleft()
+                            pending[future] = ti
+                        done, _ = wait(
+                            list(pending), return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            ti = pending.pop(future)
+                            try:
+                                result = future.result()
+                            except BrokenProcessPool:
+                                unsent.append(ti)
+                                raise
+                            emit(tasks[ti], result)
+                    return
+                except BrokenProcessPool:
+                    if retried_broken:
+                        raise
+                    retried_broken = True
+                    unsent.extend(pending.values())
+                    parallel.shutdown_pool()
+        finally:
+            arena.dispose()
 
     def _execute_socket(self, tasks, cells, emit) -> None:
         """Drive remote socket workers: one feeder thread per host

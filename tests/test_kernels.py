@@ -1,0 +1,289 @@
+"""AMP kernel seam: registry resolution, golden bit-identity, float32.
+
+The contract under test (see :mod:`repro.amp.kernels`): the default
+float64 NumPy kernel performs exactly the array operations the
+pre-seam AMP loops performed, in the same order — so every AMP entry
+point's float64 output is **bit-identical** to the pre-refactor
+implementation. The golden hashes below were captured by running the
+pre-seam code on the pinned instances; the seam must keep reproducing
+them exactly, for the standalone runner, the block-diagonal batched
+runner, and the ragged required-m scan in every verify mode. The
+float32 kernels are opt-in and tolerance-tested; the numba kernels
+fall back to the matching NumPy kernel (with one warning) when numba
+is not installed.
+"""
+
+import hashlib
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.amp import AMPConfig, run_amp
+from repro.amp.batch_amp import required_queries_amp, run_amp_trials
+from repro.amp.kernels import (
+    KERNEL_ENV,
+    KERNELS,
+    AMPKernel,
+    StackLayout,
+    numba_available,
+    resolve_kernel,
+)
+from repro.amp import kernels as kernels_module
+from repro.utils.rng import spawn_seeds
+
+
+def _hash(arr):
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:16]
+
+
+def _standalone_instance(seed=42, n=600, k=5, m=80, channel=None):
+    gen = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, gen)
+    graph = repro.sample_pooling_graph_batch(n, m, rng=gen)
+    meas = repro.measure(graph, truth, channel or repro.ZChannel(0.1), gen)
+    return meas
+
+
+# -- registry / resolution ----------------------------------------------
+
+
+def test_default_kernel_is_float64_numpy(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    kern = resolve_kernel()
+    assert kern.name == "numpy"
+    assert kern.dtype == np.float64
+
+
+def test_named_kernels_resolve():
+    assert resolve_kernel("numpy").dtype == np.float64
+    kern32 = resolve_kernel("numpy32")
+    assert kern32.name == "numpy32"
+    assert kern32.dtype == np.float32
+
+
+def test_unknown_kernel_name_rejected():
+    with pytest.raises(ValueError, match="unknown AMP kernel"):
+        resolve_kernel("fortran")
+
+
+def test_instance_passes_through():
+    kern = AMPKernel(np.float32, "custom")
+    assert resolve_kernel(kern) is kern
+
+
+def test_env_selection_and_precedence(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "numpy32")
+    assert resolve_kernel().name == "numpy32"
+    # An explicit name always beats the environment.
+    assert resolve_kernel("numpy").name == "numpy"
+    monkeypatch.setenv(KERNEL_ENV, "")
+    assert resolve_kernel().name == "numpy"
+
+
+def test_resolved_kernels_are_cached():
+    assert resolve_kernel("numpy") is resolve_kernel("numpy")
+
+
+@pytest.mark.skipif(numba_available(), reason="numba installed: no fallback")
+def test_numba_fallback_warns_once_and_keeps_precision(monkeypatch):
+    monkeypatch.setattr(kernels_module, "_fallback_warned", False)
+    for name in ("numba", "numba32"):
+        kernels_module._kernel_cache.pop(name, None)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        kern = resolve_kernel("numba")
+    assert kern.name == "numpy"
+    assert kern.dtype == np.float64
+    # Warn-once: the second numba-family request resolves silently,
+    # and a float32 request degrades to the float32 NumPy kernel.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        kern32 = resolve_kernel("numba32")
+    assert kern32.name == "numpy32"
+    assert kern32.dtype == np.float32
+
+
+def test_registry_names_all_resolve():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for name in KERNELS:
+            assert isinstance(resolve_kernel(name), AMPKernel)
+
+
+# -- stack layout --------------------------------------------------------
+
+
+def test_layout_uniform_bounds_and_scalars():
+    layout = StackLayout.for_uniform(3, 10, 4, np.float64)
+    assert layout.uniform
+    np.testing.assert_array_equal(layout.bounds, [0, 4, 8, 12])
+    assert layout.sqrt_m == np.sqrt(4)
+    assert layout.nm_ratio == 10 / 4
+    np.testing.assert_array_equal(layout.per_row(layout.sqrt_m), [2.0] * 3)
+
+
+def test_layout_ragged_restrict_slices_scalars():
+    layout = StackLayout.for_ragged(6, np.array([2, 3, 4]), np.float64)
+    assert not layout.uniform
+    np.testing.assert_array_equal(layout.bounds, [0, 2, 5, 9])
+    active = np.array([True, False, True])
+    sub = layout.restrict(active)
+    assert sub.rows == 2
+    np.testing.assert_array_equal(sub.m_cur, [2, 4])
+    # Restriction slices the stored standardization vectors rather
+    # than recomputing them (the pre-seam compaction behavior).
+    np.testing.assert_array_equal(sub.sqrt_m, layout.sqrt_m[active])
+    np.testing.assert_array_equal(sub.nm_ratio, layout.nm_ratio[active])
+
+
+def test_layout_compact_and_restore_roundtrip():
+    layout = StackLayout.for_ragged(4, np.array([2, 3, 1]), np.float64)
+    z = np.arange(6, dtype=float)
+    active = np.array([True, False, True])
+    np.testing.assert_array_equal(
+        layout.compact_measure(z, active), [0, 1, 5]
+    )
+    dst = np.zeros(6)
+    layout.restore_rows(dst, z, ~active)
+    np.testing.assert_array_equal(dst, [0, 0, 2, 3, 4, 0])
+
+
+def test_layout_float32_scalars_stay_float32():
+    layout = StackLayout.for_ragged(8, np.array([3, 5]), np.float32)
+    assert layout.sqrt_m.dtype == np.float32
+    assert layout.nm_ratio.dtype == np.float32
+    assert np.dtype(type(layout.sqrt_n)) == np.float32
+
+
+def test_segment_square_sums_matches_reference():
+    kern = resolve_kernel("numpy")
+    rng = np.random.default_rng(0)
+    flat = rng.normal(size=9)
+    layout = StackLayout.for_ragged(5, np.array([2, 3, 4]), np.float64)
+    out = kern.segment_square_sums(flat, layout)
+    expected = [np.sum(flat[a:b] ** 2) for a, b in ((0, 2), (2, 5), (5, 9))]
+    np.testing.assert_allclose(out, expected)
+    # Equal-length ragged segments take the reshape fast path; it must
+    # agree with the generic per-segment reduction bit for bit.
+    flat6 = rng.normal(size=6)
+    eq = StackLayout.for_ragged(5, np.array([3, 3]), np.float64)
+    np.testing.assert_array_equal(
+        kern.segment_square_sums(flat6, eq),
+        np.sum(flat6.reshape(2, 3) ** 2, axis=1),
+    )
+
+
+# -- golden bit-identity (pre-seam captures) -----------------------------
+
+GOLDEN_STANDALONE = "1c6c1ee04112bce1"
+GOLDEN_TRIALS = "581d0600ec6cbfc1"
+GOLDEN_TRIALS_HAMMING = [2, 2, 0, 6, 4, 4]
+GOLDEN_REQUIRED_M = [88, 40, 40, 32, 40]
+GOLDEN_CHECKS = {
+    "full": [13, 7, 7, 4, 7],
+    "window": [9, 6, 6, 4, 6],
+    "none": [8, 6, 6, 4, 6],
+}
+GOLDEN_GAUSS_DAMPED = "8a6dea18c59061fe"
+
+
+@pytest.mark.parametrize("kernel", [None, "numpy"])
+def test_golden_standalone_run_amp(kernel, monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    result = run_amp(_standalone_instance(), kernel=kernel)
+    assert _hash(result.scores) == GOLDEN_STANDALONE
+    assert result.meta["iterations"] == 4
+    assert result.meta["kernel"] == "numpy"
+
+
+def test_golden_batched_trials(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    results = run_amp_trials(
+        512, 4, repro.ZChannel(0.1), 90, spawn_seeds(7, 6), gamma=32
+    )
+    stacked = np.vstack([r.scores for r in results])
+    assert _hash(stacked) == GOLDEN_TRIALS
+    assert [int(r.hamming_errors) for r in results] == GOLDEN_TRIALS_HAMMING
+
+
+@pytest.mark.parametrize("verify", ["full", "window", "none"])
+def test_golden_required_m_scan(verify, monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    results = required_queries_amp(
+        256, 3, repro.ZChannel(0.1), spawn_seeds(11, 5),
+        gamma=32, check_every=8, max_m=400, verify=verify,
+    )
+    assert [r.required_m for r in results] == GOLDEN_REQUIRED_M
+    assert [r.checks for r in results] == GOLDEN_CHECKS[verify]
+
+
+def test_golden_gaussian_damped(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    meas = _standalone_instance(
+        seed=5, n=400, k=4, m=70, channel=repro.GaussianQueryNoise(1.0)
+    )
+    result = run_amp(meas, config=AMPConfig(damping=0.2))
+    assert _hash(result.scores) == GOLDEN_GAUSS_DAMPED
+    assert result.meta["iterations"] == 10
+
+
+def test_env_kernel_reaches_run_amp(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "numpy32")
+    result = run_amp(_standalone_instance())
+    assert result.meta["kernel"] == "numpy32"
+    assert result.scores.dtype == np.float32
+
+
+# -- float32 opt-in (tolerance, not bit-identity) ------------------------
+
+
+def test_float32_standalone_close_to_reference():
+    ref = run_amp(_standalone_instance(), kernel="numpy")
+    f32 = run_amp(_standalone_instance(), kernel="numpy32")
+    assert f32.scores.dtype == np.float32
+    assert f32.meta["kernel"] == "numpy32"
+    assert np.max(np.abs(ref.scores - f32.scores)) < 5e-6
+    np.testing.assert_array_equal(ref.estimate, f32.estimate)
+
+
+def test_float32_batched_close_to_reference():
+    ref = run_amp_trials(
+        512, 4, repro.ZChannel(0.1), 90, spawn_seeds(7, 6), gamma=32
+    )
+    f32 = run_amp_trials(
+        512, 4, repro.ZChannel(0.1), 90, spawn_seeds(7, 6), gamma=32,
+        kernel="numpy32",
+    )
+    for a, b in zip(ref, f32):
+        assert b.scores.dtype == np.float32
+        assert np.max(np.abs(a.scores - b.scores)) < 5e-5
+
+
+def test_float32_required_m_matches_on_pinned_instance():
+    f32 = required_queries_amp(
+        256, 3, repro.ZChannel(0.1), spawn_seeds(11, 5),
+        gamma=32, check_every=8, max_m=400, kernel="numpy32",
+    )
+    assert [r.required_m for r in f32] == GOLDEN_REQUIRED_M
+
+
+# -- numba backend (tolerance-equivalence when installed) ----------------
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+def test_numba_kernel_close_to_reference():
+    ref = run_amp(_standalone_instance(), kernel="numpy")
+    fused = run_amp(_standalone_instance(), kernel="numba")
+    assert fused.meta["kernel"] == "numba"
+    assert np.max(np.abs(ref.scores - fused.scores)) < 1e-9
+    np.testing.assert_array_equal(ref.estimate, fused.estimate)
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+def test_numba_required_m_matches_reference():
+    fused = required_queries_amp(
+        256, 3, repro.ZChannel(0.1), spawn_seeds(11, 5),
+        gamma=32, check_every=8, max_m=400, kernel="numba",
+    )
+    assert [r.required_m for r in fused] == GOLDEN_REQUIRED_M

@@ -1,0 +1,165 @@
+"""Shared-memory dispatch arena: lifecycle, protocol, sweep identity.
+
+The contract under test (see :mod:`repro.experiments.shm`): with
+``shm=True`` the process backend ships each chunk as ``(arena name,
+spec ref, seeds ref, kind, m)`` and the workers read the pickled
+payloads out of one driver-owned shared-memory segment — the same
+objects the pipe would have delivered, so sweep results are
+bit-identical to the serial backend. The arena lives exactly one
+executor run (unlinked in a ``finally``), leaked arenas are disposed
+by an atexit hook, and worker attaches never adopt the segment into
+the resource tracker.
+"""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.experiments import shm as shm_module
+from repro.experiments.scheduler import SweepExecutor, SweepPlan
+from repro.experiments.shm import SHM_ENV, SweepArena, resolve_shm
+
+
+# -- resolution ----------------------------------------------------------
+
+
+def test_resolve_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(SHM_ENV, "1")
+    assert resolve_shm(False) is False
+    monkeypatch.delenv(SHM_ENV)
+    assert resolve_shm(True) is True
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "YES", " on "])
+def test_resolve_env_truthy(monkeypatch, raw):
+    monkeypatch.setenv(SHM_ENV, raw)
+    assert resolve_shm() is True
+
+
+@pytest.mark.parametrize("raw", [None, "", "0", "false", "off", "2"])
+def test_resolve_env_falsy(monkeypatch, raw):
+    if raw is None:
+        monkeypatch.delenv(SHM_ENV, raising=False)
+    else:
+        monkeypatch.setenv(SHM_ENV, raw)
+    assert resolve_shm() is False
+
+
+# -- arena lifecycle -----------------------------------------------------
+
+
+def test_arena_refs_and_blob_roundtrip():
+    blobs = [b"alpha", b"", b"gamma-blob"]
+    with SweepArena(blobs) as arena:
+        assert arena.refs == [(0, 5), (5, 0), (5, 10)]
+        assert arena.size == 15
+        for blob, ref in zip(blobs, arena.refs):
+            assert shm_module.read_blob(arena.name, ref) == blob
+
+
+def test_from_payloads_roundtrip_read_spec():
+    spec = {"n": 128, "channel": repro.ZChannel(0.1), "kind": "demo"}
+    with SweepArena.from_payloads([spec, (1, 2, 3)]) as arena:
+        decoded = shm_module.read_spec(arena.name, arena.refs[0])
+        assert decoded["n"] == 128
+        assert repr(decoded["channel"]) == repr(spec["channel"])
+        # The decoded-spec cache returns the same object per worker.
+        assert shm_module.read_spec(arena.name, arena.refs[0]) is decoded
+        seeds = pickle.loads(
+            shm_module.read_blob(arena.name, arena.refs[1])
+        )
+        assert seeds == (1, 2, 3)
+
+
+def test_dispose_unlinks_and_is_idempotent():
+    arena = SweepArena([b"payload"])
+    name = arena.name
+    assert name in shm_module._live_arenas
+    arena.dispose()
+    assert name not in shm_module._live_arenas
+    arena.dispose()  # second disposal is a no-op
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_empty_arena_is_valid():
+    with SweepArena([]) as arena:
+        assert arena.size == 0
+        assert arena.refs == []
+
+
+def test_leak_guard_disposes_registered_arenas():
+    arena = SweepArena([b"leaked"])
+    name = arena.name
+    try:
+        shm_module._dispose_leaked_arenas()
+        assert name not in shm_module._live_arenas
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    finally:
+        arena.dispose()  # no-op if the guard worked
+
+
+# -- sweep identity ------------------------------------------------------
+
+
+def _mixed_plan():
+    plan = SweepPlan()
+    plan.add_required_queries(
+        150, 4, repro.ZChannel(0.1), trials=4, seed=11, check_every=4
+    )
+    plan.add_success_curve(
+        120, 3, repro.NoiselessChannel(), [40, 80], trials=4, seed=7
+    )
+    plan.add_required_queries(
+        150, 3, repro.ZChannel(0.05), trials=4, seed=3, algorithm="amp",
+        check_every=10, max_m=300,
+    )
+    return plan
+
+
+def test_shm_process_sweep_identical_to_serial():
+    serial = _mixed_plan().run(backend="serial")
+    shm = _mixed_plan().run(backend="process", workers=2, shm=True)
+    assert repr(shm) == repr(serial)
+    # The executor unlinked its arena in the finally block.
+    assert not shm_module._live_arenas
+
+
+def test_shm_env_route_reaches_executor(monkeypatch):
+    monkeypatch.setenv(SHM_ENV, "1")
+    executor = SweepExecutor(backend="process", workers=2)
+    assert executor.shm is True
+    serial = _mixed_plan().run(backend="serial")
+    assert repr(executor.run(_mixed_plan())) == repr(serial)
+    assert not shm_module._live_arenas
+
+
+def test_shm_flag_is_inert_on_serial_backend():
+    serial = _mixed_plan().run(backend="serial")
+    flagged = _mixed_plan().run(backend="serial", shm=True)
+    assert repr(flagged) == repr(serial)
+    assert not shm_module._live_arenas
+
+
+def test_shm_chunk_entry_point_runs_required_queries():
+    plan = SweepPlan()
+    plan.add_required_queries(
+        120, 3, repro.NoiselessChannel(), trials=2, seed=5, check_every=4
+    )
+    cell = plan._cells[0]
+    with SweepArena.from_payloads(
+        [cell.spec, tuple(cell.seeds)]
+    ) as arena:
+        outcomes = shm_module.shm_chunk(
+            arena.name, arena.refs[0], arena.refs[1], cell.kind, None
+        )
+    # One whole-cell chunk: per-trial (succeeded, required_m) outcomes
+    # matching the serial sweep's folded values in trial order.
+    serial = plan.run(backend="serial")[0]
+    assert [m for _, m in outcomes] == list(serial.values)
