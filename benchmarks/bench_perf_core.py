@@ -949,6 +949,90 @@ def _case_shm_dispatch_bytes(smoke, workers):
     }
 
 
+def _case_sweep_resume_overhead(smoke):
+    """Checkpoint write-through cost and the warm-resume payoff.
+
+    The same multi-cell sweep timed three ways on the serial backend
+    with a fine chunk explosion (``workers=8`` splits each cell into
+    many durable chunk records — the worst case for write-through
+    cost): plain, checkpointed into a fresh directory each repeat
+    (every finished chunk persisted write-then-rename), and resumed
+    against an already-complete checkpoint (every cell restored from
+    disk, zero compute). The checkpointed run is asserted
+    bit-identical to plain; the acceptance bar is overhead under 5%.
+    The resume time is the crash-recovery payoff — the cost of
+    re-running a finished sweep after a driver kill.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.scheduler import SweepExecutor, SweepPlan
+
+    n_values = (256, 512) if smoke else (1024, 2048, 4096)
+    trials = 4 if smoke else 8
+    check_every = 4 if smoke else 8
+    chunk_workers = 8  # serial compute, many chunk records per cell
+    repeats = 3
+
+    def build_plan():
+        plan = SweepPlan()
+        for n in n_values:
+            k = repro.sublinear_k(n, 0.25)
+            plan.add_required_queries(
+                n, k, repro.ZChannel(0.1), trials=trials, seed=2022,
+                check_every=check_every,
+            )
+            plan.add_success_curve(
+                n, k, repro.NoiselessChannel(), [n // 4, n // 2],
+                trials=trials, seed=2023,
+            )
+        return plan
+
+    def run(checkpoint=None):
+        return SweepExecutor(
+            backend="serial", workers=chunk_workers, checkpoint=checkpoint
+        ).run(build_plan())
+
+    baseline_s, ref = _timed(run, repeats)
+
+    dirs = []
+
+    def checkpointed():
+        tmp = tempfile.mkdtemp(prefix="bench-resume-")
+        dirs.append(tmp)
+        return run(checkpoint=tmp)
+
+    wall_s, got = _timed(checkpointed, repeats)
+    assert repr(got) == repr(ref)  # bit-identical through the write path
+
+    populated = dirs[-1]
+    cell_records = len(list(Path(populated).glob("plan-*/cell_*.json")))
+    resume_s, resumed = _timed(lambda: run(checkpoint=populated), repeats)
+    assert repr(resumed) == repr(ref)  # restored, not recomputed
+    for tmp in dirs:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "case": "sweep_resume_overhead",
+        "n_values": list(n_values),
+        "cells": len(n_values) * 2,
+        "cell_records": cell_records,
+        "trials": trials,
+        "chunk_workers": chunk_workers,
+        "wall_s": round(wall_s, 4),
+        "baseline": "same sweep, checkpointing off",
+        "baseline_s": round(baseline_s, 4),
+        "overhead_pct": (
+            round((wall_s / baseline_s - 1) * 100, 2) if baseline_s else None
+        ),
+        "resume_s": round(resume_s, 4),
+        "resume_speedup": (
+            round(baseline_s / resume_s, 1) if resume_s else None
+        ),
+    }
+
+
 def run_perf_suite(smoke=False, workers=4, only=None):
     """Run the perf-trajectory cases; returns one JSON-ready entry.
 
@@ -973,6 +1057,7 @@ def run_perf_suite(smoke=False, workers=4, only=None):
         "sweep_pipeline": lambda: _case_sweep_pipeline(smoke, workers),
         "amp_fused_kernel": lambda: _case_amp_fused_kernel(smoke),
         "shm_dispatch_bytes": lambda: _case_shm_dispatch_bytes(smoke, workers),
+        "sweep_resume_overhead": lambda: _case_sweep_resume_overhead(smoke),
     }
     if only:
         unknown = set(only) - set(available)

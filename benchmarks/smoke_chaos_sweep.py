@@ -1,0 +1,134 @@
+"""CI chaos smoke: the sweep survives worker death, stragglers, and a
+driver SIGKILL — and stays bit-identical to serial throughout.
+
+Two scenarios:
+
+1. **Elastic recovery.** Two localhost socket workers, both behind a
+   :class:`~repro.experiments.faults.FaultyWorkerProxy`: one is killed
+   after relaying two chunks, the other delays every reply. The driver
+   must requeue the dead proxy's chunks, speculate around the
+   straggler, and still produce exactly the serial result.
+
+2. **Checkpoint resume.** A child driver runs the same plan with
+   ``--checkpoint`` and is SIGKILLed as soon as the first chunk record
+   lands on disk. Re-running the plan against the same checkpoint
+   completes from the surviving records, bit-identical to an
+   uninterrupted run.
+
+Must live in a real file (not a stdin heredoc): the worker processes
+start under the ``spawn`` method, which re-imports the driver's main
+module and cannot do so for ``<stdin>``.
+
+Run: ``PYTHONPATH=src python benchmarks/smoke_chaos_sweep.py``
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.experiments.faults import FaultyWorkerProxy
+from repro.experiments.scheduler import SweepExecutor, SweepPlan
+from repro.experiments.worker import start_local_workers
+
+
+def chaos_plan() -> SweepPlan:
+    plan = SweepPlan()
+    plan.add_required_queries(
+        150, 4, repro.ZChannel(0.1), trials=8, seed=11, check_every=4
+    )
+    plan.add_success_curve(
+        120, 3, repro.NoiselessChannel(), [40, 80], trials=4, seed=7
+    )
+    return plan
+
+
+def elastic_recovery(reference: str) -> None:
+    hosts, shutdown = start_local_workers(2)
+    doomed = FaultyWorkerProxy(hosts[0], kill_after_chunks=2).start()
+    straggler = FaultyWorkerProxy(hosts[1], delay_reply=0.4).start()
+    try:
+        ex = SweepExecutor(
+            backend="socket",
+            hosts=[doomed.address, straggler.address],
+            connect_retry=2.0,
+            speculate=1.0,
+        )
+        got = ex.run(chaos_plan())
+        assert repr(got) == reference, "chaos sweep diverged from serial"
+        stats = ex.last_socket_stats
+        print(f"elastic recovery ok: stats={stats}")
+    finally:
+        doomed.stop()
+        straggler.stop()
+        shutdown()
+
+
+def checkpoint_resume(reference: str) -> None:
+    with tempfile.TemporaryDirectory(prefix="chaos-ckpt-") as tmp:
+        ckpt = Path(tmp)
+        child = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--child", str(ckpt)],
+            env=os.environ.copy(),
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if list(ckpt.glob("plan-*/chunk_*.json")) or list(
+                    ckpt.glob("plan-*/cell_*.json")
+                ):
+                    break
+                if child.poll() is not None:
+                    raise AssertionError(
+                        "child driver finished before it could be killed; "
+                        "slow it down or shrink the poll interval"
+                    )
+                time.sleep(0.02)
+            else:
+                raise AssertionError("no chunk record appeared within 120s")
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
+        assert child.returncode != 0, "SIGKILLed child exited 0?"
+
+        got = chaos_plan().run(backend="serial", checkpoint=ckpt)
+        assert repr(got) == reference, "resumed sweep diverged from serial"
+        print("checkpoint resume ok: driver killed once, resume bit-identical")
+
+
+def child_main(ckpt: str) -> int:
+    """Run the plan slowly enough that the parent can SIGKILL us after
+    the first durable chunk but before the sweep completes."""
+    import repro.experiments.scheduler as sched
+
+    real = sched._run_chunk
+
+    def slow_chunk(spec, kind, m, seeds):
+        out = real(spec, kind, m, seeds)
+        time.sleep(0.3)
+        return out
+
+    sched._run_chunk = slow_chunk
+    chaos_plan().run(backend="serial", checkpoint=ckpt)
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        return child_main(sys.argv[2])
+    reference = repr(chaos_plan().run(backend="serial"))
+    elastic_recovery(reference)
+    checkpoint_resume(reference)
+    print("chaos smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

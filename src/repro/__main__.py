@@ -4,4 +4,11 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except KeyboardInterrupt:
+    # A long sweep interrupted mid-run exits cleanly; with
+    # checkpointing on (REPRO_CHECKPOINT / --checkpoint), re-running
+    # the same command resumes from the persisted chunks.
+    print("\ninterrupted", file=sys.stderr)
+    sys.exit(130)

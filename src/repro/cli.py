@@ -137,6 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
         "var); bit-identical output",
     )
     execution.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="checkpoint directory for crash-safe resume: finished "
+        "chunks and cells persist as they land and a re-run of the "
+        "same sweep skips them (default: the REPRO_CHECKPOINT env "
+        "var); results are bit-identical with or without",
+    )
+    execution.add_argument(
+        "--auth-token",
+        type=str,
+        default=None,
+        help="shared cluster token authenticating socket-backend wire "
+        "frames via HMAC (default: the REPRO_AUTH_TOKEN env var); "
+        "set the same token on every worker host",
+    )
+    execution.add_argument(
         "--out", type=str, default=None, help="save JSON/CSV here"
     )
     execution.add_argument(
@@ -274,6 +291,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared-memory chunk dispatch on the process backend; "
         "bit-identical output",
     )
+    rq.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="checkpoint directory for crash-safe resume (default: "
+        "the REPRO_CHECKPOINT env var)",
+    )
+    rq.add_argument(
+        "--auth-token",
+        type=str,
+        default=None,
+        help="shared token for socket-backend frame HMAC (default: "
+        "the REPRO_AUTH_TOKEN env var)",
+    )
 
     # -- threshold ------------------------------------------------------
     th = sub.add_parser(
@@ -333,6 +364,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=None,
         help=f"TCP port (default {DEFAULT_WORKER_PORT}; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--auth-token",
+        type=str,
+        default=None,
+        help="shared cluster token for frame HMAC authentication "
+        "(default: the REPRO_AUTH_TOKEN env var; with neither set, "
+        "frames carry an integrity-only tag and any same-version "
+        "driver is accepted)",
     )
     return parser
 
@@ -465,21 +505,34 @@ def _run_threshold(args: argparse.Namespace) -> int:
 
 
 def _run_worker(args: argparse.Namespace) -> int:
-    from repro.experiments.worker import serve_worker
+    from repro.experiments.worker import AUTH_TOKEN_ENV, serve_worker
 
     port = DEFAULT_WORKER_PORT if args.port is None else args.port
+    token = args.auth_token or os.environ.get(AUTH_TOKEN_ENV) or None
+    auth = (
+        "authenticated (shared token)"
+        if token
+        else f"integrity-only — set {AUTH_TOKEN_ENV} for authentication"
+    )
     try:
         serve_worker(
             args.host,
             port,
+            token=token,
             ready=lambda bound: print(
                 f"[worker] serving sweep chunks on {args.host}:{bound} "
-                "(Ctrl-C to stop)",
+                f"[{auth}] (Ctrl-C to stop)",
                 flush=True,
             ),
         )
     except KeyboardInterrupt:
         print("[worker] stopped", flush=True)
+    except OSError as exc:
+        # serve_worker propagates bind/listen failures with the
+        # address attached; surface them as a clean CLI error instead
+        # of a traceback (the port is busy, the interface is wrong...).
+        print(f"[worker] error: {exc}", file=sys.stderr, flush=True)
+        return 1
     return 0
 
 
@@ -545,6 +598,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ[KERNEL_ENV] = args.kernel
     if getattr(args, "shm", None):
         os.environ[SHM_ENV] = "1"
+    if getattr(args, "checkpoint", None):
+        from repro.experiments.checkpoint import CHECKPOINT_ENV
+
+        os.environ[CHECKPOINT_ENV] = args.checkpoint
+    if getattr(args, "auth_token", None) and args.command != "worker":
+        from repro.experiments.worker import AUTH_TOKEN_ENV
+
+        os.environ[AUTH_TOKEN_ENV] = args.auth_token
     if args.command == "required-queries":
         return _run_required_queries(args)
     if args.command == "threshold":

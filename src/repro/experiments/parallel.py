@@ -330,6 +330,7 @@ def required_queries_outcomes(
     engine: str = "batch",
     kernel: Optional[str] = None,
     shm: Optional[bool] = None,
+    checkpoint=None,
 ) -> List[Tuple[bool, Optional[int]]]:
     """Sharded required-queries trials; outcomes in trial order.
 
@@ -338,7 +339,10 @@ def required_queries_outcomes(
     per-trial child seeds, shards them into contiguous chunks through
     the shared work queue, and concatenates the chunk outcomes —
     bit-identical to the serial trial loop for both stopping rules
-    (``algorithm="greedy"`` / ``"amp"``).
+    (``algorithm="greedy"`` / ``"amp"``). ``checkpoint`` names a
+    directory for crash-safe resume (``None``: the
+    ``REPRO_CHECKPOINT`` env var) — completed chunks are skipped on a
+    re-run with the same arguments.
     """
     from repro.experiments.scheduler import SweepExecutor, SweepPlan
 
@@ -358,7 +362,9 @@ def required_queries_outcomes(
         engine=engine,
         kernel=kernel,
     )
-    executor = SweepExecutor(backend="process", workers=workers, shm=shm)
+    executor = SweepExecutor(
+        backend="process", workers=workers, shm=shm, checkpoint=checkpoint
+    )
     return executor.run_outcomes(plan)[0]
 
 
@@ -376,6 +382,7 @@ def success_curve_outcomes(
     gamma: Optional[int] = None,
     batch_mode: Optional[str] = None,
     shm: Optional[bool] = None,
+    checkpoint=None,
 ) -> List[List[Tuple[bool, float]]]:
     """Sharded fixed-``m`` trials for a whole m-grid.
 
@@ -409,7 +416,9 @@ def success_curve_outcomes(
         algorithm_kwargs=algorithm_kwargs,
         batch_mode=batch_mode,
     )
-    executor = SweepExecutor(backend="process", workers=workers, shm=shm)
+    executor = SweepExecutor(
+        backend="process", workers=workers, shm=shm, checkpoint=checkpoint
+    )
     return executor.run_outcomes(plan)[0]
 
 

@@ -52,13 +52,34 @@ Backends
     (cross-host trial sharding). Start workers with ``python -m repro
     worker serve --port 7920`` on each host and point the executor at
     them via ``hosts=["host:7920", ...]`` or the ``REPRO_HOSTS``
-    environment variable. A worker that dies mid-sweep has its
-    in-flight chunk requeued onto the surviving workers. The wire
-    format is pickle — use only on trusted networks, with every host
-    running the same library version.
+    environment variable. The wire frames are HMAC-authenticated
+    (``REPRO_AUTH_TOKEN``) and size-capped, and the backend is
+    elastic: initial connects and mid-sweep reconnects retry with
+    bounded exponential backoff, application-level heartbeats
+    (``ping``/``pong`` answered even mid-chunk) separate long chunks
+    from dead workers, a straggler's chunk is speculatively
+    re-dispatched onto an idle worker (first result wins — outputs
+    cannot change, chunks are pure functions of their seeds), and a
+    worker that dies mid-sweep has its in-flight chunk requeued onto
+    the survivors.
 
 Select a backend per call (``backend=``), via the ``REPRO_BACKEND``
 environment variable, or implicitly (``workers > 1`` → ``process``).
+
+Checkpoint/resume
+-----------------
+``run(checkpoint=path)`` (or ``REPRO_CHECKPOINT``, or ``--checkpoint``
+on the CLI) persists every finished chunk — and each cell's merged
+outcomes once its last chunk lands — through
+:mod:`repro.experiments.checkpoint` (atomic write-then-rename, a
+manifest keyed by a content hash of the plan's specs + child seeds).
+A driver killed mid-sweep and re-run with the same plan skips
+completed cells and resumes half-finished ones from their surviving
+chunks; the resumed result is bit-identical to an uninterrupted run by
+construction, because resume replays the same pre-spawned child seeds
+and restored outcomes are the chunks' own recorded values. Works on
+every backend (the filtering happens before dispatch); a plan whose
+content hash changed is rejected instead of silently resumed.
 
 Per-worker payload interning
 ----------------------------
@@ -96,6 +117,7 @@ import os
 import pickle
 import queue as queue_module
 import threading
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -128,6 +150,25 @@ CELL_CURVE = "success_curve"
 #: with-replacement multigraph (default), the distinct-agents simple
 #: graph, and the constant-column-weight regular design (ablation)
 DESIGNS = ("replacement", "distinct", "regular")
+
+#: environment variable forcing a fixed straggler-speculation deadline
+#: (seconds; ``0`` disables speculation). Unset = adaptive: once three
+#: chunk durations are observed, a chunk in flight longer than
+#: ``_SPECULATE_FACTOR`` x the upper-quartile duration is re-dispatched
+#: onto an idle worker (first result wins).
+SPECULATE_ENV = "REPRO_SPECULATE"
+
+#: adaptive speculation: multiple of the observed upper-quartile chunk
+#: duration before a chunk counts as a straggler
+_SPECULATE_FACTOR = 4.0
+
+#: adaptive speculation never fires below this in-flight age (seconds)
+_SPECULATE_MIN_SECONDS = 2.0
+
+#: consecutive transport failures after which a feeder retires its
+#: worker instead of reconnecting again (a flapping worker must not
+#: burn the sweep in an accept/die loop)
+_MAX_WORKER_FAILURES = 3
 
 #: worker-side interned-spec cache size (entries, not bytes). Sized
 #: above the largest realistic plan (a full-scale two-algorithm
@@ -379,14 +420,32 @@ class SweepPlan:
         hosts=None,
         intern_specs: bool = True,
         shm: Optional[bool] = None,
+        checkpoint=None,
+        auth_token: Optional[str] = None,
+        connect_retry: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        speculate: Optional[float] = None,
     ) -> List[object]:
-        """Execute the plan; one result object per cell, in add order."""
+        """Execute the plan; one result object per cell, in add order.
+
+        ``checkpoint`` names a directory for crash-safe resume (see
+        the module docstring); the remaining keyword arguments tune
+        the socket backend's elasticity and are documented on
+        :class:`SweepExecutor`.
+        """
         return SweepExecutor(
             backend=backend,
             workers=workers,
             hosts=hosts,
             intern_specs=intern_specs,
             shm=shm,
+            checkpoint=checkpoint,
+            auth_token=auth_token,
+            connect_retry=connect_retry,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            speculate=speculate,
         ).run(self)
 
 
@@ -449,6 +508,8 @@ class _Task:
     m_index: Optional[int]  # success-curve grid position (None: required)
     m: Optional[int]
     seeds: tuple  # the chunk's child seeds, in trial order
+    lo: int = 0  # trial range within the cell (checkpoint identity —
+    hi: int = 0  # layout-independent, unlike ``index``)
 
 
 #: unique spec-cache keys; the pid prefix keeps keys from different
@@ -491,6 +552,36 @@ class SweepExecutor:
         and the socket backend (remote hosts cannot see local shared
         memory). Results are bit-identical either way — the arena
         only changes how the identical payload travels.
+    checkpoint:
+        Directory for crash-safe resume (any backend): finished chunks
+        and completed cells persist as they land, and a re-run of the
+        same plan skips them (see the module docstring). ``None``
+        consults the ``REPRO_CHECKPOINT`` environment variable; unset
+        disables checkpointing.
+    auth_token:
+        Shared cluster token for the socket backend's frame HMAC;
+        ``None`` consults ``REPRO_AUTH_TOKEN`` (and with neither set,
+        frames carry an integrity-only tag — see
+        :mod:`repro.experiments.worker`).
+    connect_retry:
+        Total seconds of bounded exponential-backoff retry for initial
+        connects and mid-sweep reconnects to socket workers (``None``:
+        ``REPRO_CONNECT_RETRY``, else 30).
+    heartbeat_interval / heartbeat_timeout:
+        Socket-backend liveness cadence: a ``ping`` probe every
+        ``heartbeat_interval`` seconds while a chunk is outstanding
+        (workers answer even mid-chunk), and a worker silent —
+        no pong, no result — for ``heartbeat_timeout`` seconds is
+        declared dead and its chunk requeued. ``None`` consults
+        ``REPRO_HEARTBEAT_INTERVAL`` / ``REPRO_HEARTBEAT_TIMEOUT``
+        (defaults 5 / 30).
+    speculate:
+        Straggler deadline in seconds for the socket backend: a chunk
+        in flight longer than this is speculatively re-dispatched onto
+        an idle worker, first result wins (``0`` disables). ``None``
+        consults ``REPRO_SPECULATE``, else adapts to observed chunk
+        durations (see :data:`SPECULATE_ENV`). Never changes outputs —
+        chunks are pure functions of their seeds.
     """
 
     def __init__(
@@ -501,12 +592,36 @@ class SweepExecutor:
         hosts=None,
         intern_specs: bool = True,
         shm: Optional[bool] = None,
+        checkpoint=None,
+        auth_token: Optional[str] = None,
+        connect_retry: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        speculate: Optional[float] = None,
     ) -> None:
+        from repro.experiments.checkpoint import CHECKPOINT_ENV
+
         self.workers = parallel.resolve_workers(workers)
         self.backend = resolve_backend(backend, self.workers)
         self._hosts = hosts
         self.intern_specs = intern_specs
         self.shm = shm_module.resolve_shm(shm)
+        if checkpoint is None:
+            checkpoint = os.environ.get(CHECKPOINT_ENV) or None
+        self.checkpoint = checkpoint
+        self.auth_token = auth_token
+        self.connect_retry = connect_retry
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        if speculate is None:
+            raw = os.environ.get(SPECULATE_ENV)
+            if raw:
+                speculate = float(raw)
+        self.speculate = speculate
+        #: elasticity counters from the last socket run (speculated /
+        #: reconnects / heartbeat_timeouts / retired), for tests and
+        #: the chaos smoke
+        self.last_socket_stats: Optional[Dict[str, object]] = None
 
     # ---- plan explosion ----
 
@@ -526,7 +641,8 @@ class SweepExecutor:
             if cell.kind == CELL_REQUIRED:
                 for lo, hi in chunk_bounds(cell.trials, chunks):
                     tasks.append(
-                        _Task(ci, index, None, None, tuple(cell.seeds[lo:hi]))
+                        _Task(ci, index, None, None,
+                              tuple(cell.seeds[lo:hi]), lo, hi)
                     )
                     index += 1
             else:
@@ -534,7 +650,8 @@ class SweepExecutor:
                     seeds = cell.per_m_seeds[mi]
                     for lo, hi in chunk_bounds(cell.trials, chunks):
                         tasks.append(
-                            _Task(ci, index, mi, m, tuple(seeds[lo:hi]))
+                            _Task(ci, index, mi, m,
+                                  tuple(seeds[lo:hi]), lo, hi)
                         )
                         index += 1
         return tasks
@@ -577,44 +694,96 @@ class SweepExecutor:
         # bit-identity contract.
         slots: List[List[Optional[list]]] = [[] for _ in cells]
         remaining: List[int] = [0 for _ in cells]
+        cell_tasks: List[List[_Task]] = [[] for _ in cells]
         for task in tasks:
             # task.index counts per cell in explode order, so each
             # cell's slot list lines up with its task indices.
             slots[task.cell].append(None)
             remaining[task.cell] += 1
+            cell_tasks[task.cell].append(task)
 
-        def emit(task: _Task, result: list) -> None:
+        def assemble(ci: int):
+            """Merge a completed cell's chunk slots into its raw value."""
+            if cells[ci].kind == CELL_REQUIRED:
+                return [o for chunk in slots[ci] for o in chunk]
+            per_m: List[list] = [[] for _ in cells[ci].m_values]
+            for task, chunk in zip(cell_tasks[ci], slots[ci]):
+                per_m[task.m_index].extend(chunk)
+            return per_m
+
+        def store(task: _Task, result: list) -> None:
             if slots[task.cell][task.index] is None:
                 remaining[task.cell] -= 1
             slots[task.cell][task.index] = result
 
-        if tasks:
-            # (a plan can be task-free — no cells, or cells with empty
-            # m-grids — and must still fold one result per cell)
+        ckpt = None
+        restored: Dict[int, object] = {}
+        if self.checkpoint is not None:
+            from repro.experiments.checkpoint import (
+                SweepCheckpoint,
+                chunk_key,
+            )
+
+            ckpt = SweepCheckpoint.open(self.checkpoint, plan)
+            for ci in range(len(cells)):
+                outcomes = ckpt.cell_outcomes(ci)
+                if outcomes is not None:
+                    # The whole cell survives as one record: its raw
+                    # value is final, no chunks dispatch.
+                    restored[ci] = outcomes
+                    remaining[ci] = 0
+            for task in tasks:
+                if task.cell in restored:
+                    continue
+                stored = ckpt.chunk_outcomes(
+                    chunk_key(task.cell, task.m_index, task.lo, task.hi)
+                )
+                if stored is not None:
+                    store(task, stored)
+            for ci in range(len(cells)):
+                if remaining[ci] == 0 and ci not in restored and slots[ci]:
+                    # Restored chunks alone completed the cell (the
+                    # previous run died between its last chunk and the
+                    # cell record): compact now.
+                    ckpt.record_cell(ci, assemble(ci))
+
+        def emit(task: _Task, result: list) -> None:
+            fresh = slots[task.cell][task.index] is None
+            store(task, result)
+            if ckpt is not None and fresh:
+                ckpt.record_chunk(
+                    chunk_key(task.cell, task.m_index, task.lo, task.hi),
+                    result,
+                )
+                if remaining[task.cell] == 0:
+                    ckpt.record_cell(task.cell, assemble(task.cell))
+
+        pending = [
+            t
+            for t in tasks
+            if t.cell not in restored and slots[t.cell][t.index] is None
+        ]
+        if pending:
+            # (a plan can be task-free — no cells, cells with empty
+            # m-grids, or everything restored from the checkpoint —
+            # and must still fold one result per cell)
             if self.backend == "serial":
-                self._execute_serial(tasks, cells, emit)
+                self._execute_serial(pending, cells, emit)
             elif self.backend == "process":
                 if self.shm:
-                    self._execute_process_shm(tasks, cells, emit)
+                    self._execute_process_shm(pending, cells, emit)
                 else:
-                    self._execute_process(tasks, cells, emit)
+                    self._execute_process(pending, cells, emit)
             else:
-                self._execute_socket(tasks, cells, emit)
+                self._execute_socket(pending, cells, emit)
 
         missing = [ci for ci, left in enumerate(remaining) if left]
         if missing:  # pragma: no cover - backends raise before this
             raise RuntimeError(f"cells {missing} did not complete")
 
         raw: List[object] = []
-        for ci, cell in enumerate(cells):
-            if cell.kind == CELL_REQUIRED:
-                raw.append([o for chunk in slots[ci] for o in chunk])
-            else:
-                per_m: List[list] = [[] for _ in cell.m_values]
-                task_iter = (t for t in tasks if t.cell == ci)
-                for task, chunk in zip(task_iter, slots[ci]):
-                    per_m[task.m_index].extend(chunk)
-                raw.append(per_m)
+        for ci in range(len(cells)):
+            raw.append(restored[ci] if ci in restored else assemble(ci))
         return raw
 
     # ---- backends ----
@@ -766,12 +935,38 @@ class SweepExecutor:
             arena.dispose()
 
     def _execute_socket(self, tasks, cells, emit) -> None:
-        """Drive remote socket workers: one feeder thread per host
-        pulls chunks off the shared queue; a dead worker's in-flight
-        chunk is requeued onto the survivors."""
+        """Drive remote socket workers elastically.
+
+        One feeder thread per host pulls chunks off the shared queue
+        over an authenticated connection established with
+        exponential-backoff retry. While a chunk is outstanding the
+        feeder probes the worker with ``ping`` frames (answered even
+        mid-chunk), so a worker silent past the heartbeat timeout is
+        declared dead and its chunk requeued; a transport error
+        triggers a backoff reconnect, and only
+        :data:`_MAX_WORKER_FAILURES` consecutive failures (or a
+        permanent auth/protocol rejection) retire the worker. The
+        driver loop speculatively re-dispatches stragglers onto idle
+        workers — chunks are pure functions of their seeds, so the
+        first result wins and duplicates are dropped by key.
+        Elasticity counters land in ``self.last_socket_stats``.
+        """
         from repro.experiments import worker as worker_mod
 
         addresses = parse_hosts(self._hosts)
+        auth_key = worker_mod.resolve_auth_key(self.auth_token)
+        hb_interval = self.heartbeat_interval
+        if hb_interval is None:
+            hb_interval = float(
+                os.environ.get(worker_mod.HEARTBEAT_INTERVAL_ENV)
+                or worker_mod.DEFAULT_HEARTBEAT_INTERVAL
+            )
+        hb_timeout = self.heartbeat_timeout
+        if hb_timeout is None:
+            hb_timeout = float(
+                os.environ.get(worker_mod.HEARTBEAT_TIMEOUT_ENV)
+                or worker_mod.DEFAULT_HEARTBEAT_TIMEOUT
+            )
         keys = {ci: _next_spec_key(ci) for ci in {t.cell for t in tasks}}
         task_queue: "queue_module.Queue[_Task]" = queue_module.Queue()
         for task in tasks:
@@ -779,19 +974,107 @@ class SweepExecutor:
         results: "queue_module.Queue[tuple]" = queue_module.Queue()
         done_event = threading.Event()
 
+        # Shared elasticity state, all under one lock: completed task
+        # keys (speculation dedup), in-flight chunks with start times
+        # (straggler detection), idle feeders (speculation targets),
+        # observed durations (the adaptive deadline), and counters.
+        lock = threading.Lock()
+        done_keys: set = set()
+        inflight: Dict[tuple, Tuple[float, _Task]] = {}
+        idle: set = set()
+        durations: List[float] = []
+        stats = {
+            "speculated": 0,
+            "reconnects": 0,
+            "heartbeat_timeouts": 0,
+            "retired": [],
+        }
+
+        class _Abandoned(Exception):
+            """The sweep finished while this feeder awaited a reply."""
+
+        def await_reply(conn) -> tuple:
+            """Read the chunk reply, probing liveness while waiting.
+
+            Skips stray ``pong`` frames (a probe can race the result),
+            raises ``OSError`` after ``hb_timeout`` of total silence,
+            and :class:`_Abandoned` when the sweep completed under us.
+            """
+            now = time.monotonic()
+            last_heard = now
+            last_ping = now
+            while True:
+                if done_event.is_set():
+                    raise _Abandoned()
+                readable = worker_mod.wait_readable(
+                    conn, min(worker_mod.IO_POLL_TIMEOUT, hb_interval / 2)
+                )
+                now = time.monotonic()
+                if readable:
+                    reply = worker_mod.recv_message(conn, auth_key)
+                    if reply is None:
+                        raise OSError("connection closed by worker")
+                    last_heard = now
+                    if reply[0] == "pong":
+                        continue
+                    return reply
+                if now - last_heard > hb_timeout:
+                    with lock:
+                        stats["heartbeat_timeouts"] += 1
+                    raise OSError(
+                        f"worker silent for {now - last_heard:.1f}s "
+                        f"(heartbeat timeout {hb_timeout:.1f}s): "
+                        "no pong, no result"
+                    )
+                if now - last_ping >= hb_interval:
+                    worker_mod.send_message(conn, ("ping",), auth_key)
+                    last_ping = now
+
         def drive(address: Tuple[str, int]) -> None:
-            try:
-                conn = worker_mod.connect(address)
-            except OSError as exc:
-                results.put(("worker-error", address, exc))
-                return
+            conn = None
+            failures = 0
             sent: set = set()
+
+            def reconnect() -> bool:
+                """(Re)establish the authenticated connection.
+
+                Returns ``False`` when the worker must be retired: the
+                retry budget ran out, the handshake was rejected
+                (permanent), or the sweep finished while backing off.
+                """
+                nonlocal conn, sent
+                if conn is not None:
+                    conn.close()
+                conn = None
+                sent = set()  # new connection: worker may have restarted
+                try:
+                    conn = worker_mod.connect_with_retry(
+                        address,
+                        key=auth_key,
+                        budget=self.connect_retry,
+                        cancelled=done_event.is_set,
+                    )
+                except Exception as exc:
+                    results.put(("worker-dead", address, exc))
+                    return False
+                return conn is not None  # None: cancelled mid-backoff
+
+            if not reconnect():
+                return
             try:
                 while not done_event.is_set():
                     try:
                         task = task_queue.get(timeout=0.05)
                     except queue_module.Empty:
+                        with lock:
+                            idle.add(address)
                         continue
+                    key = (task.cell, task.index)
+                    with lock:
+                        idle.discard(address)
+                        if key in done_keys:
+                            continue  # speculation duplicate, resolved
+                        inflight[key] = (time.monotonic(), task)
                     try:
                         # intern_specs=False is the benchmark baseline:
                         # re-ship the spec with every chunk instead of
@@ -801,55 +1084,85 @@ class SweepExecutor:
                                 conn,
                                 ("spec", keys[task.cell],
                                  cells[task.cell].spec),
+                                auth_key,
                             )
                             sent.add(task.cell)
                         worker_mod.send_message(
                             conn,
                             ("chunk", keys[task.cell],
                              cells[task.cell].kind, task.m, task.seeds),
+                            auth_key,
                         )
-                        # Poll for readiness, then read the frame with
-                        # blocking I/O: an elapsed poll means "worker
-                        # still computing" (a *dead* peer is reset by
-                        # TCP keepalive into a hard OSError), and the
-                        # frame read itself can never time out
-                        # mid-frame.
-                        while not worker_mod.wait_readable(
-                            conn, worker_mod.IO_POLL_TIMEOUT
-                        ):
-                            if done_event.is_set():
-                                task_queue.put(task)
-                                return
-                        reply = worker_mod.recv_message(conn)
+                        start = time.monotonic()
+                        reply = await_reply(conn)
+                    except _Abandoned:
+                        with lock:
+                            inflight.pop(key, None)
+                        task_queue.put(task)
+                        return
                     except Exception as exc:
                         # Not only transport errors (OSError/EOFError):
-                        # a pickling failure or corrupted reply must
-                        # also requeue the chunk and retire this
-                        # worker, never die silently and hang the
-                        # sweep. Requeue before reporting: a surviving
-                        # worker must be able to pick the chunk up (a
-                        # chunk that fails the same way everywhere ends
-                        # the sweep via the all-workers-failed error).
+                        # a corrupted or unverifiable reply must also
+                        # requeue the chunk, never die silently and
+                        # hang the sweep. Requeue before reporting, so
+                        # a surviving worker can pick the chunk up.
+                        with lock:
+                            inflight.pop(key, None)
                         task_queue.put(task)
-                        results.put(("worker-error", address, exc))
-                        return
-                    if reply is None:
-                        task_queue.put(task)
-                        results.put(
-                            ("worker-error", address,
-                             OSError("connection closed by worker"))
-                        )
-                        return
+                        failures += 1
+                        if failures >= _MAX_WORKER_FAILURES:
+                            results.put(("worker-dead", address, exc))
+                            return
+                        results.put(("worker-retry", address, exc))
+                        if not reconnect():
+                            return
+                        continue
+                    with lock:
+                        inflight.pop(key, None)
+                    failures = 0  # a completed exchange resets the strike
                     if reply[0] == "ok":
-                        results.put(("ok", task, reply[1]))
+                        results.put(
+                            ("ok", task, reply[1],
+                             time.monotonic() - start)
+                        )
                     else:
                         results.put(("task-error", task, reply[1]))
                 try:
-                    worker_mod.send_message(conn, ("close",))
+                    worker_mod.send_message(conn, ("close",), auth_key)
                 except OSError:
                     pass
             finally:
-                conn.close()
+                with lock:
+                    idle.discard(address)
+                if conn is not None:
+                    conn.close()
+
+        def speculation_deadline() -> Optional[float]:
+            if self.speculate is not None:
+                return self.speculate if self.speculate > 0 else None
+            if len(durations) < 3:
+                return None  # not enough evidence for a deadline yet
+            ordered = sorted(durations)
+            q75 = ordered[(3 * (len(ordered) - 1)) // 4]
+            return max(q75 * _SPECULATE_FACTOR, _SPECULATE_MIN_SECONDS)
+
+        speculated: set = set()
+
+        def maybe_speculate() -> None:
+            deadline = speculation_deadline()
+            if deadline is None:
+                return
+            now = time.monotonic()
+            with lock:
+                if not idle:
+                    return  # nobody free: re-dispatch would just queue
+                for key, (start, task) in list(inflight.items()):
+                    if key in speculated or key in done_keys:
+                        continue
+                    if now - start > deadline:
+                        speculated.add(key)
+                        stats["speculated"] += 1
+                        task_queue.put(task)
 
         threads = [
             threading.Thread(target=drive, args=(addr,), daemon=True)
@@ -858,44 +1171,78 @@ class SweepExecutor:
         for thread in threads:
             thread.start()
         completed = 0
-        failures: List[str] = []
+        failure_notes: List[str] = []
         try:
             while completed < len(tasks):
+                maybe_speculate()
                 try:
-                    message = results.get(timeout=1.0)
+                    message = results.get(timeout=0.25)
                 except queue_module.Empty:
                     if not any(t.is_alive() for t in threads):
                         raise RuntimeError(
                             "all socket workers exited with "
                             f"{len(tasks) - completed} chunks unfinished"
-                            + (f" (failures: {failures})" if failures else "")
+                            + (f" (failures: {failure_notes})"
+                               if failure_notes else "")
                         )
                     continue
                 if message[0] == "ok":
-                    emit(message[1], message[2])
+                    _, task, outcome, duration = message
+                    key = (task.cell, task.index)
+                    with lock:
+                        if key in done_keys:
+                            continue  # the speculation loser
+                        done_keys.add(key)
+                        durations.append(duration)
+                    emit(task, outcome)
                     completed += 1
                 elif message[0] == "task-error":
                     raise RuntimeError(
                         f"socket worker failed a chunk:\n{message[2]}"
                     )
-                else:
+                elif message[0] == "worker-retry":
                     _, address, exc = message
-                    failures.append(f"{address[0]}:{address[1]}: {exc}")
-                    if len(failures) == len(addresses):
+                    stats["reconnects"] += 1
+                    failure_notes.append(
+                        f"{address[0]}:{address[1]} (retried): {exc}"
+                    )
+                else:  # worker-dead
+                    _, address, exc = message
+                    stats["retired"].append(f"{address[0]}:{address[1]}")
+                    failure_notes.append(
+                        f"{address[0]}:{address[1]}: {exc}"
+                    )
+                    if len(stats["retired"]) == len(addresses):
                         raise RuntimeError(
                             "every socket worker failed: "
-                            + "; ".join(failures)
+                            + "; ".join(failure_notes)
                         )
         finally:
             done_event.set()
             for thread in threads:
                 thread.join(timeout=5.0)
+            # Fold in elasticity events that raced the sweep's finish
+            # (e.g. a worker declared dead just as the survivor
+            # completed its requeued chunk) so the counters reflect
+            # everything that happened, not just what the loop drained.
+            while True:
+                try:
+                    message = results.get_nowait()
+                except queue_module.Empty:
+                    break
+                if message[0] == "worker-retry":
+                    stats["reconnects"] += 1
+                elif message[0] == "worker-dead":
+                    _, address, _ = message
+                    stats["retired"].append(f"{address[0]}:{address[1]}")
+            self.last_socket_stats = stats
 
 
 __all__ = [
     "BACKENDS",
     "BACKEND_ENV",
     "HOSTS_ENV",
+    "SPECULATE_ENV",
     "DESIGNS",
     "SweepPlan",
     "SweepExecutor",

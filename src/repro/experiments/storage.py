@@ -53,6 +53,38 @@ def load_json(path: PathLike) -> Any:
         return json.load(fh)
 
 
+def save_json_atomic(path: PathLike, obj: Any) -> Path:
+    """Crash-safe :func:`save_json`: write to a sibling temp file, then
+    ``os.replace`` into place.
+
+    A reader (or a resumed driver) therefore sees either the previous
+    complete file or the new complete file, never a torn write — the
+    durability primitive of the sweep checkpoint layer. The temp file
+    lives in the same directory so the rename stays within one
+    filesystem (atomic on POSIX and Windows).
+    """
+    import os
+    import tempfile
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(_to_jsonable(obj), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def save_csv(
     path: PathLike, rows: Sequence[Dict[str, Any]], *, fieldnames: List[str] = None
 ) -> Path:
@@ -104,6 +136,7 @@ def load_required_queries_sample(source):
 __all__ = [
     "save_json",
     "load_json",
+    "save_json_atomic",
     "save_csv",
     "load_csv",
     "load_required_queries_sample",

@@ -268,7 +268,9 @@ class TestSocketRobustness:
         plan.add_required_queries(
             150, 4, repro.ZChannel(0.1), trials=7, seed=11
         )
-        result = plan.run(backend="socket", hosts=hosts)[0]
+        result = plan.run(
+            backend="socket", hosts=hosts, connect_retry=0.3
+        )[0]
         values, failures = reference_required(
             150, 4, repro.ZChannel(0.1), trials=7, seed=11
         )
@@ -286,8 +288,15 @@ class TestSocketRobustness:
         plan.add_required_queries(
             100, 3, repro.NoiselessChannel(), trials=2, seed=0
         )
+        # A tiny retry budget keeps the failure fast: the default 30s
+        # backoff budget exists for workers that are still booting,
+        # not for tests that know the port is dead.
         with pytest.raises((RuntimeError, OSError)):
-            plan.run(backend="socket", hosts=[f"127.0.0.1:{dead_port}"])
+            plan.run(
+                backend="socket",
+                hosts=[f"127.0.0.1:{dead_port}"],
+                connect_retry=0.3,
+            )
 
 
 class TestBackendResolution:
