@@ -5,73 +5,48 @@ algorithm needs "only one information exchange per network node" while
 AMP "requires an information flow through the whole communication
 network within multiple rounds", making unmodified AMP inefficient in
 the distributed setting. This bench puts numbers on that claim: the
-exact message/bit/round bill of both algorithms at the SAME query
-budget, next to their success rates.
+exact message/bit/round bill of both protocols at the same per-``n``
+query budget, next to the success rates the budget buys.
+
+Since PR 8 the sweep itself is :func:`figure_robustness_comm`: one
+``distributed`` and one ``distributed_amp`` cell per ``n`` on a single
+:class:`~repro.experiments.scheduler.SweepPlan`, with the per-cell
+:class:`NetworkMetrics` fold supplying the bill — the same pipeline
+the CLI's ``robustness_comm`` subcommand runs.
 """
 
-import numpy as np
-
-import repro
-from repro.amp import (
-    amp_communication_cost,
-    greedy_communication_cost,
-    run_distributed_amp,
-)
-from repro.experiments.figures import FigureResult
-from repro.utils.rng import spawn_rngs
+from repro.experiments.figures import figure_robustness_comm
 
 
-def _sweep() -> FigureResult:
-    n, theta, p, trials = 512, 0.25, 0.1, 6
-    k = repro.sublinear_k(n, theta)
-    rows = []
-    for m in (80, 160, 320):
-        greedy_exact = amp_exact = 0
-        greedy_msgs = amp_msgs = amp_rounds = greedy_rounds = 0
-        for gen in spawn_rngs(71, trials):
-            truth = repro.sample_ground_truth(n, k, gen)
-            graph = repro.sample_pooling_graph(n, m, rng=gen)
-            meas = repro.measure(graph, truth, repro.ZChannel(p), gen)
-
-            greedy = repro.greedy_reconstruct(meas)
-            greedy_cost = greedy_communication_cost(meas)
-            amp_report = run_distributed_amp(meas)
-
-            greedy_exact += bool(greedy.exact)
-            amp_exact += bool(amp_report.result.exact)
-            greedy_msgs += greedy_cost.messages
-            amp_msgs += amp_report.cost.messages
-            greedy_rounds += greedy_cost.rounds
-            amp_rounds += amp_report.cost.rounds
-        rows.append({
-            "m": m,
-            "greedy_success": greedy_exact / trials,
-            "amp_success": amp_exact / trials,
-            "greedy_messages": greedy_msgs // trials,
-            "amp_messages": amp_msgs // trials,
-            "message_ratio_amp_over_greedy": amp_msgs / greedy_msgs,
-            "greedy_rounds": greedy_rounds // trials,
-            "amp_rounds": amp_rounds // trials,
-        })
-    return FigureResult(
-        figure="communication_cost",
-        description="communication bill: Algorithm 1 vs message-passing AMP "
-        "(n=512, Z p=0.1)",
-        params={"n": n, "k": k, "p": p, "trials": trials},
-        rows=rows,
+def _sweep():
+    return figure_robustness_comm(
+        n_values=(128, 256, 512),
+        theta=0.25,
+        p=0.1,
+        m_fraction=0.4,
+        trials=6,
+        seed=71,
     )
 
 
 def test_communication_greedy_vs_amp(benchmark, emit):
     result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     emit(result)
-    for row in result.rows:
-        # AMP moves strictly more data at every budget...
-        assert row["message_ratio_amp_over_greedy"] > 1.0
-        assert row["amp_rounds"] >= row["greedy_rounds"]
-    # ...and the gap widens with m (more incidences per iteration).
-    ratios = [row["message_ratio_amp_over_greedy"] for row in result.rows]
-    assert ratios[-1] > ratios[0]
+    greedy = result.series("distributed")
+    amp = result.series("distributed_amp")
+    gaps = []
+    for g, a in zip(greedy, amp):
+        assert g["n"] == a["n"] and g["m"] == a["m"]
+        # AMP moves several times more data at every budget (the
+        # iterative message flow vs one exchange per node)...
+        assert a["mean_messages"] > 3 * g["mean_messages"]
+        assert a["mean_bits"] > 2 * g["mean_bits"]
+        assert a["mean_rounds"] >= g["mean_rounds"]
+        gaps.append(a["mean_messages"] - g["mean_messages"])
+    # ...and the absolute gap widens with n (more incidences per
+    # iteration; the ratio stays a roughly constant multiple).
+    assert all(b > a for a, b in zip(gaps, gaps[1:]))
     # While AMP wins on sample efficiency (the paper's other half).
-    mid = result.rows[1]
-    assert mid["amp_success"] >= mid["greedy_success"]
+    assert sum(a["success_rate"] for a in amp) >= sum(
+        g["success_rate"] for g in greedy
+    )

@@ -7,50 +7,27 @@ Because a dropped broadcast merely removes one query result from one
 agent's neighborhood sum, losing a fraction d of messages behaves like
 running with ~ (1-d) m effective queries — so reconstruction quality
 degrades gracefully rather than collapsing.
+
+Since PR 8 the sweep itself is :func:`figure_robustness_loss`: one
+``algorithm="distributed"`` cell per drop rate on a single
+:class:`~repro.experiments.scheduler.SweepPlan`, each trial's
+:class:`FaultModel` seeded from the trial's child seed — the same
+pipeline the CLI's ``robustness_loss`` subcommand runs, bit-identical
+on every backend.
 """
 
-import numpy as np
-
-import repro
-from repro.distributed import FaultModel, run_distributed_algorithm1
-from repro.distributed.messages import QueryResultMessage
-from repro.experiments.figures import FigureResult
-from repro.utils.rng import spawn_rngs
+from repro.experiments.figures import figure_robustness_loss
 
 
-def _sweep() -> FigureResult:
-    n, k, m, p = 128, 4, 220, 0.1
-    trials = 8
-    rows = []
-    for drop in (0.0, 0.1, 0.3, 0.5, 0.7):
-        exact = 0
-        overlap_sum = 0.0
-        dropped_total = 0
-        for gen in spawn_rngs(55, trials):
-            truth = repro.sample_ground_truth(n, k, gen)
-            graph = repro.sample_pooling_graph(n, m, rng=gen)
-            meas = repro.measure(graph, truth, repro.ZChannel(p), gen)
-            fault = FaultModel(
-                drop_probability=drop,
-                affected_types=(QueryResultMessage,),
-                rng=gen,
-            )
-            report = run_distributed_algorithm1(meas, fault_model=fault)
-            exact += bool(report.result.exact)
-            overlap_sum += report.result.overlap
-            dropped_total += report.result.meta["dropped"]
-        rows.append({
-            "series": "lossy-broadcast",
-            "drop_probability": drop,
-            "success_rate": exact / trials,
-            "mean_overlap": overlap_sum / trials,
-            "mean_dropped": dropped_total / trials,
-        })
-    return FigureResult(
-        figure="fault_tolerance",
-        description="Algorithm 1 under query-broadcast loss (n=128, m=220)",
-        params={"n": n, "k": k, "m": m, "p": p, "trials": trials},
-        rows=rows,
+def _sweep():
+    return figure_robustness_loss(
+        n=128,
+        k=4,
+        p=0.1,
+        m=220,
+        drop_rates=(0.0, 0.1, 0.3, 0.5, 0.7),
+        trials=8,
+        seed=55,
     )
 
 
@@ -62,9 +39,9 @@ def test_fault_tolerance_degrades_gracefully(benchmark, emit):
     assert rows[0]["success_rate"] >= 0.7
     assert rows[0]["mean_dropped"] == 0
     # Graceful degradation: overlap stays high at 30% loss...
-    at_30 = next(r for r in rows if r["drop_probability"] == 0.3)
-    assert at_30["mean_overlap"] >= 0.8
+    at_30 = next(r for r in rows if r["drop_rate"] == 0.3)
+    assert at_30["overlap"] >= 0.8
     # ...and decays (weakly) monotonically with the drop rate.
-    overlaps = [r["mean_overlap"] for r in rows]
+    overlaps = [r["overlap"] for r in rows]
     assert all(b <= a + 0.1 for a, b in zip(overlaps, overlaps[1:]))
     assert overlaps[-1] <= overlaps[0]

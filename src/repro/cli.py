@@ -11,6 +11,15 @@ and exposes the sweep primitives directly::
         --channel z --p 0.1 --check-every 8 --workers 4
     python -m repro threshold --algorithm amp --n 1000
 
+The fault-scenario figures put corrupted measurements and unreliable
+networks on the same sweep engine (seeded per trial, bit-identical on
+every backend)::
+
+    python -m repro robustness_degradation --fault-kind erasure \
+        --fault-rate 0.0 0.2 0.4 0.6 0.8
+    python -m repro robustness_loss --drop 0.0 0.1 0.3 0.5
+    python -m repro robustness_comm --n-values 64 128 256
+
 Use ``--full-scale`` to run the paper's complete grids (slow: the
 original sweeps extend to n = 10^5) and ``--workers N`` to shard the
 trials over N processes (``0`` = one per CPU) with bit-identical
@@ -41,6 +50,19 @@ from repro.experiments.worker import DEFAULT_PORT as DEFAULT_WORKER_PORT
 
 #: channel constructors selectable on the command line
 CHANNELS = ("z", "noiseless", "gaussian", "noisy")
+
+#: corruption kinds of the degradation figure (CorruptionModel fields)
+CORRUPTION_KINDS = ("erasure", "flip", "outlier", "dead")
+
+
+def _probability(text: str) -> float:
+    """argparse type for fault-rate flags: a probability in [0, 1]."""
+    from repro.utils.validation import check_probability
+
+    try:
+        return check_probability(float(text), "probability", allow_one=True)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _instance_parent() -> argparse.ArgumentParser:
@@ -225,6 +247,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="points on each per-n geometric m grid",
     )
     ablation.set_defaults(figure="ablation_design")
+
+    # -- fault-scenario figures: dedicated parsers (the fig2-7 grid
+    # knobs do not apply); fault rates are validated probabilities ------
+    degradation = sub.add_parser(
+        "robustness_degradation",
+        parents=[execution],
+        help="decoder degradation under rising measurement corruption: "
+        "greedy vs AMP vs the channel-corrected two-stage repair path, "
+        "one seeded corruption realization per trial",
+    )
+    degradation.add_argument(
+        "--n", type=int, default=None, help="number of agents (default 300)"
+    )
+    degradation.add_argument(
+        "--m", type=int, default=None,
+        help="fixed query budget (default 0.6 n, above the clean "
+        "phase transition)",
+    )
+    degradation.add_argument(
+        "--fault-kind", choices=CORRUPTION_KINDS, default="erasure",
+        help="corruption applied post-channel: erasure = results go "
+        "missing, flip = adversarial mirror flips, outlier = "
+        "heavy-tailed Cauchy shifts, dead = pool-agents die and their "
+        "queries vanish",
+    )
+    degradation.add_argument(
+        "--fault-rate", type=_probability, nargs="+", default=None,
+        metavar="P",
+        help="corruption rates in [0, 1], one sweep cell per "
+        "(algorithm, rate) (default: 0.0 0.2 0.4 0.6 0.8)",
+    )
+    degradation.add_argument(
+        "--algorithms", nargs="+", choices=REQUIRED_QUERIES_ALGORITHMS,
+        default=None,
+        help="decoders to compare (default: greedy amp twostage)",
+    )
+    degradation.set_defaults(figure="robustness_degradation")
+
+    loss = sub.add_parser(
+        "robustness_loss",
+        parents=[execution],
+        help="Algorithm 1 under query-broadcast message loss: seeded "
+        "per-trial drop/delay faults on the distributed protocol, "
+        "network metrics folded into the curve",
+    )
+    loss.add_argument(
+        "--n", type=int, default=None, help="number of agents (default 128)"
+    )
+    loss.add_argument(
+        "--m", type=int, default=None, help="query budget (default 220)"
+    )
+    loss.add_argument(
+        "--drop", type=_probability, nargs="+", default=None, metavar="P",
+        help="message drop probabilities in [0, 1], one distributed "
+        "cell each (default: 0.0 0.1 0.3 0.5 0.7)",
+    )
+    loss.add_argument(
+        "--delay", type=_probability, default=None, metavar="P",
+        help="per-message delay probability (default 0; requires "
+        "--max-delay >= 1)",
+    )
+    loss.add_argument(
+        "--max-delay", type=int, default=None,
+        help="largest extra delivery delay in rounds (default 0)",
+    )
+    loss.set_defaults(figure="robustness_loss")
+
+    comm = sub.add_parser(
+        "robustness_comm",
+        parents=[execution],
+        help="communication bill vs n: Algorithm 1 vs message-passing "
+        "AMP at the same query budget (rounds / messages / bits from "
+        "the network simulator)",
+    )
+    comm.add_argument(
+        "--n-values", type=int, nargs="+", default=None,
+        help="agent counts, one distributed and one distributed_amp "
+        "cell each (default: 64 128 256)",
+    )
+    comm.add_argument(
+        "--m-fraction", type=float, default=None,
+        help="query budget per cell as a fraction of n (default 0.4)",
+    )
+    comm.set_defaults(figure="robustness_comm")
 
     # -- required-queries -----------------------------------------------
     instance = _instance_parent()
@@ -545,6 +651,9 @@ _PLOT_AXES = {
     "fig6": ("m", "success_rate", False, False),
     "fig7": ("m", "overlap", False, False),
     "ablation_design": ("n", "required_m_p50", True, True),
+    "robustness_degradation": ("fault_rate", "success_rate", False, False),
+    "robustness_loss": ("drop_rate", "overlap", False, False),
+    "robustness_comm": ("n", "mean_messages", True, True),
 }
 
 
@@ -563,6 +672,38 @@ def _figure_kwargs(args: argparse.Namespace, name: str) -> dict:
         if args.n_values is not None:
             kwargs["n_values"] = tuple(args.n_values)
         kwargs["m_points"] = args.m_points
+        return kwargs
+    if name.startswith("robustness_"):
+        # Dedicated parsers as well; the figure functions have no
+        # engine seam (corrupted/distributed cells run the legacy
+        # per-trial loop by construction).
+        kwargs.pop("engine", None)
+        if args.trials is not None:
+            kwargs["trials"] = args.trials
+        optional = {
+            "robustness_degradation": (
+                ("n", "n"),
+                ("m", "m"),
+                ("fault_kind", "kind"),
+                ("fault_rate", "fault_rates"),
+                ("algorithms", "algorithms"),
+            ),
+            "robustness_loss": (
+                ("n", "n"),
+                ("m", "m"),
+                ("drop", "drop_rates"),
+                ("delay", "delay"),
+                ("max_delay", "max_delay"),
+            ),
+            "robustness_comm": (
+                ("n_values", "n_values"),
+                ("m_fraction", "m_fraction"),
+            ),
+        }[name]
+        for attr, key in optional:
+            value = getattr(args, attr)
+            if value is not None:
+                kwargs[key] = tuple(value) if isinstance(value, list) else value
         return kwargs
     if args.full_scale:
         if name in ("fig2", "fig3", "fig4"):

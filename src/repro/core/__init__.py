@@ -36,6 +36,14 @@ from repro.core.batch import (
     sample_pooling_graph_batch,
 )
 from repro.core.chunking import chunk_bounds, chunk_sequence
+from repro.core.corruption import (
+    CorruptionModel,
+    CorruptionReport,
+    FaultSpec,
+    apply_corruption,
+    corruption_rng,
+    network_fault_rng,
+)
 from repro.core.estimation import (
     channel_moments,
     effective_read_rate,
@@ -125,6 +133,13 @@ __all__ = [
     "Measurements",
     "measure",
     "measure_query",
+    # fault scenarios (measurement corruption + network-fault specs)
+    "CorruptionModel",
+    "CorruptionReport",
+    "FaultSpec",
+    "apply_corruption",
+    "corruption_rng",
+    "network_fault_rng",
     # channel estimation
     "channel_moments",
     "effective_read_rate",

@@ -58,6 +58,13 @@ class FaultModel:
     query broadcasts, leaving the sorting network's compare-exchange
     traffic reliable, which the protocol requires for lockstep
     execution).
+
+    ``rng`` is **required** whenever any fault rate is positive: an
+    unseeded fallback generator would make faulty runs irreproducible
+    and break the sweep engine's bit-identity contract. Sweep cells
+    thread a per-trial generator derived from the trial's child seed
+    (:func:`repro.core.corruption.network_fault_rng`); direct callers
+    pass any seed or generator.
     """
 
     def __init__(
@@ -79,6 +86,14 @@ class FaultModel:
         if self.delay_probability > 0.0 and self.max_delay == 0:
             raise ValueError("delay_probability > 0 requires max_delay >= 1")
         self.affected_types = affected_types
+        if rng is None and (
+            self.drop_probability > 0.0 or self.delay_probability > 0.0
+        ):
+            raise ValueError(
+                "a FaultModel with positive fault rates requires an "
+                "explicit rng (seed or Generator): OS-entropy fallback "
+                "would make faulty runs irreproducible"
+            )
         self._rng = normalize_rng(rng)
 
     def route(self, envelope: Envelope) -> Optional[int]:

@@ -646,6 +646,248 @@ def figure_design_ablation(
     )
 
 
+def figure_robustness_degradation(
+    *,
+    n: int = 300,
+    theta: float = DEFAULT_THETA,
+    p: float = 0.1,
+    m: Optional[int] = None,
+    kind: str = "erasure",
+    fault_rates: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    outlier_scale: float = 5.0,
+    algorithms: Sequence[str] = ("greedy", "amp", "twostage"),
+    trials: int = 12,
+    seed: RngLike = 2022,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> FigureResult:
+    """Robustness figure: decoder quality under rising measurement corruption.
+
+    One success-curve cell per ``(algorithm, fault_rate)`` at a fixed
+    query budget ``m`` (default ``0.6 n``, comfortably above the clean
+    phase transition), with a seeded :class:`CorruptionModel` of the
+    chosen ``kind`` (``"erasure"`` — results go missing, ``"flip"`` —
+    adversarial mirror flips, ``"outlier"`` — heavy-tailed Cauchy
+    shifts, ``"dead"`` — pool-agents die and take their queries along)
+    applied post-channel. The repair path is the point: the plain
+    greedy decoder degrades first, the channel-corrected two-stage
+    decoder holds longer, and AMP holds longest.
+    """
+    from repro.core.corruption import CorruptionModel
+
+    kinds = {
+        "erasure": lambda r: CorruptionModel(erasure_rate=r),
+        "flip": lambda r: CorruptionModel(flip_rate=r),
+        "outlier": lambda r: CorruptionModel(
+            outlier_rate=r, outlier_scale=outlier_scale
+        ),
+        "dead": lambda r: CorruptionModel(dead_agent_rate=r),
+    }
+    if kind not in kinds:
+        raise ValueError(f"unknown corruption kind {kind!r}; valid: {sorted(kinds)}")
+    k = sublinear_k(n, theta)
+    if m is None:
+        m = max(60, int(round(0.6 * n)))
+    plan = SweepPlan()
+    cells = []
+    for algorithm in algorithms:
+        for rate in fault_rates:
+            plan.add_success_curve(
+                n,
+                k,
+                ZChannel(p),
+                [m],
+                algorithm=algorithm,
+                trials=trials,
+                seed=seed,
+                corruption=kinds[kind](rate),
+            )
+            cells.append((algorithm, rate))
+    curves = plan.run(backend=backend, workers=workers)
+    rows: List[Dict[str, object]] = [
+        {
+            "series": algorithm,
+            "fault_rate": rate,
+            "success_rate": curve.success_rates[0],
+            "overlap": curve.overlaps[0],
+            "n": n,
+            "k": k,
+            "m": m,
+            "trials": trials,
+        }
+        for (algorithm, rate), curve in zip(cells, curves)
+    ]
+    return FigureResult(
+        figure="robustness_degradation",
+        description=(
+            "decoder degradation under %s corruption (greedy vs AMP vs "
+            "two-stage), Z p=%g, n=%d, m=%d" % (kind, p, n, m)
+        ),
+        params={
+            "n": n,
+            "theta": theta,
+            "p": p,
+            "m": m,
+            "kind": kind,
+            "fault_rates": list(fault_rates),
+            "trials": trials,
+            "algorithms": list(algorithms),
+        },
+        rows=rows,
+    )
+
+
+def figure_robustness_loss(
+    *,
+    n: int = 128,
+    k: int = 4,
+    p: float = 0.1,
+    m: int = 220,
+    drop_rates: Sequence[float] = (0.0, 0.1, 0.3, 0.5, 0.7),
+    delay: float = 0.0,
+    max_delay: int = 0,
+    trials: int = 8,
+    seed: RngLike = 55,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> FigureResult:
+    """Robustness figure: Algorithm 1 under query-broadcast message loss.
+
+    The paper assumes reliable synchronous links; this figure
+    quantifies what the distributed protocol loses without them. One
+    ``algorithm="distributed"`` cell per drop rate, each with a seeded
+    :class:`FaultSpec` injecting i.i.d. loss (and optional bounded
+    delay) on the query-result broadcasts. Because a dropped broadcast
+    merely removes one query result from one agent's neighborhood sum,
+    losing a fraction ``d`` of messages behaves like running with
+    ``(1-d) m`` effective queries — quality degrades gracefully rather
+    than collapsing. Network metrics (messages, dropped, rounds) come
+    from the per-cell :class:`NetworkMetrics` fold.
+    """
+    from repro.core.corruption import FaultSpec
+
+    plan = SweepPlan()
+    for drop in drop_rates:
+        plan.add_success_curve(
+            n,
+            k,
+            ZChannel(p),
+            [m],
+            algorithm="distributed",
+            trials=trials,
+            seed=seed,
+            fault=FaultSpec(drop=drop, delay=delay, max_delay=max_delay),
+        )
+    curves = plan.run(backend=backend, workers=workers)
+    rows: List[Dict[str, object]] = []
+    for drop, curve in zip(drop_rates, curves):
+        metrics = curve.meta["metrics"][0]
+        rows.append(
+            {
+                "series": "lossy-broadcast",
+                "drop_rate": drop,
+                "success_rate": curve.success_rates[0],
+                "overlap": curve.overlaps[0],
+                "mean_dropped": metrics["dropped"],
+                "mean_messages": metrics["messages"],
+                "mean_rounds": metrics["rounds"],
+                "n": n,
+                "m": m,
+                "trials": trials,
+            }
+        )
+    return FigureResult(
+        figure="robustness_loss",
+        description=(
+            "Algorithm 1 under query-broadcast loss (n=%d, m=%d, Z p=%g)"
+            % (n, m, p)
+        ),
+        params={
+            "n": n,
+            "k": k,
+            "p": p,
+            "m": m,
+            "drop_rates": list(drop_rates),
+            "delay": delay,
+            "max_delay": max_delay,
+            "trials": trials,
+        },
+        rows=rows,
+    )
+
+
+def figure_robustness_comm(
+    *,
+    n_values: Sequence[int] = (64, 128, 256),
+    theta: float = DEFAULT_THETA,
+    p: float = 0.1,
+    m_fraction: float = 0.4,
+    trials: int = 4,
+    seed: RngLike = 71,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> FigureResult:
+    """Robustness figure: communication bill vs n, Algorithm 1 vs AMP.
+
+    The paper's efficiency argument (Sections III and VI): greedy needs
+    "only one information exchange per network node" while AMP
+    "requires an information flow through the whole communication
+    network within multiple rounds". One ``distributed`` and one
+    ``distributed_amp`` cell per ``n`` at the same query budget
+    (``m = m_fraction * n``); rounds / messages / bits come from the
+    per-cell :class:`NetworkMetrics` fold, next to the success rates
+    the budgets buy.
+    """
+    plan = SweepPlan()
+    cells = []
+    for n in n_values:
+        k = sublinear_k(n, theta)
+        m = max(40, int(round(m_fraction * n)))
+        for algorithm in ("distributed", "distributed_amp"):
+            plan.add_success_curve(
+                n,
+                k,
+                ZChannel(p),
+                [m],
+                algorithm=algorithm,
+                trials=trials,
+                seed=seed,
+            )
+            cells.append((algorithm, n, k, m))
+    curves = plan.run(backend=backend, workers=workers)
+    rows: List[Dict[str, object]] = []
+    for (algorithm, n, k, m), curve in zip(cells, curves):
+        metrics = curve.meta["metrics"][0]
+        rows.append(
+            {
+                "series": algorithm,
+                "n": n,
+                "k": k,
+                "m": m,
+                "success_rate": curve.success_rates[0],
+                "mean_rounds": metrics["rounds"],
+                "mean_messages": metrics["messages"],
+                "mean_bits": metrics["bits"],
+                "trials": trials,
+            }
+        )
+    return FigureResult(
+        figure="robustness_comm",
+        description=(
+            "communication bill vs n: Algorithm 1 vs message-passing AMP, "
+            "Z p=%g" % p
+        ),
+        params={
+            "n_values": list(n_values),
+            "theta": theta,
+            "p": p,
+            "m_fraction": m_fraction,
+            "trials": trials,
+        },
+        rows=rows,
+    )
+
+
 FIGURES = {
     "fig2": figure2,
     "fig3": figure3,
@@ -654,12 +896,15 @@ FIGURES = {
     "fig6": figure6,
     "fig7": figure7,
     "ablation_design": figure_design_ablation,
+    "robustness_degradation": figure_robustness_degradation,
+    "robustness_loss": figure_robustness_loss,
+    "robustness_comm": figure_robustness_comm,
 }
 
 
 def run_figure(name: str, **kwargs) -> FigureResult:
     """Dispatch a figure reproduction by name (``fig2`` ... ``fig7``,
-    ``ablation_design``)."""
+    ``ablation_design``, ``robustness_*``)."""
     try:
         fn = FIGURES[name.lower()]
     except KeyError:
@@ -678,6 +923,9 @@ __all__ = [
     "figure6",
     "figure7",
     "figure_design_ablation",
+    "figure_robustness_degradation",
+    "figure_robustness_loss",
+    "figure_robustness_comm",
     "FIGURES",
     "run_figure",
 ]

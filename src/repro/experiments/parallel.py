@@ -150,6 +150,13 @@ def _required_queries_chunk(
     to do because every trial's probes and outcomes are a pure function
     of its own seed (the chunk layout never shows in the merge).
     """
+    corruption = spec.get("corruption")
+    if (corruption is not None and not corruption.is_null) or spec.get(
+        "algorithm"
+    ) == "twostage":
+        # Corrupted cells (any algorithm) and the two-stage robust
+        # decoder run the generic prefix-replay exact-decode scan.
+        return _required_queries_scan_chunk(spec, seeds)
     out: List[Tuple[bool, Optional[int]]] = []
     if spec.get("algorithm", "greedy") == "amp":
         from repro.amp.batch_amp import (
@@ -216,6 +223,121 @@ def _required_queries_chunk(
     return out
 
 
+def _scan_prefix_measurements(
+    stream, mp: int, kept, results_full, channel, truth
+):
+    """Measurements of the first ``mp`` stream queries, post-corruption.
+
+    ``kept``/``results_full`` are the full-stream corruption
+    realization aligned to original query indices (``None``: honest
+    stream — plain prefix replay). Dropped queries are removed as CSR
+    rows; returns ``None`` when no query of the prefix survived.
+    """
+    from repro.core.measurement import Measurements
+    from repro.core.pooling import PoolingGraph
+
+    if kept is None:
+        indptr, agents, counts, results = stream.prefix(mp)
+    else:
+        kept_m = kept[:mp]
+        rows = int(kept_m.sum())
+        if rows == 0:
+            return None
+        full_indptr = stream.indptr
+        row_sizes = np.diff(full_indptr[: mp + 1])
+        edge_mask = np.repeat(kept_m, row_sizes)
+        indptr = np.zeros(rows + 1, dtype=np.int64)
+        np.cumsum(row_sizes[kept_m], out=indptr[1:])
+        edges = int(full_indptr[mp])
+        agents = stream.agents[:edges][edge_mask]
+        counts = stream.counts[:edges][edge_mask]
+        results = results_full[:mp][kept_m]
+    graph = PoolingGraph._unchecked(
+        stream.n, stream.gamma, indptr, agents, counts
+    )
+    return Measurements(
+        graph=graph, truth=truth, channel=channel, results=results
+    )
+
+
+def _required_queries_scan_chunk(
+    spec: Dict[str, object], seeds: Sequence[np.random.SeedSequence]
+) -> List[Tuple[bool, Optional[int]]]:
+    """Generic prefix-replay required-m scan (robust/corrupted cells).
+
+    Serves two cell families the specialized scans cannot:
+    ``algorithm="twostage"`` (the robust repair decoder) and any
+    algorithm under a ``corruption`` model. Stopping rule: the
+    smallest checked m whose (corrupted) prefix decodes **exactly** —
+    the AMP scan's rule, not the greedy separation rule, because
+    corruption breaks the separation certificate's assumptions.
+
+    Determinism: the trial's query stream is sampled once in
+    append-only blocks (:class:`~repro.core.batch.MeasurementStream`),
+    and a corrupted cell grows the stream to the full grid and
+    corrupts it **once** with the trial's dedicated corruption
+    generator — every probe then carves a prefix out of that single
+    realization, so the outcome is a pure function of the child seed
+    (probe schedule, chunk layout and backend never show). Both
+    engines run this same linear scan (it has no stacked form), so
+    ``engine="batch"`` and ``"legacy"`` are identical by construction.
+    """
+    from repro.core.batch import MeasurementStream
+    from repro.core.corruption import apply_corruption, corruption_rng
+    from repro.core.ground_truth import sample_ground_truth
+    from repro.core.incremental import default_max_queries
+    from repro.core.pooling import default_gamma
+    from repro.experiments.runner import _run_algorithm
+
+    n, k, channel = spec["n"], spec["k"], spec["channel"]
+    gamma = spec["gamma"] or default_gamma(n)
+    max_m = spec["max_m"] or default_max_queries(n, k, channel)
+    step = max(1, int(spec["check_every"]))
+    grid_max = (max_m // step) * step
+    model = spec.get("corruption")
+    if model is not None and model.is_null:
+        model = None
+    algorithm = spec.get("algorithm", "greedy")
+    if algorithm in ("greedy", "twostage"):
+        algo_kwargs = {"centering": spec["centering"]}
+    elif algorithm == "amp" and spec.get("kernel") is not None:
+        algo_kwargs = {"kernel": spec["kernel"]}
+    else:
+        algo_kwargs = {}
+
+    out: List[Tuple[bool, Optional[int]]] = []
+    for seq in seeds:
+        gen = np.random.default_rng(seq)
+        truth = sample_ground_truth(n, k, gen)
+        stream = MeasurementStream(
+            n, gamma, channel, truth, gen, max_m=grid_max, retain=True
+        )
+        kept = results_full = None
+        if model is not None:
+            # Corrupt the whole grid's stream in one draw so probe
+            # prefixes share a single realization.
+            stream.grow_to(grid_max)
+            full = _scan_prefix_measurements(
+                stream, stream.m_done, None, None, channel, truth
+            )
+            report = apply_corruption(full, model, corruption_rng(seq))
+            kept, results_full = report.kept, report.results_full
+        required = None
+        for g in range(step, grid_max + 1, step):
+            stream.grow_to(g)
+            meas = _scan_prefix_measurements(
+                stream, g, kept, results_full, channel, truth
+            )
+            if meas is None:
+                continue  # every query of the prefix was corrupted away
+            result = _run_algorithm(algorithm, meas, **algo_kwargs)
+            if result.exact:
+                required = g
+                break
+        out.append((required is not None, required))
+    return out
+
+
 def _fixed_m_chunk(
     spec: Dict[str, object], m: int, seeds: Sequence[np.random.SeedSequence]
 ) -> List[Tuple[bool, float]]:
@@ -260,20 +382,56 @@ def _fixed_m_chunk(
                 **_amp_batch_kwargs(spec["algorithm_kwargs"]),
             )
         ]
+    from repro.core.corruption import (
+        apply_corruption,
+        corruption_rng,
+        network_fault_rng,
+    )
     from repro.core.ground_truth import sample_ground_truth
     from repro.core.measurement import measure
     from repro.experiments.runner import _run_algorithm
 
-    out: List[Tuple[bool, float]] = []
+    corruption = spec.get("corruption")
+    if corruption is not None and corruption.is_null:
+        corruption = None
+    fault = spec.get("fault")
+    if fault is not None and fault.is_null:
+        fault = None
+    algorithm = spec["algorithm"]
+    distributed = algorithm in ("distributed", "distributed_amp")
+    out: list = []
     for seq in seeds:
         gen = np.random.default_rng(seq)
         truth = sample_ground_truth(spec["n"], spec["k"], gen)
         graph = _sample_design_graph(spec, m, gen)
         measurements = measure(graph, truth, spec["channel"], gen)
-        result = _run_algorithm(
-            spec["algorithm"], measurements, **spec["algorithm_kwargs"]
-        )
-        out.append((bool(result.exact), float(result.overlap)))
+        if corruption is not None:
+            # Fault randomness comes from a dedicated stream of the
+            # trial's child seed — never from the trial generator —
+            # so the faulty run is a pure function of the seed too.
+            measurements = apply_corruption(
+                measurements, corruption, corruption_rng(seq)
+            ).measurements
+        kwargs = spec["algorithm_kwargs"]
+        if fault is not None:
+            kwargs = dict(kwargs)
+            kwargs["fault_model"] = fault.build(network_fault_rng(seq))
+        result = _run_algorithm(algorithm, measurements, **kwargs)
+        if distributed:
+            # Distributed cells carry their communication bill: the
+            # fold averages these into SuccessCurve.meta["metrics"].
+            meta = result.meta
+            metrics = {
+                key: meta[key]
+                for key in ("rounds", "messages", "bits",
+                            "dropped", "delayed")
+                if key in meta
+            }
+            out.append(
+                (bool(result.exact), float(result.overlap), metrics)
+            )
+        else:
+            out.append((bool(result.exact), float(result.overlap)))
     return out
 
 

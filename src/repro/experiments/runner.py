@@ -41,10 +41,18 @@ algorithm       ``engine="batch"``                       ``engine="legacy"``
                 (:func:`repro.amp.batch_amp.             scan (:func:`repro.amp.
                 required_queries_amp`)                   batch_amp.required_queries_amp_linear`)
 ``distributed``  fixed-m per-trial loop (no batch or     fixed-m per-trial loop
-                 required-m form)
-``twostage``     fixed-m per-trial loop (no batch or     fixed-m per-trial loop
-                 required-m form)
+                 required-m form); ``fault=`` injects
+                 seeded message drop/delay
+``distributed_amp``  fixed-m per-trial loop with the     fixed-m per-trial loop
+                 AMP communication bill in cell metrics
+``twostage``     fixed-m per-trial loop; required-m via  identical (the scan is
+                 the generic prefix-replay exact-decode  engine-independent)
+                 scan
 ==============  =======================================  ======================
+
+A ``corruption=`` model on either primitive forces the legacy
+per-trial loop (fixed-m) or the generic prefix-replay scan
+(required-m) — the stacked engines never see corrupted cells.
 
 The batch greedy path covers ``algorithm_kwargs`` of ``centering`` in
 ``("half_k", "oracle")``; the batch AMP path covers ``denoiser``,
@@ -100,12 +108,14 @@ from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 #: algorithms runnable by the harness
-ALGORITHMS = ("greedy", "amp", "distributed", "twostage")
+ALGORITHMS = ("greedy", "amp", "distributed", "distributed_amp", "twostage")
 
 #: algorithms with a required-number-of-queries form (Figures 2-5);
 #: the single source of the harness's and the CLI's ``--algorithm``
-#: choice lists for required-m sweeps.
-REQUIRED_QUERIES_ALGORITHMS = ("greedy", "amp")
+#: choice lists for required-m sweeps. ``twostage`` runs the generic
+#: prefix-replay exact-decode scan (see
+#: :func:`repro.experiments.parallel._required_queries_scan_chunk`).
+REQUIRED_QUERIES_ALGORITHMS = ("greedy", "amp", "twostage")
 
 #: simulation engines: the vectorized batch engine vs the per-query loops
 ENGINES = ("batch", "legacy")
@@ -179,6 +189,10 @@ def _run_algorithm(
         return run_amp(measurements, **kwargs)
     if algorithm == "distributed":
         return run_distributed_algorithm1(measurements, **kwargs).result
+    if algorithm == "distributed_amp":
+        from repro.amp.distributed_amp import run_distributed_amp
+
+        return run_distributed_amp(measurements, **kwargs).result
     if algorithm == "twostage":
         from repro.core.twostage import two_stage_reconstruct
 
@@ -236,6 +250,7 @@ def required_queries_trials(
     backend: Optional[str] = None,
     kernel: Optional[str] = None,
     shm: Optional[bool] = None,
+    corruption=None,
 ) -> RequiredQueriesSample:
     """Run the required-m procedure ``trials`` times, collect required m.
 
@@ -265,6 +280,13 @@ def required_queries_trials(
     :mod:`repro.amp.kernels`); ``shm`` routes process-backend dispatch
     through the shared-memory arena (:mod:`repro.experiments.shm`) —
     neither changes any float64-default output.
+
+    ``algorithm="twostage"`` — and any algorithm under a
+    ``corruption`` model (:class:`~repro.core.corruption.
+    CorruptionModel`) — reports the smallest checked m whose
+    (corrupted) prefix decodes exactly, via the generic prefix-replay
+    scan; each trial's corruption realization is a pure function of
+    its child seed, so faulty sweeps keep the bit-identity contract.
     """
     plan = SweepPlan()
     plan.add_required_queries(
@@ -281,6 +303,7 @@ def required_queries_trials(
         verify=verify,
         engine=engine,
         kernel=kernel,
+        corruption=corruption,
     )
     return plan.run(backend=backend, workers=workers, shm=shm)[0]
 
@@ -350,6 +373,8 @@ def success_rate_curve(
     design: str = "replacement",
     kernel: Optional[str] = None,
     shm: Optional[bool] = None,
+    corruption=None,
+    fault=None,
 ) -> SuccessCurve:
     """Estimate success rate and overlap per query count ``m``.
 
@@ -381,6 +406,18 @@ def success_rate_curve(
     into ``algorithm_kwargs`` (AMP only — other algorithms reject it);
     ``shm`` routes process-backend dispatch through the shared-memory
     arena. Neither changes any float64-default output.
+
+    ``corruption`` (a :class:`~repro.core.corruption.CorruptionModel`)
+    corrupts every trial's measurements post-channel — any algorithm;
+    forces the legacy per-trial loop. ``fault`` (a
+    :class:`~repro.core.corruption.FaultSpec`) injects message
+    drop/delay into the distributed protocol
+    (``algorithm="distributed"`` only); per-trial
+    :class:`~repro.distributed.network.NetworkMetrics` means land in
+    ``SuccessCurve.meta["metrics"]``. Both draw every fault
+    realization from dedicated streams of the trial's child seed, so
+    results stay bit-identical on every backend / worker count / chunk
+    layout.
     """
     if kernel is not None:
         if algorithm != "amp":
@@ -403,6 +440,8 @@ def success_rate_curve(
         algorithm_kwargs=algorithm_kwargs,
         engine=engine,
         design=design,
+        corruption=corruption,
+        fault=fault,
     )
     return plan.run(backend=backend, workers=workers, shm=shm)[0]
 
@@ -417,18 +456,42 @@ def fold_success_curve(
 
     The accumulation half of the engine's ordered merge for fixed-m
     cells — identical to the serial loop's folding, shared by every
-    backend.
+    backend. Distributed cells emit ``(exact, overlap, metrics)``
+    triples; the per-m metric means (rounds, messages, bits, dropped,
+    delayed) are folded into ``SuccessCurve.meta["metrics"]``, and an
+    active corruption/fault spec is recorded as its ``describe()``
+    label — curves without either keep an empty ``meta``, so stored
+    artifacts and golden reprs from earlier sweeps are unchanged.
     """
     success_rates: List[float] = []
     overlaps: List[float] = []
+    metric_means: List[Dict[str, float]] = []
+    has_metrics = False
     for outcomes in per_m_outcomes:
         successes = 0
         overlap_sum = 0.0
-        for exact, overlap in outcomes:
-            successes += exact
-            overlap_sum += overlap
+        metric_sums: Dict[str, float] = {}
+        for outcome in outcomes:
+            successes += outcome[0]
+            overlap_sum += outcome[1]
+            if len(outcome) > 2 and outcome[2]:
+                has_metrics = True
+                for key, value in outcome[2].items():
+                    metric_sums[key] = metric_sums.get(key, 0.0) + value
         success_rates.append(successes / trials)
         overlaps.append(overlap_sum / trials)
+        metric_means.append(
+            {key: value / trials for key, value in metric_sums.items()}
+        )
+    meta: Dict[str, object] = {}
+    if has_metrics:
+        meta["metrics"] = metric_means
+    corruption = spec.get("corruption")
+    if corruption is not None and not corruption.is_null:
+        meta["corruption"] = corruption.describe()
+    fault = spec.get("fault")
+    if fault is not None and not fault.is_null:
+        meta["fault"] = fault.describe()
     return SuccessCurve(
         algorithm=spec["algorithm"],
         n=spec["n"],
@@ -438,6 +501,7 @@ def fold_success_curve(
         success_rates=success_rates,
         overlaps=overlaps,
         trials=trials,
+        meta=meta,
     )
 
 

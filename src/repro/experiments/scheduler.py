@@ -281,6 +281,7 @@ class SweepPlan:
         verify: str = "full",
         engine: str = "batch",
         kernel: Optional[str] = None,
+        corruption=None,
     ) -> int:
         """Add one required-m cell; returns its index in the plan.
 
@@ -288,7 +289,13 @@ class SweepPlan:
         spawned from ``seed`` in trial order. ``kernel`` selects the
         AMP compute backend by name (see :mod:`repro.amp.kernels`;
         AMP cells only — the greedy scan has no kernel seam).
+        ``corruption`` (a :class:`~repro.core.corruption.
+        CorruptionModel`) corrupts each trial's full measurement
+        stream once — from a dedicated stream of the trial's child
+        seed — and the cell runs the generic prefix-replay
+        exact-decode scan (any algorithm; also the ``twostage`` path).
         """
+        from repro.core.corruption import CorruptionModel
         from repro.experiments.runner import (
             REQUIRED_QUERIES_ALGORITHMS,
             _check_engine,
@@ -305,6 +312,13 @@ class SweepPlan:
                 f"kernel={kernel!r} selects an AMP compute backend; "
                 f"algorithm {algorithm!r} has none"
             )
+        if corruption is not None and not isinstance(
+            corruption, CorruptionModel
+        ):
+            raise TypeError(
+                "corruption must be a CorruptionModel, got "
+                f"{type(corruption).__name__}"
+            )
         spec = {
             "n": n,
             "k": k,
@@ -317,6 +331,7 @@ class SweepPlan:
             "max_m": max_m,
             "check_every": check_every,
             "kernel": kernel,
+            "corruption": corruption,
         }
         self._cells.append(
             _PlanCell(
@@ -343,6 +358,8 @@ class SweepPlan:
         engine: str = "batch",
         design: str = "replacement",
         batch_mode: str = "auto",
+        corruption=None,
+        fault=None,
     ) -> int:
         """Add one fixed-m success-curve cell; returns its plan index.
 
@@ -355,7 +372,18 @@ class SweepPlan:
         :func:`repro.experiments.runner._batch_mode` pick the stacked
         chunk implementation; pass ``None`` / ``"greedy"`` / ``"amp"``
         to force one (the PR 2 scheduler API).
+
+        ``corruption`` (a :class:`~repro.core.corruption.
+        CorruptionModel`) corrupts each trial's measurements
+        post-channel and forces the legacy per-trial loop (the stacked
+        engines never see corrupted cells); ``fault`` (a
+        :class:`~repro.core.corruption.FaultSpec`) injects seeded
+        message drop/delay into the distributed protocol and is valid
+        only for ``algorithm="distributed"``. Both draw from dedicated
+        streams of each trial's child seed — fault realizations are
+        bit-identical on every backend, worker count and chunk layout.
         """
+        from repro.core.corruption import CorruptionModel, FaultSpec
         from repro.experiments.runner import (
             ALGORITHMS,
             _batch_mode,
@@ -371,13 +399,33 @@ class SweepPlan:
             raise ValueError(f"unknown design {design!r}; valid: {DESIGNS}")
         engine = _check_engine(engine)
         algorithm_kwargs = algorithm_kwargs or {}
+        if corruption is not None and not isinstance(
+            corruption, CorruptionModel
+        ):
+            raise TypeError(
+                "corruption must be a CorruptionModel, got "
+                f"{type(corruption).__name__}"
+            )
+        if fault is not None:
+            if not isinstance(fault, FaultSpec):
+                raise TypeError(
+                    f"fault must be a FaultSpec, got {type(fault).__name__}"
+                )
+            if algorithm != "distributed":
+                raise ValueError(
+                    "fault= injects message drop/delay into the "
+                    "distributed protocol; algorithm "
+                    f"{algorithm!r} has no network to perturb"
+                )
+        corrupted = corruption is not None and not corruption.is_null
         if batch_mode == "auto":
             # The stacked chunk paths only know the paper's
-            # with-replacement design; other designs fall back to the
-            # legacy per-trial loop, which samples all of them.
+            # with-replacement design and honest measurements; other
+            # designs — and corrupted cells — fall back to the legacy
+            # per-trial loop, which handles both.
             batch_mode = (
                 _batch_mode(algorithm, engine, algorithm_kwargs)
-                if design == "replacement"
+                if design == "replacement" and not corrupted
                 else None
             )
         elif batch_mode is not None and design != "replacement":
@@ -385,6 +433,12 @@ class SweepPlan:
                 f"batch_mode {batch_mode!r} runs the stacked "
                 "with-replacement samplers and cannot honor design "
                 f"{design!r}; use batch_mode='auto' or None"
+            )
+        elif batch_mode is not None and corrupted:
+            raise ValueError(
+                f"batch_mode {batch_mode!r} runs the stacked engines, "
+                "which do not apply corruption; use batch_mode='auto' "
+                "or None"
             )
         spec = {
             "n": n,
@@ -395,6 +449,8 @@ class SweepPlan:
             "algorithm_kwargs": algorithm_kwargs,
             "batch_mode": batch_mode,
             "design": design,
+            "corruption": corruption,
+            "fault": fault,
         }
         m_values = [int(m) for m in m_values]
         per_m_seeds = [

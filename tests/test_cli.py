@@ -98,6 +98,61 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig2", "--algorithms", "distributed"])
 
+    def test_robustness_degradation_subcommand(self):
+        args = build_parser().parse_args(
+            [
+                "robustness_degradation", "--fault-kind", "flip",
+                "--fault-rate", "0.0", "0.01", "--algorithms", "greedy",
+                "twostage", "--n", "200", "--m", "120",
+            ]
+        )
+        assert args.figure == "robustness_degradation"
+        assert args.fault_kind == "flip"
+        assert args.fault_rate == [0.0, 0.01]
+        assert args.algorithms == ["greedy", "twostage"]
+        assert args.n == 200 and args.m == 120
+        # the fig2-7 grid flags do not apply and are rejected
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["robustness_degradation", "--n-max", "5000"]
+            )
+
+    def test_robustness_loss_subcommand(self):
+        args = build_parser().parse_args(
+            [
+                "robustness_loss", "--drop", "0.0", "0.5", "--delay", "0.1",
+                "--max-delay", "2",
+            ]
+        )
+        assert args.figure == "robustness_loss"
+        assert args.drop == [0.0, 0.5]
+        assert args.delay == 0.1
+        assert args.max_delay == 2
+
+    def test_robustness_comm_subcommand(self):
+        args = build_parser().parse_args(
+            ["robustness_comm", "--n-values", "64", "128", "--m-fraction",
+             "0.5"]
+        )
+        assert args.figure == "robustness_comm"
+        assert args.n_values == [64, 128]
+        assert args.m_fraction == 0.5
+
+    @pytest.mark.parametrize("bad", ["-0.1", "1.5", "nan", "two"])
+    def test_fault_rates_are_validated_probabilities(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness_loss", "--drop", bad])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["robustness_degradation", "--fault-rate", bad]
+            )
+
+    def test_robustness_kind_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["robustness_degradation", "--fault-kind", "gamma-ray"]
+            )
+
     def test_required_queries_defaults(self):
         args = build_parser().parse_args(["required-queries"])
         assert args.command == "required-queries"
@@ -133,7 +188,7 @@ class TestParser:
             assert args.algorithm == algorithm
         with pytest.raises(SystemExit):
             build_parser().parse_args(
-                ["required-queries", "--algorithm", "twostage"]
+                ["required-queries", "--algorithm", "distributed"]
             )
         for algorithm in ALGORITHMS:
             args = build_parser().parse_args(
@@ -156,6 +211,32 @@ class TestMain:
         assert rc == 0
         assert (tmp_path / "fig7.json").exists()
         assert (tmp_path / "fig7.csv").exists()
+
+    def test_robustness_degradation_end_to_end(self, tmp_path, capsys):
+        rc = main(
+            [
+                "robustness_degradation", "--trials", "3", "--n", "150",
+                "--fault-rate", "0.0", "0.6", "--out", str(tmp_path),
+                "--plot",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "robustness_degradation" in out
+        assert "twostage" in out
+        assert "fault_rate" in out
+        assert (tmp_path / "robustness_degradation.json").exists()
+        assert (tmp_path / "robustness_degradation.csv").exists()
+
+    def test_robustness_loss_tiny(self, capsys):
+        rc = main(
+            ["robustness_loss", "--trials", "2", "--n", "48", "--m", "90",
+             "--drop", "0.0", "0.4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lossy-broadcast" in out
+        assert "mean_dropped" in out
 
     def test_required_queries_amp_tiny(self, tmp_path, capsys):
         rc = main(

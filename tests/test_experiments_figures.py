@@ -221,6 +221,7 @@ class TestRunFigure:
     def test_all_figures_registered(self):
         assert set(FIGURES) == {
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation_design",
+            "robustness_degradation", "robustness_loss", "robustness_comm",
         }
 
 

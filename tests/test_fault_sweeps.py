@@ -1,0 +1,260 @@
+"""Fault-scenario sweep cells: wiring, validation, and bit-identity.
+
+PR 8's acceptance contract: a corrupted-measurement or message-drop
+sweep cell produces bit-identical results on the serial, process
+(any worker count), and socket backends — every fault realization is a
+pure function of the trial's child seed, drawn from a dedicated stream
+(:mod:`repro.core.corruption`), so no backend or chunk layout can
+perturb it. Also covers the scheduler's spec validation, the folded
+network-metrics meta, the ``twostage`` required-m path, and the
+FaultModel determinism regression (an unseeded faulty model is now an
+error, not an irreproducible run).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.corruption import CorruptionModel, FaultSpec
+from repro.distributed.network import FaultModel
+from repro.experiments import parallel
+from repro.experiments.runner import (
+    REQUIRED_QUERIES_ALGORITHMS,
+    required_queries_trials,
+    success_rate_curve,
+)
+from repro.experiments.scheduler import SweepPlan
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pool_after():
+    yield
+    parallel.shutdown_pool()
+
+
+@pytest.fixture(scope="module")
+def socket_hosts():
+    """Two live localhost socket workers (the cross-host round trip)."""
+    from repro.experiments.worker import start_local_workers
+
+    hosts, shutdown = start_local_workers(2)
+    assert len(hosts) == 2
+    yield hosts
+    shutdown()
+
+
+def build_faulty_plan() -> SweepPlan:
+    """One cell per fault axis (mirrors benchmarks/smoke_fault_sweep.py)."""
+    plan = SweepPlan()
+    plan.add_success_curve(
+        50, 3, repro.ZChannel(0.1), [30, 60], trials=6, seed=123,
+        corruption=CorruptionModel(flip_rate=0.1),
+    )
+    plan.add_success_curve(
+        40, 3, repro.ZChannel(0.1), [30], algorithm="distributed",
+        trials=4, seed=124, fault=FaultSpec(drop=0.2, delay=0.1, max_delay=2),
+    )
+    plan.add_required_queries(
+        60, 3, repro.ZChannel(0.1), trials=4, seed=125, check_every=10,
+        corruption=CorruptionModel(erasure_rate=0.1),
+    )
+    plan.add_required_queries(
+        60, 3, repro.ZChannel(0.1), trials=3, seed=126, check_every=10,
+        algorithm="twostage",
+    )
+    return plan
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def serial_results(self):
+        return build_faulty_plan().run(backend="serial")
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_process_backend_matches_for_any_worker_count(
+        self, serial_results, workers
+    ):
+        results = build_faulty_plan().run(backend="process", workers=workers)
+        assert repr(results) == repr(serial_results)
+
+    def test_socket_backend_round_trip(self, serial_results, socket_hosts):
+        results = build_faulty_plan().run(
+            backend="socket", hosts=socket_hosts
+        )
+        assert repr(results) == repr(serial_results)
+
+    def test_plans_are_reusable(self):
+        plan = build_faulty_plan()
+        assert repr(plan.run(backend="serial")) == repr(
+            plan.run(backend="serial")
+        )
+
+    def test_null_corruption_equals_no_corruption(self):
+        # The null model is the same cell as no corruption at all: it
+        # routes through the identical (batched) path and folds the
+        # identical result, with no corruption label in the meta.
+        null = success_rate_curve(
+            50, 3, repro.ZChannel(0.1), [40], trials=5, seed=9,
+            corruption=CorruptionModel(),
+        )
+        plain = success_rate_curve(
+            50, 3, repro.ZChannel(0.1), [40], trials=5, seed=9
+        )
+        assert repr(null) == repr(plain)
+        assert "corruption" not in null.meta
+
+
+class TestSchedulerValidation:
+    def test_corruption_must_be_a_corruption_model(self):
+        plan = SweepPlan()
+        with pytest.raises(TypeError, match="CorruptionModel"):
+            plan.add_success_curve(
+                50, 3, repro.ZChannel(0.1), [30], corruption=0.3
+            )
+        with pytest.raises(TypeError, match="CorruptionModel"):
+            plan.add_required_queries(
+                50, 3, repro.ZChannel(0.1), corruption={"flip_rate": 0.3}
+            )
+
+    def test_fault_must_be_a_fault_spec(self):
+        plan = SweepPlan()
+        with pytest.raises(TypeError, match="FaultSpec"):
+            plan.add_success_curve(
+                40, 3, repro.ZChannel(0.1), [30], algorithm="distributed",
+                fault=0.2,
+            )
+
+    def test_fault_requires_the_distributed_algorithm(self):
+        plan = SweepPlan()
+        with pytest.raises(ValueError, match="no network"):
+            plan.add_success_curve(
+                40, 3, repro.ZChannel(0.1), [30], algorithm="greedy",
+                fault=FaultSpec(drop=0.2),
+            )
+
+    def test_corruption_rejects_explicit_batch_mode(self):
+        plan = SweepPlan()
+        with pytest.raises(ValueError, match="batch"):
+            plan.add_success_curve(
+                50, 3, repro.ZChannel(0.1), [30], batch_mode="greedy",
+                corruption=CorruptionModel(flip_rate=0.1),
+            )
+
+
+class TestFoldedMeta:
+    def test_distributed_curve_carries_network_metrics(self):
+        curve = success_rate_curve(
+            40, 3, repro.ZChannel(0.1), [20, 30], algorithm="distributed",
+            trials=3, seed=6,
+        )
+        assert len(curve.meta["metrics"]) == 2
+        for per_m in curve.meta["metrics"]:
+            assert {"rounds", "messages", "bits", "dropped", "delayed"} <= set(
+                per_m
+            )
+            assert per_m["dropped"] == 0.0  # no fault spec, reliable links
+
+    def test_faulty_distributed_curve_counts_drops(self):
+        curve = success_rate_curve(
+            40, 3, repro.ZChannel(0.1), [30], algorithm="distributed",
+            trials=3, seed=6, fault=FaultSpec(drop=0.3),
+        )
+        assert curve.meta["fault"] == "fault(drop=0.3)"
+        assert curve.meta["metrics"][0]["dropped"] > 0
+
+    def test_distributed_amp_curve_carries_metrics(self):
+        curve = success_rate_curve(
+            60, 3, repro.ZChannel(0.1), [40], algorithm="distributed_amp",
+            trials=2, seed=4,
+        )
+        assert {"rounds", "messages", "bits"} <= set(curve.meta["metrics"][0])
+
+    def test_corrupted_curve_is_labelled(self):
+        curve = success_rate_curve(
+            50, 3, repro.ZChannel(0.1), [30], trials=3, seed=2,
+            corruption=CorruptionModel(erasure_rate=0.2),
+        )
+        assert curve.meta["corruption"] == "corruption(erase=0.2)"
+
+    def test_plain_curves_keep_empty_meta(self):
+        curve = success_rate_curve(
+            50, 3, repro.ZChannel(0.1), [30], trials=3, seed=2
+        )
+        assert curve.meta == {}
+
+
+class TestTwoStageRequiredQueries:
+    def test_twostage_is_a_required_queries_algorithm(self):
+        assert "twostage" in REQUIRED_QUERIES_ALGORITHMS
+
+    def test_engines_agree(self):
+        kwargs = dict(trials=3, seed=5, check_every=10, max_m=200)
+        batch = required_queries_trials(
+            80, 3, repro.ZChannel(0.1), algorithm="twostage",
+            engine="batch", **kwargs,
+        )
+        legacy = required_queries_trials(
+            80, 3, repro.ZChannel(0.1), algorithm="twostage",
+            engine="legacy", **kwargs,
+        )
+        assert batch.values == legacy.values
+        assert batch.algorithm == "twostage"
+
+    def test_values_sit_on_the_check_grid(self):
+        sample = required_queries_trials(
+            80, 3, repro.ZChannel(0.1), algorithm="twostage",
+            trials=4, seed=5, check_every=10,
+        )
+        assert sample.values and all(v % 10 == 0 for v in sample.values)
+
+    def test_corrupted_scan_matches_singleton_replay(self):
+        # The prefix-replay contract: the corrupted scan's stopping m
+        # is the smallest checked prefix of ONE full-stream corruption
+        # realization that decodes exactly — so re-running with the
+        # same seeds must reproduce it, and a harder corruption of the
+        # same trials can only move the stopping m (never the trial
+        # count or the grid).
+        kwargs = dict(trials=4, seed=7, check_every=10, max_m=200)
+        mild = required_queries_trials(
+            80, 3, repro.ZChannel(0.1),
+            corruption=CorruptionModel(erasure_rate=0.05), **kwargs,
+        )
+        again = required_queries_trials(
+            80, 3, repro.ZChannel(0.1),
+            corruption=CorruptionModel(erasure_rate=0.05), **kwargs,
+        )
+        assert mild.values == again.values
+        assert all(v % 10 == 0 for v in mild.values)
+
+
+class TestFaultModelDeterminism:
+    """Satellite 1: rng=None with positive rates is now an error."""
+
+    def test_unseeded_faulty_model_is_rejected(self):
+        with pytest.raises(ValueError, match="rng"):
+            FaultModel(drop_probability=0.1)
+        with pytest.raises(ValueError, match="rng"):
+            FaultModel(delay_probability=0.1, max_delay=2)
+
+    def test_zero_seed_is_a_valid_rng(self):
+        assert FaultModel(drop_probability=0.1, rng=0) is not None
+
+    def test_null_model_needs_no_rng(self):
+        assert FaultModel() is not None
+
+    def test_rate_validation_still_fires_first(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            FaultModel(drop_probability=1.5)
+
+    def test_identically_seeded_faulty_runs_are_repr_identical(self):
+        def run():
+            return success_rate_curve(
+                40, 3, repro.ZChannel(0.1), [25, 35],
+                algorithm="distributed", trials=4, seed=31,
+                fault=FaultSpec(drop=0.3, delay=0.2, max_delay=3),
+            )
+
+        first, second = run(), run()
+        assert repr(first) == repr(second)
+        assert first.meta == second.meta
+        assert first.meta["metrics"][0]["dropped"] > 0

@@ -332,7 +332,7 @@ class TestPlanValidation:
     def test_bad_algorithm_rejected(self):
         with pytest.raises(ValueError, match="algorithm"):
             SweepPlan().add_required_queries(
-                100, 3, repro.ZChannel(0.1), algorithm="twostage"
+                100, 3, repro.ZChannel(0.1), algorithm="distributed"
             )
         with pytest.raises(ValueError, match="algorithm"):
             SweepPlan().add_success_curve(
