@@ -64,7 +64,12 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.amp.denoisers import BayesBernoulliDenoiser, Denoiser
-from repro.amp.kernels import StackLayout, resolve_kernel
+from repro.amp.kernels import (
+    CSRStackOperator,
+    MatvecOperator,
+    StackLayout,
+    resolve_kernel,
+)
 from repro.core.measurement import Measurements
 from repro.core.noise import Channel, GaussianQueryNoise, NoiselessChannel, NoisyChannel
 from repro.core.scores import top_k_estimate
@@ -169,16 +174,13 @@ def default_denoiser(n: int, k: int) -> Denoiser:
 
 
 def iterate_amp(
-    matvec: Callable[[np.ndarray], np.ndarray],
-    rmatvec: Callable[[np.ndarray], np.ndarray],
+    operator,
     y: np.ndarray,
     denoiser: Denoiser,
     config: AMPConfig,
     *,
     n: int,
-    restrict: Optional[
-        Callable[[np.ndarray], Tuple[Callable, Callable]]
-    ] = None,
+    restrict: Optional[Callable[[np.ndarray], object]] = None,
     row_sizes: Optional[np.ndarray] = None,
     kernel=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[List[dict]]]]:
@@ -186,13 +188,21 @@ def iterate_amp(
 
     Parameters
     ----------
-    matvec, rmatvec:
-        The standardized forward map and its adjoint on *flat* stacked
-        vectors: ``matvec`` maps a ``(T*n,)`` stack of signal vectors to
-        a ``(T*m,)`` stack of measurement vectors, ``rmatvec`` the
-        reverse. For ``T = 1`` these are the ordinary per-trial maps.
-        Under a float32 kernel the operators must produce the kernel
-        dtype (cast the CSR data once; see :mod:`repro.amp.batch_amp`).
+    operator:
+        The standardized stack operator — normally a
+        :class:`~repro.amp.kernels.CSRStackOperator` (raw block-
+        diagonal CSR plus centering/scales), which lets the kernel
+        backend run the matvec pair inside the seam (scipy reference,
+        fused CSR loop, or GPU). Any object with flat-vector
+        ``matvec`` / ``rmatvec`` methods works (e.g. a
+        :class:`~repro.amp.kernels.MatvecOperator` wrapping closures);
+        such generic operators run through the kernels' reference
+        phase implementations. ``matvec`` maps a ``(T*n,)`` stack of
+        signal vectors to a ``(T*m,)`` stack of measurement vectors,
+        ``rmatvec`` the reverse. For ``T = 1`` these are the ordinary
+        per-trial maps. Under a float32 kernel the operator must
+        produce the kernel dtype (cast the CSR data once; see
+        :mod:`repro.amp.batch_amp`).
     y:
         Standardized measurements, shape ``(T, m)`` (one row per trial),
         or — with ``row_sizes`` — one flat concatenation of the
@@ -206,10 +216,10 @@ def iterate_amp(
         Optional stack compaction hook. When at most half the remaining
         trials are still active the kernel drops converged rows and
         calls ``restrict(live)`` — ``live`` being the original indices
-        of the surviving trials — to obtain operators for the smaller
-        stack. Compaction never changes any trial's iterates (every
-        operation is row-independent); it only stops paying matvec time
-        for trials that already froze.
+        of the surviving trials — to obtain the operator for the
+        smaller stack. Compaction never changes any trial's iterates
+        (every operation is row-independent); it only stops paying
+        matvec time for trials that already froze.
     row_sizes:
         Per-trial measurement counts for a **heterogeneous-m** stack
         (the required-m prefix probes, where every trial runs a
@@ -245,7 +255,9 @@ def iterate_amp(
     The loop itself is one shape-agnostic driver: a
     :class:`~repro.amp.kernels.StackLayout` carries the per-trial
     standardization scalars and segment bounds, and the kernel's two
-    phase methods do every array pass between the matvecs.
+    matvec-inclusive phase methods (``adjoint_posterior`` /
+    ``forward_residual``) do the entire iteration body — matvecs
+    included — so a backend can fuse or offload the whole pass.
     """
     kern = resolve_kernel(kernel)
     if row_sizes is None:
@@ -280,12 +292,12 @@ def iterate_amp(
         # effective factor so the phase methods stay stateless.
         damping = config.damping if t > 0 else 0.0
 
-        rmv = rmatvec(z.reshape(-1))
-        sigma_new, onsager, tau, step = kern.posterior_step(
-            denoiser, rmv, sigma, z, layout, damping
+        sigma_new, onsager, tau, step = kern.adjoint_posterior(
+            operator, denoiser, sigma, z, layout, damping
         )
-        mv = matvec(sigma_new.reshape(-1))
-        z_new = kern.residual_step(y, mv, z, onsager, layout, damping)
+        z_new = kern.forward_residual(
+            operator, y, sigma_new, z, onsager, layout, damping
+        )
 
         # Frozen rows must stay bit-frozen: their (discarded) updates
         # above were computed from stale state purely so the stacked
@@ -324,7 +336,7 @@ def iterate_amp(
             y = layout.compact_measure(y, active)
             layout = layout.restrict(active)
             active = np.ones(live.size, dtype=bool)
-            matvec, rmatvec = restrict(live)
+            operator = restrict(live)
 
     if active.any():  # trials that exhausted max_iter without converging
         out_sigma[live[active]] = sigma[active]
@@ -402,20 +414,27 @@ def run_amp(
     adjacency = graph.adjacency_sparse() if sparse else graph.adjacency_dense()
     if kern.dtype != np.float64:
         adjacency = adjacency.astype(kern.dtype)
-    # The transpose is a free view: CSC in the sparse case, whose
-    # matvec matches the converted-CSR one in speed while skipping the
-    # O(nnz) cache-hostile tocsr() conversion per call (~300 ms at the
-    # paper's full scale) that the pre-batched implementation paid.
-    adjacency_t = adjacency.T
+    if sparse:
+        # The one-trial stack operator: its transpose is the free CSC
+        # view (no O(nnz) tocsr() per call), and its reference
+        # matvec/rmatvec perform the same pairwise sums and per-element
+        # centering/scaling as the pre-seam closures — bit-identical —
+        # while handing fused/GPU kernels the raw CSR arrays so the
+        # matvec runs inside the seam.
+        operator = CSRStackOperator(adjacency, n=n, c=c, scale=scale)
+    else:
+        adjacency_t = adjacency.T
 
-    def matvec(x: np.ndarray) -> np.ndarray:
-        return (adjacency @ x - c * x.sum()) / scale
+        def matvec(x: np.ndarray) -> np.ndarray:
+            return (adjacency @ x - c * x.sum()) / scale
 
-    def rmatvec(z: np.ndarray) -> np.ndarray:
-        return (adjacency_t @ z - c * z.sum()) / scale
+        def rmatvec(z: np.ndarray) -> np.ndarray:
+            return (adjacency_t @ z - c * z.sum()) / scale
+
+        operator = MatvecOperator(matvec, rmatvec)
 
     stacked, iterations, converged, histories = iterate_amp(
-        matvec, rmatvec, y[None, :], denoiser, config, n=n, kernel=kern
+        operator, y[None, :], denoiser, config, n=n, kernel=kern
     )
     scores = stacked[0]
     estimate = top_k_estimate(scores, k)

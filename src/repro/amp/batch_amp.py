@@ -42,7 +42,7 @@ function docstring and :class:`_RequiredMSearch` for the contract.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,11 +55,12 @@ from repro.amp.amp import (
     standardization_constants,
 )
 from repro.amp.denoisers import Denoiser
-from repro.amp.kernels import AMPKernel, resolve_kernel
+from repro.amp.kernels import AMPKernel, CSRStackOperator, resolve_kernel
 from repro.core.batch import (
     DEFAULT_BLOCK_ELEMENTS,
     DEFAULT_INITIAL_BLOCK,
     MeasurementStream,
+    ReplayedStream,
     sample_pooling_graph_batch,
 )
 from repro.core.ground_truth import sample_ground_truth
@@ -152,10 +153,10 @@ class _StackedOperators:
 
     Holds the raw per-trial CSR triples and materializes, for any
     subset of trials, the stacked forward map ``x -> (A x - c s_t)/scale``
-    and its adjoint as flat-vector callables for the kernel. The
-    centering is applied as a rank-one correction per trial block, so
-    no dense matrix is ever formed (the sparse-path contract of
-    ``run_amp`` extends to the whole stack).
+    and its adjoint as a :class:`~repro.amp.kernels.CSRStackOperator`
+    for the kernel seam. The centering is applied as a rank-one
+    correction per trial block, so no dense matrix is ever formed (the
+    sparse-path contract of ``run_amp`` extends to the whole stack).
 
     The adjoint is the stacked matrix's free CSC transpose view — its
     matvec scatters only within each trial's own output segment (the
@@ -183,26 +184,12 @@ class _StackedOperators:
         self.scale = float(scale)
         self.dtype = np.dtype(dtype)
 
-    def operators(
-        self, idx: Sequence[int]
-    ) -> Tuple[Callable[[np.ndarray], np.ndarray], Callable[[np.ndarray], np.ndarray]]:
-        """Build ``(matvec, rmatvec)`` for the trial subset ``idx``."""
-        n, m, c, scale = self.n, self.m, self.c, self.scale
+    def operators(self, idx: Sequence[int]) -> CSRStackOperator:
+        """Build the stack operator for the trial subset ``idx``."""
         chosen = [int(i) for i in idx]
-        trials = len(chosen)
         # the fill loop casts int64 counts to the data dtype on assignment
-        a = _stack_blocks([self.blocks[i] for i in chosen], n, self.dtype)
-        a_t = a.T
-
-        def matvec(x: np.ndarray) -> np.ndarray:
-            s = x.reshape(trials, n).sum(axis=1)
-            return (a @ x - c * np.repeat(s, m)) / scale
-
-        def rmatvec(z: np.ndarray) -> np.ndarray:
-            s = z.reshape(trials, m).sum(axis=1)
-            return (a_t @ z - c * np.repeat(s, n)) / scale
-
-        return matvec, rmatvec
+        a = _stack_blocks([self.blocks[i] for i in chosen], self.n, self.dtype)
+        return CSRStackOperator(a, n=self.n, c=self.c, scale=self.scale)
 
 
 def run_amp_batch(
@@ -263,9 +250,8 @@ def run_amp_batch(
          for meas in measurements],
         n, m, c, scale, dtype=kern.dtype,
     )
-    matvec, rmatvec = stacked.operators(np.arange(trials))
     scores, iterations, converged, histories = iterate_amp(
-        matvec, rmatvec, y, denoiser, config, n=n,
+        stacked.operators(np.arange(trials)), y, denoiser, config, n=n,
         restrict=stacked.operators, kernel=kern,
     )
 
@@ -391,6 +377,107 @@ def run_amp_trials(
     return out
 
 
+# -- driver-prepared chunks (shared-memory arena dispatch) --------------
+
+
+def sample_amp_cell_chunk(
+    n: int,
+    k: int,
+    channel: Channel,
+    m: int,
+    seeds: Sequence[RngLike],
+    *,
+    gamma: Optional[int] = None,
+    dtype=np.float64,
+) -> Dict[str, np.ndarray]:
+    """Sample one fixed-``m`` AMP chunk and stack its CSR once (driver side).
+
+    Consumes each seed's generator exactly like the sampling prologue
+    of :func:`run_amp_trials` — ground truth, pooling graph, channel
+    noise, in that order — then assembles the chunk's single
+    block-diagonal CSR with :func:`_stack_blocks`. The returned array
+    dict (stacked ``indptr``/``indices``/``data`` plus per-trial
+    ``results`` and ``truth`` sigma rows) is what the sweep driver
+    publishes into the :class:`~repro.experiments.shm.SweepArena`;
+    :func:`run_amp_prepared` decodes it without any worker-side
+    sampling or stacking. ``dtype`` must match the kernel the workers
+    will resolve (float32 under a float32 backend).
+    """
+    gamma = default_gamma(n) if gamma is None else gamma
+    trials = len(seeds)
+    blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    results = np.empty((trials, m), dtype=np.float64)
+    sigma = np.empty((trials, n), dtype=np.int8)
+    for t, seed in enumerate(seeds):
+        gen = normalize_rng(seed)
+        truth = sample_ground_truth(n, k, gen)
+        graph = sample_pooling_graph_batch(n, m, gamma, gen)
+        meas = measure(graph, truth, channel, gen)
+        blocks.append((graph.indptr, graph.agents, graph.counts))
+        results[t] = meas.results
+        sigma[t] = truth.sigma
+    a = _stack_blocks(blocks, n, dtype)
+    return {
+        "indptr": a.indptr,
+        "indices": a.indices,
+        "data": a.data,
+        "results": results,
+        "truth": sigma,
+    }
+
+
+def run_amp_prepared(
+    n: int,
+    k: int,
+    channel: Channel,
+    m: int,
+    arrays: Dict[str, np.ndarray],
+    *,
+    gamma: Optional[int] = None,
+    denoiser: Optional[Denoiser] = None,
+    config: Optional[AMPConfig] = None,
+    kernel=None,
+) -> List[Tuple[bool, float]]:
+    """Decode a driver-prepared fixed-``m`` chunk; ``(exact, overlap)`` rows.
+
+    The worker half of :func:`sample_amp_cell_chunk`: rebuilds the
+    chunk's block-diagonal scipy CSR directly on the (read-only,
+    zero-copy) array views — no resampling, no re-stacking — and runs
+    one stacked :func:`~repro.amp.amp.iterate_amp` call through the
+    kernel seam. Per-trial outcomes are identical to
+    :func:`run_amp_trials` on the same seeds: the stack-composition
+    and compaction contracts make every trial's decode independent of
+    how its stack was assembled (compaction is skipped here — with the
+    whole chunk in one stack there is no per-stack operator rebuild to
+    save).
+    """
+    from scipy import sparse
+
+    gamma = default_gamma(n) if gamma is None else gamma
+    config = config if config is not None else _default_batch_config()
+    kern = resolve_kernel(kernel)
+    if denoiser is None:
+        denoiser = default_denoiser(n, k)
+    sigma_truth = arrays["truth"]
+    trials = sigma_truth.shape[0]
+    c, scale = standardization_constants(n, m, gamma)
+    y = (
+        channel_corrected_results(arrays["results"], gamma, channel) - c * k
+    ) / scale
+    a = sparse.csr_matrix(
+        (arrays["data"], arrays["indices"], arrays["indptr"]),
+        shape=(trials * m, trials * n),
+    )
+    operator = CSRStackOperator(a, n=n, c=c, scale=scale)
+    scores, _, _, _ = iterate_amp(
+        operator, y, denoiser, config, n=n, kernel=kern
+    )
+    _, errors, overlap, _ = decode_top_k_stacked(scores, sigma_truth, k)
+    return [
+        (bool(e == 0), float(o)) for e, o in zip(errors, overlap)
+    ]
+
+
 # -- required-queries scan: galloping bracket + stacked bisection -------
 
 #: verify-phase probes a trial contributes per stacked round; larger
@@ -431,40 +518,17 @@ class _PrefixStackOperators:
         self.scales = np.asarray(scales, dtype=np.float64)
         self.dtype = np.dtype(dtype)
 
-    def operators(
-        self, idx: Sequence[int]
-    ) -> Tuple[Callable[[np.ndarray], np.ndarray], Callable[[np.ndarray], np.ndarray]]:
-        """Build ``(matvec, rmatvec)`` for the probe subset ``idx``."""
-        n, c = self.n, self.c
+    def operators(self, idx: Sequence[int]) -> CSRStackOperator:
+        """Build the ragged stack operator for the probe subset ``idx``."""
         chosen = [int(i) for i in idx]
-        trials = len(chosen)
         m_per = self.m_per[chosen]
         scales = self.scales[chosen]
-        a = _stack_blocks([self.prefixes[i] for i in chosen], n, self.dtype)
-        a_t = a.T
-        bounds = np.concatenate(([0], np.cumsum(m_per)))
-        # Per-trial scale vectors in the working dtype: float64 stays
-        # the exact pre-float32 arithmetic, float32 avoids the silent
-        # promotion a float64 divisor would cause under NEP 50.
-        row_scale = np.repeat(scales, m_per).astype(self.dtype, copy=False)
-        scales_col = scales.astype(self.dtype, copy=False)[:, None]
-
-        def matvec(x: np.ndarray) -> np.ndarray:
-            s = x.reshape(trials, n).sum(axis=1)
-            return (a @ x - c * np.repeat(s, m_per)) / row_scale
-
-        def rmatvec(z: np.ndarray) -> np.ndarray:
-            s = np.array(
-                [z[bounds[i] : bounds[i + 1]].sum() for i in range(trials)]
-            )
-            # Column side is uniform (n per trial): broadcast the
-            # per-trial centering/scale on a (T, n) view — the same
-            # per-element arithmetic as a flat np.repeat, without the
-            # (T*n,) repeat temporaries every iteration.
-            out = (a_t @ z).reshape(trials, n)
-            return ((out - (c * s)[:, None]) / scales_col).reshape(-1)
-
-        return matvec, rmatvec
+        a = _stack_blocks(
+            [self.prefixes[i] for i in chosen], self.n, self.dtype
+        )
+        return CSRStackOperator(
+            a, n=self.n, c=self.c, m_per=m_per, scales=scales
+        )
 
 
 #: verify modes of the required-m search (see :class:`_RequiredMSearch`)
@@ -672,10 +736,8 @@ def _decode_prefix_stack(
     kern = resolve_kernel(kernel)
     y = np.concatenate(y_parts)
     ops = _PrefixStackOperators(prefixes, n, m_per, c, scales, dtype=kern.dtype)
-    matvec, rmatvec = ops.operators(np.arange(trials))
     scores, _, _, _ = iterate_amp(
-        matvec,
-        rmatvec,
+        ops.operators(np.arange(trials)),
         y,
         denoiser,
         config,
@@ -871,6 +933,44 @@ def required_queries_amp(
             )
         )
 
+    _drive_required_scan(
+        searches, streams, n, k, gamma, channel, denoiser, config,
+        stack_elements, kern,
+    )
+    return [
+        RequiredQueriesResult(
+            required_m=search.required_m,
+            n=n,
+            k=k,
+            succeeded=search.required_m is not None,
+            checks=search.checks,
+            meta=meta,
+        )
+        for search in searches
+    ]
+
+
+def _drive_required_scan(
+    searches: Sequence[_RequiredMSearch],
+    streams: Sequence[MeasurementStream],
+    n: int,
+    k: int,
+    gamma: int,
+    channel: Channel,
+    denoiser: Denoiser,
+    config: AMPConfig,
+    stack_elements: int,
+    kern: AMPKernel,
+) -> None:
+    """Run every trial's search to completion over shared probe rounds.
+
+    The round loop of :func:`required_queries_amp`, factored so the
+    replayed scan (:func:`required_queries_amp_replayed`) can drive it
+    over :class:`~repro.core.batch.ReplayedStream` views instead of
+    live :class:`~repro.core.batch.MeasurementStream` objects — the
+    probe scheduling, stacking and decode never touch the stream's
+    growth machinery beyond ``grow_to``/``prefix``/``indptr``/``truth``.
+    """
     while True:
         jobs: List[Tuple[int, int]] = []
         for i, search in enumerate(searches):
@@ -890,6 +990,149 @@ def required_queries_amp(
         for i in touched:
             searches[i].advance()
 
+
+def sample_required_stream_chunk(
+    n: int,
+    k: int,
+    channel: Channel,
+    seeds: Sequence[RngLike],
+    *,
+    gamma: Optional[int] = None,
+    max_m: Optional[int] = None,
+    check_every: int = 1,
+    initial_block: int = DEFAULT_INITIAL_BLOCK,
+    block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+) -> Dict[str, np.ndarray]:
+    """Grow one required-m chunk's streams to the full grid (driver side).
+
+    Consumes each seed exactly like :func:`required_queries_amp`'s
+    prologue (ground truth, then a retained
+    :class:`~repro.core.batch.MeasurementStream` with the same block
+    schedule), grows every stream to the last grid point, and packs
+    the ``grid_max``-prefixes into flat arrays: per-trial ``indptr``
+    rows, concatenated ``agents``/``counts`` with ``edge_offsets``
+    boundaries, ``results`` rows and ``truth`` sigma rows. The
+    prefix-independence contract makes every prefix of the published
+    arrays identical to what a lazily grown scan would have probed, so
+    :func:`required_queries_amp_replayed` on these arrays reproduces
+    :func:`required_queries_amp` on the same seeds exactly.
+    """
+    n = check_positive_int(n, "n")
+    gamma = default_gamma(n) if gamma is None else gamma
+    if max_m is None:
+        max_m = default_max_queries(n, k, channel)
+    step = check_positive_int(check_every, "check_every")
+    grid_max = (max_m // step) * step
+    trials = len(seeds)
+    indptr_rows = np.empty((trials, grid_max + 1), dtype=np.int64)
+    results_rows = np.empty((trials, grid_max), dtype=np.float64)
+    sigma = np.empty((trials, n), dtype=np.int8)
+    edge_offsets = np.zeros(trials + 1, dtype=np.int64)
+    agents_parts: List[np.ndarray] = []
+    counts_parts: List[np.ndarray] = []
+    for t, seed in enumerate(seeds):
+        gen = normalize_rng(seed)
+        truth = sample_ground_truth(n, k, gen)
+        stream = MeasurementStream(
+            n,
+            gamma,
+            channel,
+            truth,
+            gen,
+            max_m=max_m,
+            initial_block=initial_block,
+            block_elements=block_elements,
+            retain=True,
+        )
+        stream.grow_to(grid_max)
+        indptr, agents, counts, results = stream.prefix(grid_max)
+        indptr_rows[t] = indptr
+        results_rows[t] = results
+        sigma[t] = truth.sigma
+        agents_parts.append(agents)
+        counts_parts.append(counts)
+        edge_offsets[t + 1] = edge_offsets[t] + agents.size
+    return {
+        "indptr": indptr_rows,
+        "edge_offsets": edge_offsets,
+        "agents": (
+            np.concatenate(agents_parts)
+            if agents_parts
+            else np.zeros(0, dtype=np.int64)
+        ),
+        "counts": (
+            np.concatenate(counts_parts)
+            if counts_parts
+            else np.zeros(0, dtype=np.int64)
+        ),
+        "results": results_rows,
+        "truth": sigma,
+    }
+
+
+def required_queries_amp_replayed(
+    n: int,
+    k: int,
+    channel: Channel,
+    arrays: Dict[str, np.ndarray],
+    *,
+    gamma: Optional[int] = None,
+    max_m: Optional[int] = None,
+    check_every: int = 1,
+    verify: str = "full",
+    denoiser: Optional[Denoiser] = None,
+    config: Optional[AMPConfig] = None,
+    stack_elements: int = DEFAULT_STACK_ELEMENTS,
+    kernel=None,
+) -> List[RequiredQueriesResult]:
+    """Required-m scan over driver-published, fully grown stream arrays.
+
+    The worker half of :func:`sample_required_stream_chunk`: wraps the
+    (read-only, zero-copy) array views in
+    :class:`~repro.core.batch.ReplayedStream` objects and drives the
+    identical search machinery as :func:`required_queries_amp` — the
+    only difference is that the streams were grown by the sweep driver
+    and attached from the shared-memory arena instead of being sampled
+    here. Returns the same per-trial
+    :class:`~repro.core.types.RequiredQueriesResult` values.
+    """
+    from repro.core.ground_truth import GroundTruth
+
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    check_every = check_positive_int(check_every, "check_every")
+    gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+    if max_m is None:
+        max_m = default_max_queries(n, k, channel)
+    if denoiser is None:
+        denoiser = default_denoiser(n, k)
+    config = config if config is not None else _default_batch_config()
+    kern = resolve_kernel(kernel)
+    step = check_every
+    grid_max = (max_m // step) * step
+    meta = _required_meta(channel, gamma, max_m, check_every, denoiser, "batch")
+    meta["verify"] = verify
+    meta["kernel"] = kern.name
+
+    edge_offsets = arrays["edge_offsets"]
+    trials = arrays["truth"].shape[0]
+    streams = [
+        ReplayedStream(
+            n,
+            gamma,
+            GroundTruth(arrays["truth"][t]),
+            arrays["indptr"][t],
+            arrays["agents"][edge_offsets[t] : edge_offsets[t + 1]],
+            arrays["counts"][edge_offsets[t] : edge_offsets[t + 1]],
+            arrays["results"][t],
+        )
+        for t in range(trials)
+    ]
+    searches = [_RequiredMSearch(step, grid_max, verify) for _ in range(trials)]
+    _drive_required_scan(
+        searches, streams, n, k, gamma, channel, denoiser, config,
+        stack_elements, kern,
+    )
     return [
         RequiredQueriesResult(
             required_m=search.required_m,
@@ -988,6 +1231,10 @@ __all__ = [
     "VERIFY_WAVE",
     "run_amp_batch",
     "run_amp_trials",
+    "run_amp_prepared",
+    "sample_amp_cell_chunk",
+    "sample_required_stream_chunk",
     "required_queries_amp",
     "required_queries_amp_linear",
+    "required_queries_amp_replayed",
 ]

@@ -7,17 +7,26 @@ required-queries probe stacks — funnels through one iteration driver
 underneath that driver: the per-iteration array passes are grouped
 into two phase calls an :class:`AMPKernel` backend implements,
 
-``posterior_step``
-    everything between the adjoint matvec and the forward matvec —
-    per-trial effective noise ``tau`` from residual segment sums, the
-    denoiser value+derivative, damping, the Onsager coefficient and
-    the step norm;
-``residual_step``
-    everything after the forward matvec — the residual update
-    ``z' = y - A sigma + onsager * z`` plus damping,
+``adjoint_posterior``
+    the adjoint matvec plus everything before the forward matvec —
+    ``rmv = A_s^T z``, the per-trial effective noise ``tau`` from
+    residual segment sums, the denoiser value+derivative, damping, the
+    Onsager coefficient and the step norm;
+``forward_residual``
+    the forward matvec plus the residual update
+    ``z' = y - A_s sigma + onsager * z`` and damping.
 
-with the sparse matvec itself staying outside the seam (it is the one
-operation that cannot fuse across the phase boundary). A
+The matvec pair lives *inside* the seam: the driver hands each phase a
+:class:`CSRStackOperator` (the standardized block-diagonal stack in
+raw CSR form), and the backend decides how to apply it — the reference
+kernel delegates to the operator's scipy CSR / CSC-view products (the
+exact pre-seam closures), the fused backend runs one jitted CSR
+segment loop per phase with the adjacent array passes inlined (no
+``(T*m,)``/``(T*n,)`` intermediates), and the GPU backend keeps a
+cached device copy of the stack. The narrower ``posterior_step`` /
+``residual_step`` phase methods remain as the matvec-free inner
+halves; generic operators (e.g. the dense debugging path's
+:class:`MatvecOperator`) run through them unchanged. A
 :class:`StackLayout` value describes the trial stack — uniform
 ``(T, m)`` or ragged ``row_sizes`` — so one driver and one kernel
 interface cover both stack shapes.
@@ -37,16 +46,28 @@ Backends
     pass.
 ``numba`` / ``numba32``
     Optional fused backend: each phase runs as one jitted loop over
-    the ragged segment bounds — segment sums, denoiser, damping,
-    Onsager and step norm in a single pass over the stack, with the
-    denoiser inlined from its flat :meth:`repro.amp.denoisers.
-    Denoiser.kernel_form` parameters (no Python callback per segment).
+    the ragged segment bounds — the CSR matvec, segment sums,
+    denoiser, damping, Onsager and step norm in a single pass over the
+    stack, with the denoiser inlined from its flat
+    :meth:`repro.amp.denoisers.Denoiser.kernel_form` parameters (no
+    Python callback per segment, no flat matvec intermediates).
     Requires the ``numba`` package; when it is missing,
     :func:`resolve_kernel` warns once and falls back to the matching
     NumPy kernel, so ``REPRO_KERNEL=numba`` is always safe to export.
     Accumulation order inside a fused loop differs from NumPy's
     pairwise sums, so these backends are equivalence-tested within
     tolerance, not bit-identical.
+``cupy`` / ``cupy32``
+    Optional GPU backend on the same phase interface: the stacked CSR
+    is copied to the device once per operator (cached on the
+    operator), and both phases run as cupy array programs mirroring
+    the reference arithmetic, returning host arrays at the seam.
+    Requires the ``cupy`` package; when it is missing the resolver
+    degrades exactly like the numba fallback — one warning per
+    process, then the matching-precision NumPy kernel — so
+    ``REPRO_KERNEL=cupy`` is always safe to export. GPU reductions
+    reorder sums, so these backends are tolerance-equivalent, never
+    bit-identical.
 
 Selection
 ---------
@@ -72,7 +93,7 @@ from repro.amp.denoisers import TAU_FLOOR, Denoiser
 KERNEL_ENV = "REPRO_KERNEL"
 
 #: registered kernel backend names (see the module docstring)
-KERNELS = ("numpy", "numpy32", "numba", "numba32")
+KERNELS = ("numpy", "numpy32", "numba", "numba32", "cupy", "cupy32")
 
 
 # -- stack layout --------------------------------------------------------
@@ -190,6 +211,123 @@ class StackLayout:
             dst[bounds[i] : bounds[i + 1]] = src[bounds[i] : bounds[i + 1]]
 
 
+# -- stack operators -----------------------------------------------------
+
+
+class MatvecOperator:
+    """Adapter wrapping plain ``(matvec, rmatvec)`` flat-vector callables.
+
+    Used by paths that have no raw CSR stack to expose (the dense
+    debugging path of :func:`repro.amp.run_amp`); every kernel applies
+    it through the generic phase implementations.
+    """
+
+    def __init__(self, matvec, rmatvec) -> None:
+        self._matvec = matvec
+        self._rmatvec = rmatvec
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._matvec(x)
+
+    def rmatvec(self, z: np.ndarray) -> np.ndarray:
+        return self._rmatvec(z)
+
+
+class CSRStackOperator:
+    """Standardized block-diagonal trial stack in raw CSR form.
+
+    Carries everything a backend needs to apply the standardized
+    forward map ``x -> (A x - c s_t) / scale_t`` and its adjoint
+    itself: the stacked raw adjacency ``a`` (a scipy CSR matrix over
+    the column-shifted block-diagonal arrays, shape
+    ``(sum(m_t), T*n)``), the centering constant ``c`` and the
+    per-trial standardization scales. ``m_per=None`` declares the
+    uniform stack (every trial shares ``m`` and one scalar ``scale``);
+    otherwise the stack is the ragged heterogeneous-m form with
+    per-trial ``scales``.
+
+    :meth:`matvec` / :meth:`rmatvec` are the scipy reference
+    implementations — verbatim the pre-seam closure bodies of the
+    batched operators (and, for ``T = 1``, bit-identical to the
+    standalone ``run_amp`` closures: same pairwise sums over the same
+    contiguous data, same per-element centering and scaling) — which
+    is what keeps the default kernel's in-seam matvec pinned to the
+    captured goldens. Fused and GPU backends bypass them and read the
+    raw ``a.indptr`` / ``a.indices`` / ``a.data`` arrays directly;
+    they may cache derived device state on the instance (see
+    :class:`CupyKernel`). The transpose is the free CSC view, exactly
+    as before.
+    """
+
+    def __init__(
+        self,
+        a,
+        *,
+        n: int,
+        c: float,
+        scale: Optional[float] = None,
+        m_per: Optional[np.ndarray] = None,
+        scales: Optional[np.ndarray] = None,
+    ) -> None:
+        self.a = a
+        self.a_t = a.T
+        self.n = int(n)
+        self.trials = a.shape[1] // self.n
+        self.c = c
+        self.uniform = m_per is None
+        self.dtype = np.dtype(a.dtype)
+        if self.uniform:
+            if scale is None:
+                raise ValueError("uniform stacks require scale=")
+            self.m = a.shape[0] // max(self.trials, 1)
+            self.scale = float(scale)
+        else:
+            if scales is None:
+                raise ValueError("ragged stacks require scales=")
+            self.m_per = np.asarray(m_per, dtype=np.int64)
+            self.scales = np.asarray(scales, dtype=np.float64)
+            self.bounds = np.concatenate(([0], np.cumsum(self.m_per)))
+            # Per-trial scale vectors in the working dtype: float64
+            # stays the exact pre-float32 arithmetic, float32 avoids
+            # the silent promotion a float64 divisor would cause under
+            # NEP 50.
+            self.row_scale = np.repeat(self.scales, self.m_per).astype(
+                self.dtype, copy=False
+            )
+            self.scales_col = self.scales.astype(self.dtype, copy=False)[
+                :, None
+            ]
+
+    def per_trial_scales(self) -> np.ndarray:
+        """Float64 ``(T,)`` standardization scales (fused backends)."""
+        if self.uniform:
+            return np.full(self.trials, self.scale, dtype=np.float64)
+        return self.scales
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        trials, n, c = self.trials, self.n, self.c
+        s = x.reshape(trials, n).sum(axis=1)
+        if self.uniform:
+            return (self.a @ x - c * np.repeat(s, self.m)) / self.scale
+        return (self.a @ x - c * np.repeat(s, self.m_per)) / self.row_scale
+
+    def rmatvec(self, z: np.ndarray) -> np.ndarray:
+        trials, n, c = self.trials, self.n, self.c
+        if self.uniform:
+            s = z.reshape(trials, self.m).sum(axis=1)
+            return (self.a_t @ z - c * np.repeat(s, n)) / self.scale
+        bounds = self.bounds
+        s = np.array(
+            [z[bounds[i] : bounds[i + 1]].sum() for i in range(trials)]
+        )
+        # Column side is uniform (n per trial): broadcast the
+        # per-trial centering/scale on a (T, n) view — the same
+        # per-element arithmetic as a flat np.repeat, without the
+        # (T*n,) repeat temporaries every iteration.
+        out = (self.a_t @ z).reshape(trials, n)
+        return ((out - (c * s)[:, None]) / self.scales_col).reshape(-1)
+
+
 # -- kernel interface ----------------------------------------------------
 
 
@@ -296,6 +434,42 @@ class AMPKernel:
     def residual_norms(self, z: np.ndarray, layout: StackLayout) -> np.ndarray:
         """Per-trial ``||z||_2`` (history tracking)."""
         return np.sqrt(self.segment_square_sums(z, layout))
+
+    # -- matvec-inclusive phases (the full-iteration seam) --------------
+
+    def adjoint_posterior(
+        self,
+        op,
+        denoiser: Denoiser,
+        sigma: np.ndarray,
+        z: np.ndarray,
+        layout: StackLayout,
+        damping: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Adjoint matvec plus :meth:`posterior_step` in one phase call.
+
+        The reference implementation applies the operator's own
+        ``rmatvec`` (the pre-seam scipy arithmetic, bit-identical by
+        construction) and feeds the result into the matvec-free inner
+        phase; fused/GPU subclasses override this to run the matvec
+        inside their own loop.
+        """
+        rmv = op.rmatvec(z.reshape(-1))
+        return self.posterior_step(denoiser, rmv, sigma, z, layout, damping)
+
+    def forward_residual(
+        self,
+        op,
+        y: np.ndarray,
+        sigma_new: np.ndarray,
+        z: np.ndarray,
+        onsager: np.ndarray,
+        layout: StackLayout,
+        damping: float,
+    ) -> np.ndarray:
+        """Forward matvec plus :meth:`residual_step` in one phase call."""
+        mv = op.matvec(sigma_new.reshape(-1))
+        return self.residual_step(y, mv, z, onsager, layout, damping)
 
 
 # -- numba backend -------------------------------------------------------
@@ -435,11 +609,147 @@ def _get_numba_functions() -> Dict[str, Callable]:
                 z_new[j] = value
         return z_new
 
+    # -- in-seam CSR variants: the matvec fused into the phase loop ----
+    #
+    # Each trial's adjoint matvec scatters into one reusable (n,)
+    # buffer (re-zeroed for free as the posterior pass consumes it),
+    # and the forward matvec gathers per row straight into the
+    # residual update — no (T*n,)/(T*m,) matvec intermediates ever
+    # materialize. Standardization (centering c, per-trial scale) is
+    # applied inline, so the whole iteration stays inside one loop.
+
+    @numba.njit(cache=True)
+    def csr_bayes_posterior(
+        indptr, indices, data, sigma, z_flat, bounds, scales, c,
+        sqrt_m, nm_ratio, sqrt_n, log_odds, exp_clip, tau_floor, damping,
+    ):
+        rows, n = sigma.shape
+        sigma_new = np.empty_like(sigma)
+        onsager = np.empty(rows, dtype=sigma.dtype)
+        tau = np.empty(rows, dtype=sigma.dtype)
+        step = np.empty(rows, dtype=sigma.dtype)
+        rmv = np.zeros(n, dtype=np.float64)
+        for i in range(rows):
+            zsum = 0.0
+            acc = 0.0
+            base = i * n
+            for r in range(bounds[i], bounds[i + 1]):
+                zr = z_flat[r]
+                zsum += zr
+                acc += zr * zr
+                for e in range(indptr[r], indptr[r + 1]):
+                    rmv[indices[e] - base] += data[e] * zr
+            t = math.sqrt(acc) / sqrt_m[i]
+            if t < tau_floor:
+                t = tau_floor
+            tau[i] = t
+            half_inv_t2 = 1.0 / (2.0 * t * t)
+            centered = c * zsum
+            scale = scales[i]
+            deriv_sum = 0.0
+            step_sum = 0.0
+            for j in range(n):
+                x = (rmv[j] - centered) / scale + sigma[i, j]
+                rmv[j] = 0.0  # free per-trial reset of the scatter buffer
+                e_ = log_odds + (1.0 - 2.0 * x) * half_inv_t2
+                if e_ > exp_clip:
+                    e_ = exp_clip
+                elif e_ < -exp_clip:
+                    e_ = -exp_clip
+                eta = 1.0 / (1.0 + math.exp(e_))
+                deriv_sum += eta * (1.0 - eta)
+                value = eta
+                if damping > 0.0:
+                    value = (1.0 - damping) * eta + damping * sigma[i, j]
+                d = value - sigma[i, j]
+                step_sum += d * d
+                sigma_new[i, j] = value
+            onsager[i] = nm_ratio[i] * (deriv_sum / (t * t) / n)
+            step[i] = math.sqrt(step_sum) / sqrt_n
+        return sigma_new, onsager, tau, step
+
+    @numba.njit(cache=True)
+    def csr_soft_threshold_posterior(
+        indptr, indices, data, sigma, z_flat, bounds, scales, c,
+        sqrt_m, nm_ratio, sqrt_n, alpha, tau_floor, damping,
+    ):
+        rows, n = sigma.shape
+        sigma_new = np.empty_like(sigma)
+        onsager = np.empty(rows, dtype=sigma.dtype)
+        tau = np.empty(rows, dtype=sigma.dtype)
+        step = np.empty(rows, dtype=sigma.dtype)
+        rmv = np.zeros(n, dtype=np.float64)
+        for i in range(rows):
+            zsum = 0.0
+            acc = 0.0
+            base = i * n
+            for r in range(bounds[i], bounds[i + 1]):
+                zr = z_flat[r]
+                zsum += zr
+                acc += zr * zr
+                for e in range(indptr[r], indptr[r + 1]):
+                    rmv[indices[e] - base] += data[e] * zr
+            t = math.sqrt(acc) / sqrt_m[i]
+            if t < tau_floor:
+                t = tau_floor
+            tau[i] = t
+            threshold = alpha * t
+            centered = c * zsum
+            scale = scales[i]
+            deriv_sum = 0.0
+            step_sum = 0.0
+            for j in range(n):
+                x = (rmv[j] - centered) / scale + sigma[i, j]
+                rmv[j] = 0.0
+                mag = abs(x) - threshold
+                if mag > 0.0:
+                    value = mag if x > 0.0 else -mag
+                    deriv_sum += 1.0
+                else:
+                    value = 0.0
+                if damping > 0.0:
+                    value = (1.0 - damping) * value + damping * sigma[i, j]
+                d = value - sigma[i, j]
+                step_sum += d * d
+                sigma_new[i, j] = value
+            onsager[i] = nm_ratio[i] * (deriv_sum / n)
+            step[i] = math.sqrt(step_sum) / sqrt_n
+        return sigma_new, onsager, tau, step
+
+    @numba.njit(cache=True)
+    def csr_residual(
+        indptr, indices, data, sigma, y_flat, z_flat, onsager,
+        bounds, scales, c, damping,
+    ):
+        rows, n = sigma.shape
+        z_new = np.empty_like(z_flat)
+        for i in range(rows):
+            s = 0.0
+            for j in range(n):
+                s += sigma[i, j]
+            centered = c * s
+            scale = scales[i]
+            o = onsager[i]
+            base = i * n
+            for r in range(bounds[i], bounds[i + 1]):
+                acc = 0.0
+                for e in range(indptr[r], indptr[r + 1]):
+                    acc += data[e] * sigma[i, indices[e] - base]
+                mv = (acc - centered) / scale
+                value = y_flat[r] - mv + o * z_flat[r]
+                if damping > 0.0:
+                    value = (1.0 - damping) * value + damping * z_flat[r]
+                z_new[r] = value
+        return z_new
+
     _numba_functions = {
         "seg_sq_sums": seg_sq_sums,
         "bayes-bernoulli": bayes_posterior,
         "soft-threshold": soft_threshold_posterior,
         "residual": residual,
+        "csr-bayes-bernoulli": csr_bayes_posterior,
+        "csr-soft-threshold": csr_soft_threshold_posterior,
+        "csr-residual": csr_residual,
     }
     return _numba_functions
 
@@ -503,26 +813,256 @@ class NumbaKernel(AMPKernel):
         )
         return z_new.reshape(y.shape)
 
+    def adjoint_posterior(self, op, denoiser, sigma, z, layout, damping):
+        form = denoiser.kernel_form()
+        fused_kind = None if form is None else "csr-" + form[0]
+        if (
+            not isinstance(op, CSRStackOperator)
+            or fused_kind not in self._functions
+        ):
+            # Generic operators (and unregistered denoisers) run the
+            # scipy matvec plus the rmv-based fused posterior — the
+            # exact pre-in-seam behavior.
+            return super().adjoint_posterior(
+                op, denoiser, sigma, z, layout, damping
+            )
+        kind, params = form
+        exp_clip = Denoiser.exp_clip_for(self.dtype)
+        args = (
+            params + (float(exp_clip),)
+            if kind == "bayes-bernoulli"
+            else params
+        )
+        a = op.a
+        return self._functions[fused_kind](
+            a.indptr,
+            a.indices,
+            a.data,
+            np.ascontiguousarray(sigma),
+            np.ascontiguousarray(z).reshape(-1),
+            layout.bounds,
+            op.per_trial_scales(),
+            float(op.c),
+            layout.per_row(layout.sqrt_m),
+            layout.per_row(layout.nm_ratio),
+            float(layout.sqrt_n),
+            *args,
+            float(TAU_FLOOR),
+            float(damping),
+        )
+
+    def forward_residual(self, op, y, sigma_new, z, onsager, layout, damping):
+        if not isinstance(op, CSRStackOperator):
+            return super().forward_residual(
+                op, y, sigma_new, z, onsager, layout, damping
+            )
+        a = op.a
+        z_new = self._functions["csr-residual"](
+            a.indptr,
+            a.indices,
+            a.data,
+            np.ascontiguousarray(sigma_new),
+            np.ascontiguousarray(y).reshape(-1),
+            np.ascontiguousarray(z).reshape(-1),
+            np.ascontiguousarray(onsager),
+            layout.bounds,
+            op.per_trial_scales(),
+            float(op.c),
+            float(damping),
+        )
+        return z_new.reshape(y.shape)
+
+
+# -- cupy backend --------------------------------------------------------
+
+_CUPY_AVAILABLE: Optional[bool] = None
+
+
+def cupy_available() -> bool:
+    """Whether the optional ``cupy`` package is importable (cached)."""
+    global _CUPY_AVAILABLE
+    if _CUPY_AVAILABLE is None:
+        try:
+            import cupy  # noqa: F401
+
+            _CUPY_AVAILABLE = True
+        except ImportError:
+            _CUPY_AVAILABLE = False
+    return _CUPY_AVAILABLE
+
+
+class CupyKernel(AMPKernel):
+    """GPU backend: both phases as cupy array programs on a device CSR.
+
+    The stacked matrix is copied to the device once per operator and
+    cached on it (``_cupy_state``); the adjoint is materialized as a
+    device CSR once (cupy's CSC matvec path is not competitive), which
+    doubles device nnz storage but amortizes over every iteration.
+    Inputs cross the host/device boundary at the phase seam only:
+    each phase uploads the current state, runs the full pass —
+    adjoint matvec, segment sums, inlined denoiser, damping, Onsager,
+    step norm (or forward matvec + residual) — on the device, and
+    returns host arrays, so the driver and decode stay untouched.
+
+    Denoisers without a registered :meth:`~repro.amp.denoisers.
+    Denoiser.kernel_form`, and generic (non-CSR) operators, fall back
+    to the inherited NumPy phases — correct for every denoiser, same
+    contract as :class:`NumbaKernel`. GPU reductions reorder sums, so
+    this backend is tolerance-equivalent, never bit-identical.
+    """
+
+    def __init__(self, dtype=np.float64, name: str = "cupy") -> None:
+        super().__init__(dtype, name)
+        import cupy
+
+        self._cp = cupy
+
+    def _device_state(self, op: CSRStackOperator) -> Dict[str, object]:
+        state = getattr(op, "_cupy_state", None)
+        if state is not None:
+            return state
+        cp = self._cp
+        from cupyx.scipy import sparse as cupy_sparse
+
+        a = cupy_sparse.csr_matrix(
+            (
+                cp.asarray(op.a.data),
+                cp.asarray(op.a.indices),
+                cp.asarray(op.a.indptr),
+            ),
+            shape=op.a.shape,
+        )
+        state = {
+            "a": a,
+            "a_t": a.T.tocsr(),
+            "scales": cp.asarray(op.per_trial_scales()),
+        }
+        if not op.uniform:
+            state["m_per"] = cp.asarray(op.m_per)
+            state["row_scale"] = cp.asarray(op.row_scale)
+        op._cupy_state = state
+        return state
+
+    def adjoint_posterior(self, op, denoiser, sigma, z, layout, damping):
+        form = denoiser.kernel_form()
+        if (
+            not isinstance(op, CSRStackOperator)
+            or form is None
+            or form[0] not in ("bayes-bernoulli", "soft-threshold")
+        ):
+            return super().adjoint_posterior(
+                op, denoiser, sigma, z, layout, damping
+            )
+        cp = self._cp
+        state = self._device_state(op)
+        rows, n = layout.rows, layout.n
+        z_d = cp.asarray(np.ascontiguousarray(z)).reshape(-1)
+        sigma_d = cp.asarray(np.ascontiguousarray(sigma))
+        if layout.uniform:
+            z2 = z_d.reshape(rows, layout.m)
+            zsum = z2.sum(axis=1)
+            zsq = (z2 * z2).sum(axis=1)
+        else:
+            bounds_d = cp.asarray(layout.bounds)
+            csum = cp.concatenate(
+                (cp.zeros(1, dtype=z_d.dtype), cp.cumsum(z_d))
+            )
+            c2 = cp.concatenate(
+                (cp.zeros(1, dtype=z_d.dtype), cp.cumsum(z_d * z_d))
+            )
+            zsum = csum[bounds_d[1:]] - csum[bounds_d[:-1]]
+            zsq = c2[bounds_d[1:]] - c2[bounds_d[:-1]]
+        sqrt_m_d = cp.asarray(layout.per_row(layout.sqrt_m))
+        tau = cp.maximum(cp.sqrt(zsq) / sqrt_m_d, TAU_FLOOR)
+        scales_d = state["scales"]
+        rmv = state["a_t"] @ z_d
+        r = (
+            (rmv.reshape(rows, n) - (op.c * zsum)[:, None])
+            / scales_d[:, None]
+        ) + sigma_d
+        kind, params = form
+        tau_sq = tau * tau
+        if kind == "bayes-bernoulli":
+            (log_odds,) = params
+            clip = float(Denoiser.exp_clip_for(self.dtype))
+            expo = cp.clip(
+                log_odds + (1.0 - 2.0 * r) / (2.0 * tau_sq)[:, None],
+                -clip,
+                clip,
+            )
+            value = 1.0 / (1.0 + cp.exp(expo))
+            deriv = value * (1.0 - value) / tau_sq[:, None]
+        else:
+            (alpha,) = params
+            thresh = (alpha * tau)[:, None]
+            value = cp.sign(r) * cp.maximum(cp.abs(r) - thresh, 0.0)
+            deriv = (cp.abs(r) > thresh).astype(sigma_d.dtype)
+        if damping > 0.0:
+            sigma_new = (1.0 - damping) * value + damping * sigma_d
+        else:
+            sigma_new = value
+        nm_d = cp.asarray(layout.per_row(layout.nm_ratio))
+        onsager = nm_d * deriv.mean(axis=1)
+        diff = sigma_new - sigma_d
+        step = cp.sqrt((diff * diff).sum(axis=1)) / layout.sqrt_n
+        return (
+            cp.asnumpy(sigma_new),
+            cp.asnumpy(onsager),
+            cp.asnumpy(tau),
+            cp.asnumpy(step),
+        )
+
+    def forward_residual(self, op, y, sigma_new, z, onsager, layout, damping):
+        if not isinstance(op, CSRStackOperator):
+            return super().forward_residual(
+                op, y, sigma_new, z, onsager, layout, damping
+            )
+        cp = self._cp
+        state = self._device_state(op)
+        rows, n = layout.rows, layout.n
+        x_d = cp.asarray(np.ascontiguousarray(sigma_new)).reshape(-1)
+        z_d = cp.asarray(np.ascontiguousarray(z))
+        y_d = cp.asarray(np.ascontiguousarray(y))
+        o_d = cp.asarray(np.ascontiguousarray(onsager))
+        s = x_d.reshape(rows, n).sum(axis=1)
+        mv = state["a"] @ x_d
+        if layout.uniform:
+            mv_std = (
+                mv.reshape(rows, layout.m) - (op.c * s)[:, None]
+            ) / op.scale
+            z_new = y_d - mv_std + o_d[:, None] * z_d
+        else:
+            m_per_d = state["m_per"]
+            mv_std = (mv - op.c * cp.repeat(s, m_per_d)) / state["row_scale"]
+            z_new = y_d - mv_std + cp.repeat(o_d, m_per_d) * z_d
+        if damping > 0.0:
+            z_new = (1.0 - damping) * z_new + damping * z_d
+        return cp.asnumpy(z_new).reshape(y.shape)
+
 
 # -- registry ------------------------------------------------------------
 
-_fallback_warned = False
+#: accelerator families (package name -> warned flag): the fallback
+#: warning fires once per missing package per process, not once per
+#: resolve and not once per kernel-name spelling
+_fallback_warned: Dict[str, bool] = {}
 
 
-def _numpy_fallback(name: str) -> AMPKernel:
-    """Graceful degrade when numba is requested but not installed."""
-    global _fallback_warned
-    if not _fallback_warned:
+def _numpy_fallback(name: str, package: str) -> AMPKernel:
+    """Graceful degrade when an accelerator backend is not installed."""
+    substitute = "numpy32" if name.endswith("32") else "numpy"
+    if not _fallback_warned.get(package):
         warnings.warn(
-            f"AMP kernel {name!r} requested but numba is not installed; "
-            "falling back to the NumPy reference kernel (identical "
-            "results, no fusion). Install numba to enable the fused "
-            "backend.",
+            f"AMP kernel {name!r} requested but {package} is not "
+            f"installed; falling back to the matching-precision NumPy "
+            f"reference kernel ({name} -> {substitute}: identical "
+            f"semantics, no fused/accelerated passes). Install "
+            f"{package} to enable the backend.",
             RuntimeWarning,
             stacklevel=3,
         )
-        _fallback_warned = True
-    if name.endswith("32"):
+        _fallback_warned[package] = True
+    if substitute == "numpy32":
         return AMPKernel(np.float32, "numpy32")
     return AMPKernel(np.float64, "numpy")
 
@@ -534,9 +1074,14 @@ def _make_kernel(name: str) -> AMPKernel:
         return AMPKernel(np.float32, "numpy32")
     if name in ("numba", "numba32"):
         if not numba_available():
-            return _numpy_fallback(name)
+            return _numpy_fallback(name, "numba")
         dtype = np.float32 if name == "numba32" else np.float64
         return NumbaKernel(dtype, name)
+    if name in ("cupy", "cupy32"):
+        if not cupy_available():
+            return _numpy_fallback(name, "cupy")
+        dtype = np.float32 if name == "cupy32" else np.float64
+        return CupyKernel(dtype, name)
     raise ValueError(f"unknown AMP kernel {name!r}; valid: {KERNELS}")
 
 
@@ -567,8 +1112,12 @@ __all__ = [
     "KERNEL_ENV",
     "KERNELS",
     "StackLayout",
+    "MatvecOperator",
+    "CSRStackOperator",
     "AMPKernel",
     "NumbaKernel",
+    "CupyKernel",
     "numba_available",
+    "cupy_available",
     "resolve_kernel",
 ]

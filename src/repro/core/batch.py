@@ -429,6 +429,86 @@ class MeasurementStream:
         )
 
 
+class ReplayedStream:
+    """Prefix-replay view over a fully grown, externally stored stream.
+
+    Mirrors the prefix-replay surface of :class:`MeasurementStream`
+    (``prefix`` / ``grow_to`` / the consolidated array properties /
+    ``truth``) on arrays that were grown *elsewhere*: the driver of a
+    shared-memory sweep grows each trial's stream once, publishes the
+    consolidated arrays into the sweep arena, and workers wrap the
+    attached read-only views in this class instead of resampling the
+    stream. The determinism contract of :class:`MeasurementStream`
+    (a stream's first ``m`` queries are identical no matter how far
+    past ``m`` it has grown) is exactly what makes the replayed
+    prefixes bit-identical to the ones the worker would have sampled
+    itself from the same child seed.
+
+    ``grow_to`` within the stored length is a no-op; growing past it
+    raises — a replayed stream carries no generator to extend it, and
+    a consumer probing beyond the published prefix is a driver-side
+    eligibility bug, not something to paper over.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        gamma: int,
+        truth: GroundTruth,
+        indptr: np.ndarray,
+        agents: np.ndarray,
+        counts: np.ndarray,
+        results: np.ndarray,
+    ):
+        self.n = n
+        self.gamma = gamma
+        self.truth = truth
+        self.retain = True
+        self.m_done = int(indptr.size - 1)
+        self._indptr = indptr
+        self._agents = agents
+        self._counts = counts
+        self._results = results
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def agents(self) -> np.ndarray:
+        return self._agents
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def results(self) -> np.ndarray:
+        return self._results
+
+    def grow_to(self, m: int) -> None:
+        if m > self.m_done:
+            raise ValueError(
+                f"replayed stream holds {self.m_done} queries and cannot "
+                f"grow to {m}"
+            )
+
+    def prefix(self, m: int):
+        """CSR triple + results views of the first ``m`` stored queries."""
+        if m > self.m_done:
+            raise ValueError(
+                f"prefix m={m} exceeds the replayed stream length "
+                f"{self.m_done}"
+            )
+        edges = int(self._indptr[m])
+        return (
+            self._indptr[: m + 1],
+            self._agents[:edges],
+            self._counts[:edges],
+            self._results[:m],
+        )
+
+
 class _SuccessScanner:
     """Exact first-success scan with a lazy zeros-maximum certificate.
 
@@ -813,5 +893,6 @@ __all__ = [
     "sample_pooling_graph_batch",
     "first_success_m",
     "MeasurementStream",
+    "ReplayedStream",
     "BatchTrialRunner",
 ]

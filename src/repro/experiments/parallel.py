@@ -435,6 +435,57 @@ def _fixed_m_chunk(
     return out
 
 
+def _fixed_m_prepared_chunk(
+    spec: Dict[str, object], m: int, arrays: Dict[str, np.ndarray]
+) -> List[Tuple[bool, float]]:
+    """Decode a driver-prepared fixed-``m`` AMP chunk.
+
+    ``arrays`` holds the chunk's stacked CSR and per-trial results /
+    truth rows, attached zero-copy from the sweep arena (see
+    :func:`repro.experiments.shm.shm_graph_chunk`). Outcomes are
+    identical to :func:`_fixed_m_chunk` on the chunk's seeds — the
+    sampling simply happened on the driver instead of here.
+    """
+    from repro.amp.batch_amp import run_amp_prepared
+    from repro.experiments.runner import _amp_batch_kwargs
+
+    return run_amp_prepared(
+        spec["n"],
+        spec["k"],
+        spec["channel"],
+        m,
+        arrays,
+        gamma=spec["gamma"],
+        **_amp_batch_kwargs(spec["algorithm_kwargs"]),
+    )
+
+
+def _required_prepared_chunk(
+    spec: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> List[Tuple[bool, Optional[int]]]:
+    """Run a driver-prepared required-queries AMP chunk.
+
+    ``arrays`` holds the chunk's fully grown measurement streams
+    (prefix-replay form), attached zero-copy from the sweep arena.
+    Outcomes are identical to :func:`_required_queries_chunk` on the
+    chunk's seeds.
+    """
+    from repro.amp.batch_amp import required_queries_amp_replayed
+
+    runs = required_queries_amp_replayed(
+        spec["n"],
+        spec["k"],
+        spec["channel"],
+        arrays,
+        gamma=spec["gamma"],
+        max_m=spec["max_m"],
+        check_every=spec["check_every"],
+        verify=spec.get("verify", "full"),
+        kernel=spec.get("kernel"),
+    )
+    return [(result.succeeded, result.required_m) for result in runs]
+
+
 def _sample_design_graph(spec: Dict[str, object], m: int, gen):
     """Sample one trial's pooling graph under the cell's design.
 

@@ -403,7 +403,8 @@ def success_rate_curve(
     :mod:`repro.experiments.scheduler`).
 
     ``kernel`` selects the AMP compute backend by name and is merged
-    into ``algorithm_kwargs`` (AMP only — other algorithms reject it);
+    into ``algorithm_kwargs`` (``"amp"`` and ``"distributed_amp"``
+    cells only — other algorithms reject it);
     ``shm`` routes process-backend dispatch through the shared-memory
     arena. Neither changes any float64-default output.
 
@@ -420,7 +421,7 @@ def success_rate_curve(
     layout.
     """
     if kernel is not None:
-        if algorithm != "amp":
+        if algorithm not in ("amp", "distributed_amp"):
             raise ValueError(
                 f"kernel={kernel!r} selects an AMP compute backend; "
                 f"algorithm {algorithm!r} has none"

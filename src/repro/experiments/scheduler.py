@@ -552,6 +552,82 @@ def _process_chunk(key: str, blob: Optional[bytes], kind: str, m, seeds):
     return _run_chunk(_intern_spec(key, blob), kind, m, seeds)
 
 
+# -- driver-side graph preparation (shm backend) ------------------------
+
+#: soft cap on the expected incidence elements one prepared chunk may
+#: publish into the arena; larger chunks fall back to seed dispatch
+#: (the eligibility dial bounds driver memory and arena size, never
+#: correctness — both dispatch forms are bit-identical)
+_PREPARED_ELEMENTS_CAP = 2**24
+
+
+def _prepared_arrays(cell, task) -> Optional[Dict[str, np.ndarray]]:
+    """Sample an eligible AMP task's graph buffers on the driver.
+
+    Returns the array dict to publish into the sweep arena, or
+    ``None`` when the task must ship seeds as before. Eligible are
+
+    * fixed-m AMP cells on the stacked path (``batch_mode == "amp"``)
+      whose whole chunk fits one block-diagonal stack
+      (:func:`repro.amp.batch_amp.sample_amp_cell_chunk`), and
+    * honest batch-engine required-m AMP cells
+      (:func:`repro.amp.batch_amp.sample_required_stream_chunk`) —
+      corrupted cells replay a corruption realization the generic scan
+      owns, so they keep the seed path.
+
+    Sampling consumes each seed exactly as the worker-side chunk
+    functions would, so prepared and seed dispatch are bit-identical.
+    """
+    from repro.amp.batch_amp import (
+        STACK_NNZ_CUTOFF,
+        _expected_trial_nnz,
+        sample_amp_cell_chunk,
+        sample_required_stream_chunk,
+    )
+    from repro.amp.kernels import resolve_kernel
+    from repro.core.incremental import default_max_queries
+    from repro.core.pooling import default_gamma
+
+    spec = cell.spec
+    n = spec["n"]
+    gamma = spec["gamma"] or default_gamma(n)
+    if cell.kind == CELL_CURVE:
+        if spec.get("batch_mode") != "amp" or not task.m:
+            return None
+        m = int(task.m)
+        per_trial = _expected_trial_nnz(n, m, gamma)
+        if (
+            per_trial > STACK_NNZ_CUTOFF
+            or per_trial * len(task.seeds) > _PREPARED_ELEMENTS_CAP
+        ):
+            return None
+        kern = resolve_kernel(spec["algorithm_kwargs"].get("kernel"))
+        return sample_amp_cell_chunk(
+            n, spec["k"], spec["channel"], m, task.seeds,
+            gamma=gamma, dtype=kern.dtype,
+        )
+    corruption = spec.get("corruption")
+    if (
+        spec.get("algorithm") != "amp"
+        or spec.get("engine") != "batch"
+        or (corruption is not None and not corruption.is_null)
+    ):
+        return None
+    max_m = spec["max_m"] or default_max_queries(n, spec["k"], spec["channel"])
+    step = max(1, int(spec["check_every"]))
+    grid_max = (max_m // step) * step
+    if not grid_max:
+        return None
+    per_trial = _expected_trial_nnz(n, grid_max, gamma)
+    if per_trial * len(task.seeds) > _PREPARED_ELEMENTS_CAP:
+        return None
+    return sample_required_stream_chunk(
+        n, spec["k"], spec["channel"], task.seeds,
+        gamma=spec["gamma"], max_m=spec["max_m"],
+        check_every=spec["check_every"],
+    )
+
+
 # -- executor -----------------------------------------------------------
 
 
@@ -930,26 +1006,65 @@ class SweepExecutor:
     def _execute_process_shm(self, tasks, cells, emit) -> None:
         """Process backend with shared-memory payload dispatch.
 
-        All cell specs and per-task seed tuples are pickled once into
-        one :class:`~repro.experiments.shm.SweepArena`; every
-        submission then carries only the arena name plus two
-        ``(offset, length)`` refs, so steady-state dispatch bytes are
-        near-constant per chunk (no stacked seed pickling through the
-        pool pipe, no spec-miss retry protocol — the arena always has
-        everything). The arena is unlinked in the ``finally`` whether
-        the sweep finishes, raises, or retries; the retry-once
-        ``BrokenProcessPool`` semantics mirror
-        :meth:`_execute_process` (chunks are pure functions of their
-        seeds, and the arena outlives the broken pool, so the fresh
-        pool replays the identical payload).
+        All cell specs and per-task payloads are laid out once in one
+        :class:`~repro.experiments.shm.SweepArena`; every submission
+        then carries only the arena name plus ``(offset, length)``
+        refs, so steady-state dispatch bytes are near-constant per
+        chunk (no stacked seed pickling through the pool pipe, no
+        spec-miss retry protocol — the arena always has everything).
+
+        Eligible AMP chunks go further: :func:`_prepared_arrays`
+        samples their pooling graphs on the driver and publishes the
+        raw buffers — the fixed-``m`` chunk's single stacked CSR, or a
+        required-``m`` chunk's fully grown measurement streams — into
+        the arena, and the worker attaches zero-copy read-only views
+        (:func:`~repro.experiments.shm.shm_graph_chunk`) instead of
+        re-sampling and re-stacking per chunk. Ineligible tasks ship
+        pickled seeds exactly as before, in the same arena. The arena
+        is unlinked in the ``finally`` whether the sweep finishes,
+        raises, or retries; the retry-once ``BrokenProcessPool``
+        semantics mirror :meth:`_execute_process` (payloads are pure
+        functions of their seeds, and the arena outlives the broken
+        pool, so the fresh pool replays the identical payload).
         """
         used = sorted({t.cell for t in tasks})
-        arena = shm_module.SweepArena.from_payloads(
-            [cells[ci].spec for ci in used] + [t.seeds for t in tasks]
-        )
+        spec_index = {ci: i for i, ci in enumerate(used)}
+        blobs: List[object] = [
+            pickle.dumps(cells[ci].spec, pickle.HIGHEST_PROTOCOL)
+            for ci in used
+        ]
+        # Per task, either ("seeds", blob_index) or
+        # ("prep", {array_name: (blob_index, dtype_str, shape)}).
+        descriptors: List[Tuple[str, object]] = []
+        for task in tasks:
+            prep = _prepared_arrays(cells[task.cell], task)
+            if prep is None:
+                descriptors.append(("seeds", len(blobs)))
+                blobs.append(
+                    pickle.dumps(task.seeds, pickle.HIGHEST_PROTOCOL)
+                )
+            else:
+                entry = {}
+                for key in sorted(prep):
+                    arr = prep[key]
+                    entry[key] = (len(blobs), arr.dtype.str, arr.shape)
+                    blobs.append(arr)
+                descriptors.append(("prep", entry))
+        arena = shm_module.SweepArena(blobs, align=64)
+        # The arena owns the bytes now; drop the driver-side copies of
+        # the prepared arrays before the dispatch loop holds memory.
+        del blobs
         try:
-            spec_refs = {ci: arena.refs[i] for i, ci in enumerate(used)}
-            seed_refs = arena.refs[len(used):]
+            spec_refs = {ci: arena.refs[spec_index[ci]] for ci in used}
+            payloads: List[Tuple[str, object]] = []
+            for form, body in descriptors:
+                if form == "seeds":
+                    payloads.append((form, arena.refs[body]))
+                else:
+                    payloads.append((form, {
+                        key: (arena.refs[bi], dt, shape)
+                        for key, (bi, dt, shape) in body.items()
+                    }))
             unsent: "deque[int]" = deque(range(len(tasks)))
             retried_broken = False
             while True:
@@ -962,9 +1077,15 @@ class SweepExecutor:
                             # _execute_process
                             ti = unsent[0]
                             task = tasks[ti]
+                            form, body = payloads[ti]
+                            entry = (
+                                shm_module.shm_chunk
+                                if form == "seeds"
+                                else shm_module.shm_graph_chunk
+                            )
                             future = pool.submit(
-                                shm_module.shm_chunk, arena.name,
-                                spec_refs[task.cell], seed_refs[ti],
+                                entry, arena.name,
+                                spec_refs[task.cell], body,
                                 cells[task.cell].kind, task.m,
                             )
                             unsent.popleft()

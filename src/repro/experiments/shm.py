@@ -21,6 +21,17 @@ Workers attach the segment once (cached across chunks), slice the
 referenced bytes, and unpickle — the same objects the pipe would have
 delivered, so results are bit-identical by construction.
 
+Eligible AMP chunks go one step further: the driver samples and
+stacks their **graph buffers** once per sweep — block-diagonal CSR
+triples for fixed-m cells, fully grown measurement-stream arrays for
+required-m cells — and publishes the raw arrays into the same arena
+(:func:`shm_graph_chunk` / :func:`read_array`). Workers attach
+zero-copy read-only views and decode directly on them: no worker ever
+resamples a graph or re-stacks a CSR, and the chunk submission ships
+only ``(ref, dtype, shape)`` descriptors. Ownership rule: the driver
+publishes, workers attach strictly read-only, and the driver unlinks
+in its ``finally`` — exactly the lifecycle below.
+
 Lifecycle
 ---------
 The arena lives exactly as long as one ``SweepExecutor`` run: the
@@ -52,6 +63,8 @@ import pickle
 from collections import OrderedDict
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 #: environment variable consulted when ``shm`` is not given explicitly
 SHM_ENV = "REPRO_SHM"
@@ -89,29 +102,51 @@ def resolve_shm(shm: Optional[bool] = None) -> bool:
 _live_arenas: Dict[str, "SweepArena"] = {}
 
 
+def _blob_view(blob) -> memoryview:
+    """Flat byte view of a blob: ``bytes``, ``memoryview`` or ndarray.
+
+    Arrays are viewed (not serialized) — the arena write is one
+    memcpy of the raw buffer, and :func:`read_array` rebuilds the
+    ndarray on the worker side without any copy at all.
+    """
+    if isinstance(blob, np.ndarray):
+        return memoryview(np.ascontiguousarray(blob)).cast("B")
+    return memoryview(blob).cast("B")
+
+
 class SweepArena:
     """One sweep's dispatch payloads in a single shared-memory segment.
 
-    Built from a list of byte blobs (pickled cell specs and seed
-    tuples); ``refs[i]`` is the ``(offset, length)`` of ``blobs[i]``,
-    ready to ship in a chunk submission. The arena is driver-owned:
-    :meth:`dispose` (or the atexit guard) closes the local mapping and
-    unlinks the segment name; workers only ever attach and close.
+    Built from a list of blobs — ``bytes`` (pickled cell specs and
+    seed tuples) or raw ``numpy`` arrays (driver-prepared graph
+    buffers, written as one memcpy each); ``refs[i]`` is the
+    ``(offset, length)`` of ``blobs[i]``, ready to ship in a chunk
+    submission. ``align`` pads blob offsets up to the given boundary
+    (the default 1 packs blobs back to back; array-carrying arenas use
+    64 so every attached view is cache-line aligned). The arena is
+    driver-owned: :meth:`dispose` (or the atexit guard) closes the
+    local mapping and unlinks the segment name; workers only ever
+    attach and close.
     """
 
-    def __init__(self, blobs: Sequence[bytes]):
-        total = sum(len(blob) for blob in blobs)
+    def __init__(self, blobs: Sequence[object], *, align: int = 1):
+        views = [_blob_view(blob) for blob in blobs]
+        offsets: List[int] = []
+        offset = 0
+        for view in views:
+            offset = -(-offset // align) * align
+            offsets.append(offset)
+            offset += len(view)
+        total = offset
         # Zero-size segments are invalid; an empty plan still gets a
         # (one-byte) arena so the dispatch path stays uniform.
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, total))
         self.name = self._shm.name
         self.size = total
         self.refs: List[BlobRef] = []
-        offset = 0
-        for blob in blobs:
-            self._shm.buf[offset : offset + len(blob)] = blob
-            self.refs.append((offset, len(blob)))
-            offset += len(blob)
+        for view, offset in zip(views, offsets):
+            self._shm.buf[offset : offset + len(view)] = view
+            self.refs.append((offset, len(view)))
         _live_arenas[self.name] = self
 
     @classmethod
@@ -221,6 +256,26 @@ def read_spec(name: str, ref: BlobRef) -> Dict[str, object]:
     return spec
 
 
+def read_array(
+    name: str, ref: BlobRef, dtype: str, shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Zero-copy read-only ndarray view of an arena blob.
+
+    The returned array aliases the shared segment directly
+    (``np.frombuffer`` on the attached mapping — no bytes are copied)
+    and is marked non-writable: workers attach graph buffers strictly
+    read-only; the driver is the only writer and the only unlinker.
+    """
+    offset, length = ref
+    dt = np.dtype(dtype)
+    arr = np.frombuffer(
+        _attach(name).buf, dtype=dt, count=length // dt.itemsize,
+        offset=offset,
+    )
+    arr.flags.writeable = False
+    return arr.reshape(shape)
+
+
 def shm_chunk(name: str, spec_ref: BlobRef, seeds_ref: BlobRef, kind: str, m):
     """Pool-worker entry point: resolve arena refs, run the chunk.
 
@@ -236,11 +291,44 @@ def shm_chunk(name: str, spec_ref: BlobRef, seeds_ref: BlobRef, kind: str, m):
     return _run_chunk(spec, kind, m, seeds)
 
 
+def shm_graph_chunk(
+    name: str,
+    spec_ref: BlobRef,
+    prep: Dict[str, Tuple[BlobRef, str, Tuple[int, ...]]],
+    kind: str,
+    m,
+):
+    """Pool-worker entry point for driver-prepared AMP chunks.
+
+    ``prep`` maps array names to ``(ref, dtype, shape)`` descriptors
+    of graph buffers the driver published once per sweep (stacked CSR
+    triples for fixed-m cells, fully grown measurement-stream arrays
+    for required-m cells). Every array attaches as a zero-copy
+    read-only view of the arena — the worker never resamples graphs,
+    never re-stacks CSR blocks, and the submission carried only refs.
+    """
+    from repro.experiments import parallel
+    from repro.experiments.scheduler import CELL_CURVE, CELL_REQUIRED
+
+    spec = read_spec(name, spec_ref)
+    arrays = {
+        key: read_array(name, ref, dtype, shape)
+        for key, (ref, dtype, shape) in prep.items()
+    }
+    if kind == CELL_CURVE:
+        return parallel._fixed_m_prepared_chunk(spec, int(m), arrays)
+    if kind == CELL_REQUIRED:
+        return parallel._required_prepared_chunk(spec, arrays)
+    raise ValueError(f"unknown cell kind {kind!r}")
+
+
 __all__ = [
     "SHM_ENV",
     "SweepArena",
     "resolve_shm",
     "read_blob",
     "read_spec",
+    "read_array",
     "shm_chunk",
+    "shm_graph_chunk",
 ]

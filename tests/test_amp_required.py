@@ -208,9 +208,8 @@ class TestRaggedKernelBitIdentity:
         ops = _PrefixStackOperators(
             [(indptr, agents, counts)], n, np.array([m]), c, np.array([scale])
         )
-        matvec, rmatvec = ops.operators([0])
         scores, iters, conv, hist = iterate_amp(
-            matvec, rmatvec, y, denoiser, config, n=n,
+            ops.operators([0]), y, denoiser, config, n=n,
             row_sizes=np.array([m]), restrict=ops.operators,
         )
         meas = Measurements(

@@ -27,6 +27,7 @@ from repro.amp.kernels import (
     KERNELS,
     AMPKernel,
     StackLayout,
+    cupy_available,
     numba_available,
     resolve_kernel,
 )
@@ -88,13 +89,16 @@ def test_resolved_kernels_are_cached():
 
 @pytest.mark.skipif(numba_available(), reason="numba installed: no fallback")
 def test_numba_fallback_warns_once_and_keeps_precision(monkeypatch):
-    monkeypatch.setattr(kernels_module, "_fallback_warned", False)
+    monkeypatch.setattr(kernels_module, "_fallback_warned", {})
     for name in ("numba", "numba32"):
         kernels_module._kernel_cache.pop(name, None)
-    with pytest.warns(RuntimeWarning, match="falling back"):
+    with pytest.warns(RuntimeWarning, match="falling back") as caught:
         kern = resolve_kernel("numba")
     assert kern.name == "numpy"
     assert kern.dtype == np.float64
+    # The warning names both the requested backend and the precision
+    # actually substituted.
+    assert "numba -> numpy" in str(caught[0].message)
     # Warn-once: the second numba-family request resolves silently,
     # and a float32 request degrades to the float32 NumPy kernel.
     with warnings.catch_warnings():
@@ -102,6 +106,46 @@ def test_numba_fallback_warns_once_and_keeps_precision(monkeypatch):
         kern32 = resolve_kernel("numba32")
     assert kern32.name == "numpy32"
     assert kern32.dtype == np.float32
+
+
+@pytest.mark.skipif(cupy_available(), reason="cupy installed: no fallback")
+def test_cupy_fallback_warns_once_and_keeps_precision(monkeypatch):
+    monkeypatch.setattr(kernels_module, "_fallback_warned", {})
+    for name in ("cupy", "cupy32"):
+        kernels_module._kernel_cache.pop(name, None)
+    with pytest.warns(RuntimeWarning, match="falling back") as caught:
+        kern32 = resolve_kernel("cupy32")
+    assert kern32.name == "numpy32"
+    assert kern32.dtype == np.float32
+    assert "cupy32 -> numpy32" in str(caught[0].message)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        kern = resolve_kernel("cupy")
+    assert kern.name == "numpy"
+    assert kern.dtype == np.float64
+
+
+@pytest.mark.skipif(cupy_available(), reason="cupy installed: no fallback")
+def test_cupy_fallback_warns_even_after_numba_fallback(monkeypatch):
+    # The warn-once flag is per accelerator family: a numba fallback
+    # must not swallow the first cupy fallback's warning.
+    monkeypatch.setattr(kernels_module, "_fallback_warned", {"numba": True})
+    kernels_module._kernel_cache.pop("cupy", None)
+    with pytest.warns(RuntimeWarning, match="cupy"):
+        resolve_kernel("cupy")
+
+
+@pytest.mark.skipif(cupy_available(), reason="cupy installed: no fallback")
+def test_cupy_fallback_runs_the_golden_pins(monkeypatch):
+    # A cupy request without cupy must keep every decode unchanged:
+    # the substituted kernel is the bit-identical NumPy reference.
+    monkeypatch.setattr(kernels_module, "_fallback_warned", {})
+    kernels_module._kernel_cache.pop("cupy", None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = run_amp(_standalone_instance(), kernel="cupy")
+    assert _hash(result.scores) == GOLDEN_STANDALONE
+    assert result.meta["kernel"] == "numpy"
 
 
 def test_registry_names_all_resolve():
@@ -226,6 +270,35 @@ def test_golden_gaussian_damped(monkeypatch):
     result = run_amp(meas, config=AMPConfig(damping=0.2))
     assert _hash(result.scores) == GOLDEN_GAUSS_DAMPED
     assert result.meta["iterations"] == 10
+
+
+def test_matvec_runs_inside_the_seam(monkeypatch):
+    # The kernel phases own the matvec: spy on CSRStackOperator and
+    # count operator applications during a run. One adjoint per
+    # iteration, one forward per iteration (plus the initial
+    # residual), and spying must not perturb the golden decode.
+    from repro.amp.kernels import CSRStackOperator
+
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    calls = {"matvec": 0, "rmatvec": 0}
+    orig_matvec = CSRStackOperator.matvec
+    orig_rmatvec = CSRStackOperator.rmatvec
+
+    def spy_matvec(self, x):
+        calls["matvec"] += 1
+        return orig_matvec(self, x)
+
+    def spy_rmatvec(self, z):
+        calls["rmatvec"] += 1
+        return orig_rmatvec(self, z)
+
+    monkeypatch.setattr(CSRStackOperator, "matvec", spy_matvec)
+    monkeypatch.setattr(CSRStackOperator, "rmatvec", spy_rmatvec)
+    result = run_amp(_standalone_instance())
+    iterations = result.meta["iterations"]
+    assert _hash(result.scores) == GOLDEN_STANDALONE
+    assert calls["rmatvec"] >= iterations > 0
+    assert calls["matvec"] >= iterations > 0
 
 
 def test_env_kernel_reaches_run_amp(monkeypatch):
