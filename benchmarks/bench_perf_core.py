@@ -1115,6 +1115,87 @@ def _case_sweep_resume_overhead(smoke):
     }
 
 
+def _case_decode_service(smoke):
+    """Decode-service micro-batching: one ragged stack vs serial run_amp.
+
+    Simulates the PR 10 serving hot path: J concurrent sessions (same
+    batching cell, different streams and prefix lengths) decoded by
+    one ``decode_prefix_batch`` call — exactly what the service's
+    ``DecodeBatcher`` issues per wave — against the serial baseline of
+    J standalone ``run_amp`` calls on the same prefixes. Outputs are
+    asserted bit-identical before timing (batching across users must
+    be invisible); the win is the block-diagonal stacking amortizing
+    per-call setup and matvec dispatch across requests.
+    """
+    from repro.amp import AMPConfig, run_amp
+    from repro.amp.batch_amp import decode_prefix_batch
+    from repro.core.batch import MeasurementStream
+    from repro.core.measurement import Measurements
+    from repro.core.pooling import PoolingGraph
+
+    n = 256 if smoke else 1024
+    sessions = 8 if smoke else 16
+    base_m = 150 if smoke else 500
+    k = repro.sublinear_k(n, 0.25)
+    gamma = 64  # sparse regime — the stacking-friendly cell
+    channel = repro.ZChannel(0.1)
+    config = AMPConfig(track_history=False)
+    repeats = 1 if smoke else 3
+
+    streams = []
+    jobs = []
+    for i in range(sessions):
+        gen = np.random.default_rng(3000 + i)
+        truth = repro.sample_ground_truth(n, k, gen)
+        m = base_m + 7 * i  # heterogeneous prefixes, like live traffic
+        stream = MeasurementStream(
+            n, gamma, channel, truth, gen, max_m=m, initial_block=m
+        )
+        stream.grow_to(m)
+        streams.append(stream)
+        jobs.append((i, m))
+
+    def batched():
+        return decode_prefix_batch(
+            jobs, streams, n, k, channel, gamma=gamma, config=config
+        )
+
+    def serial():
+        out = []
+        for i, m in jobs:
+            indptr, agents, counts, results = streams[i].prefix(m)
+            graph = PoolingGraph._unchecked(n, gamma, indptr, agents, counts)
+            meas = Measurements(
+                graph=graph, truth=streams[i].truth,
+                channel=channel, results=results,
+            )
+            out.append(run_amp(meas, config=config))
+        return out
+
+    exact, scores = batched()
+    reference = serial()
+    for j, result in enumerate(reference):
+        assert bool(exact[j]) == bool(result.exact)
+        assert np.array_equal(scores[j], result.scores)
+
+    wall_s, _ = _timed(batched, repeats)
+    baseline_s, _ = _timed(serial, repeats)
+    return {
+        "case": "decode_service",
+        "n": n,
+        "k": k,
+        "gamma": gamma,
+        "sessions": sessions,
+        "m_range": [jobs[0][1], jobs[-1][1]],
+        "wall_s": round(wall_s, 4),
+        "baseline": "standalone run_amp per session prefix",
+        "baseline_s": round(baseline_s, 4),
+        "speedup": round(baseline_s / wall_s, 2) if wall_s else None,
+        "requests_per_s": round(sessions / wall_s, 1) if wall_s else None,
+        "bit_identical": True,
+    }
+
+
 def run_perf_suite(smoke=False, workers=4, only=None):
     """Run the perf-trajectory cases; returns one JSON-ready entry.
 
@@ -1141,6 +1222,7 @@ def run_perf_suite(smoke=False, workers=4, only=None):
         "amp_matvec_fused": lambda: _case_amp_matvec_fused(smoke),
         "shm_dispatch_bytes": lambda: _case_shm_dispatch_bytes(smoke, workers),
         "sweep_resume_overhead": lambda: _case_sweep_resume_overhead(smoke),
+        "decode_service": lambda: _case_decode_service(smoke),
     }
     if only:
         unknown = set(only) - set(available)

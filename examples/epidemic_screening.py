@@ -1,75 +1,147 @@
-"""Pooled medical screening with imprecise lab equipment (noisy query model).
+"""Pooled medical screening as an online decode-service client.
 
 The paper's life-sciences motivation: samples are pooled by automated
-pipetting machines and a biomedical test returns the total concentration
-of a marker in the pool — i.e. (up to noise) the *number of infected
-samples* in the pool. Pipetting and read-out inject Gaussian noise
-``N(0, lambda^2)`` per pooled test.
+pipetting machines and a biomedical test returns (up to noise) the
+*number of infected samples* in the pool; read-out noise is Gaussian,
+``N(0, lambda^2)`` per pooled test. The prevalence is sublinear
+(theta = 0.25 in the paper's simulations).
 
-The prevalence is sublinear (the paper cites UK HIV statistics
-corresponding to theta ~ 0.1, and uses theta = 0.25 in simulations):
-out of n = 2000 samples only k = n^0.25 = 7 are positive.
+This version runs the paper's incremental-query procedure *as a
+client of the decode service* (PR 10): the lab streams each batch of
+pooled test results to a long-lived ``repro serve`` server, which
+accumulates the session and answers certificate requests; the lab
+stops at the first batch whose greedy certificate reports strict
+score separation — the session's **required-m certificate**. Theorem
+2's phase transition shows up as the certified test count staying
+near the noiseless baseline for moderate noise and the certificate
+never arriving once lambda^2 is comparable to m.
 
-This script shows Theorem 2's phase transition hands-on:
-
-* moderate noise (lambda^2 = o(m / ln n)) — pooling works: the
-  required number of tests stays close to the noiseless case;
-* overwhelming noise (lambda^2 = Omega(m)) — reconstruction collapses
-  and no number of tests helps.
-
-Run:  python examples/epidemic_screening.py
+Run:  python examples/epidemic_screening.py [--quick] [--server HOST:PORT]
+      (with no --server, a local server is started automatically)
 """
+
+import argparse
+import tempfile
 
 import numpy as np
 
 import repro
-from repro.experiments.runner import required_queries_trials
 from repro.experiments.tables import render_table
+from repro.service.client import ServiceClient
+
+
+def measure_block(n, gamma, channel, truth, rng, count):
+    """Pool and test ``count`` batches of samples (client-side lab work)."""
+    sigma = truth.sigma.astype(np.int64)
+    queries = []
+    for _ in range(count):
+        agents, counts = repro.sample_query(n, gamma, rng)
+        infected = int(np.dot(counts, sigma[agents]))
+        result = float(
+            channel.measure(np.asarray([infected]), int(counts.sum()), rng)[0]
+        )
+        queries.append((agents.tolist(), counts.tolist(), result))
+    return queries
+
+
+def certify_required_m(client, session_id, n, gamma, channel, truth, rng,
+                       *, block, max_m):
+    """Stream pooled tests until the server certifies separation.
+
+    Returns the certified required-m (granularity: one block), or
+    ``None`` when the budget is exhausted without a certificate.
+    """
+    client.open_session(
+        session_id, n, truth.sigma, channel=channel, gamma=gamma
+    )
+    m = 0
+    while m < max_m:
+        count = min(block, max_m - m)
+        queries = measure_block(n, gamma, channel, truth, rng, count)
+        m = client.ingest(session_id, queries)["m"]
+        certificate = client.decode(session_id, algorithm="greedy")
+        if certificate["separated"]:
+            return m
+    return None
 
 
 def main() -> None:
-    n = 2000
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small instance for smoke tests")
+    parser.add_argument("--server", default=None, metavar="HOST:PORT",
+                        help="use a running decode server instead of "
+                        "starting a local one")
+    args = parser.parse_args()
+
+    n = 400 if args.quick else 2000
     theta = 0.25
     k = repro.sublinear_k(n, theta)
-    trials = 5
+    gamma = repro.default_gamma(n)
+    lambdas = (0.0, 2.0) if args.quick else (0.0, 1.0, 2.0, 3.0)
+    block = 32
+    max_m = 400 if args.quick else 1500
     seed = 7
 
     print(f"Screening n={n} samples, k={k} infected (theta={theta}).")
     print(f"Theorem 2 threshold (noiseless constants): "
-          f"{repro.theorem2_sublinear(n, theta):.0f} pooled tests\n")
+          f"{repro.theorem2_sublinear(n, theta):.0f} pooled tests")
 
-    rows = []
-    for lam in (0.0, 1.0, 2.0, 3.0):
-        channel = (
-            repro.GaussianQueryNoise(lam) if lam > 0 else repro.NoiselessChannel()
-        )
-        sample = required_queries_trials(
-            n, k, channel, trials=trials, seed=seed
-        )
-        rows.append([
-            f"lambda={lam:g}",
-            repro.noisy_query_phase(lam, max(1, int(sample.median or 1)), n)
-            if sample.values else "n/a",
-            f"{sample.median:.0f}" if sample.values else "never",
-            sample.failures,
-        ])
-    print(render_table(
-        ["noise level", "Theorem 2 phase", "median tests needed", "failed runs"],
-        rows,
-    ))
-
-    # The failure phase: sigma(lambda^2) comparable to m. With m ~ 300
-    # tests a noise std of lambda ~ 20 (lambda^2 = 400 >= m) drowns the
-    # per-test signal; Theorem 2 predicts failure for ANY m.
-    print("\nOverwhelming noise (lambda = 25):")
-    big = required_queries_trials(
-        n, k, repro.GaussianQueryNoise(25.0), trials=3, seed=seed, max_m=2000
-    )
-    if big.values:
-        print(f"  unexpectedly recovered in {big.values} tests")
+    server = None
+    if args.server:
+        host, _, port = args.server.rpartition(":")
     else:
-        print(f"  no recovery within 2000 tests in any of {big.failures} runs "
-              "(Theorem 2, failure phase: lambda^2 = Omega(m))")
+        from repro.service.testing import start_server
+
+        server = start_server(tempfile.mkdtemp(prefix="repro-screening-"))
+        host, port = server.host, server.port
+        print(f"started local decode server on {host}:{port}")
+    print()
+
+    try:
+        with ServiceClient(host, int(port)) as client:
+            rows = []
+            for lam in lambdas:
+                channel = (
+                    repro.GaussianQueryNoise(lam)
+                    if lam > 0
+                    else repro.NoiselessChannel()
+                )
+                rng = np.random.default_rng(seed)
+                truth = repro.sample_ground_truth(n, k, rng)
+                required = certify_required_m(
+                    client, f"screening-lam{lam:g}", n, gamma, channel,
+                    truth, rng, block=block, max_m=max_m,
+                )
+                rows.append([
+                    f"lambda={lam:g}",
+                    repro.noisy_query_phase(lam, required or max_m, n),
+                    f"{required}" if required else f"none in {max_m}",
+                ])
+            print(render_table(
+                ["noise level", "Theorem 2 phase",
+                 "certified tests (required-m)"],
+                rows,
+            ))
+
+            # The failure phase: lambda^2 comparable to m drowns the
+            # per-test signal; the certificate never arrives.
+            lam_big = 25.0
+            rng = np.random.default_rng(seed)
+            truth = repro.sample_ground_truth(n, k, rng)
+            required = certify_required_m(
+                client, "screening-overwhelming", n, gamma,
+                repro.GaussianQueryNoise(lam_big), truth, rng,
+                block=block, max_m=max_m,
+            )
+            print(f"\nOverwhelming noise (lambda = {lam_big:g}): "
+                  + (f"unexpectedly certified at {required} tests"
+                     if required else
+                     f"no certificate within {max_m} tests "
+                     "(Theorem 2, failure phase: lambda^2 = Omega(m))"))
+    finally:
+        if server is not None:
+            server.stop()
 
 
 if __name__ == "__main__":

@@ -1,79 +1,174 @@
-"""Distributed feature screening on an unreliable GPU cluster (noisy channel).
+"""GPU-cluster telemetry as concurrent decode-service sessions.
 
 The paper's technological motivation: query nodes are GPUs that each
 evaluate a neural network on a random subset of items and report how
-many of them are "positive". Communication and evaluation are subject
-to random bit flips — a positive read as negative with probability p
-(and, in the general channel, a negative read as positive with
-probability q). The Z-channel (q = 0) models the common case where
-false positives are much rarer than false negatives.
+many of them are "positive", with reports subject to Z-channel noise
+(a positive read as negative with probability p).
 
-This script runs the *actual distributed protocol* — query-node
-broadcasts, per-agent score accumulation, and a Batcher sorting network
-— on a simulated synchronous message-passing cluster, and reports the
-communication bill alongside the reconstruction quality.
+This version exercises the decode service (PR 10) the way the
+ROADMAP's "millions of users" north star intends: several monitoring
+agents stream their probe results *concurrently* into one long-lived
+``repro serve`` server, which micro-batches their AMP decode requests
+into a single ragged block-diagonal ``iterate_amp`` call. The example
+then replays every session locally and asserts the service's AMP
+scores and greedy certificate are **bit-identical** to standalone
+:func:`repro.amp.run_amp` / :class:`repro.IncrementalDecoder` on the
+same measurements — batching across users never changes a decode.
 
-Run:  python examples/gpu_cluster.py
+Run:  python examples/gpu_cluster.py [--quick] [--server HOST:PORT]
+      (with no --server, a local server is started automatically)
 """
+
+import argparse
+import tempfile
+import threading
 
 import numpy as np
 
 import repro
-from repro.distributed import run_distributed_algorithm1
-from repro.experiments.tables import render_kv, render_table
+from repro.amp import AMPConfig, run_amp
+from repro.service.client import ServiceClient
+
+
+def simulate_job(host, port, session_id, n, k, m, p, seed, out):
+    """One monitoring agent: sample, measure, stream, decode via service."""
+    channel = repro.ZChannel(p)
+    gamma = repro.default_gamma(n)
+    rng = np.random.default_rng(seed)
+    truth = repro.sample_ground_truth(n, k, rng)
+    sigma = truth.sigma.astype(np.int64)
+
+    queries = []
+    for _ in range(m):
+        agents, counts = repro.sample_query(n, gamma, rng)
+        faulty = int(np.dot(counts, sigma[agents]))
+        result = float(
+            channel.measure(np.asarray([faulty]), int(counts.sum()), rng)[0]
+        )
+        queries.append((agents, counts, result))
+
+    with ServiceClient(host, port) as client:
+        client.open_session(session_id, n, truth.sigma, channel=channel)
+        block = max(1, m // 4)
+        for lo in range(0, m, block):
+            client.ingest(
+                session_id,
+                [(a.tolist(), c.tolist(), r)
+                 for a, c, r in queries[lo:lo + block]],
+            )
+        amp_response = client.decode(
+            session_id, algorithm="amp", return_scores=True
+        )
+        greedy_response = client.decode(session_id, algorithm="greedy")
+
+    out[session_id] = {
+        "truth": truth,
+        "channel": channel,
+        "queries": queries,
+        "amp": amp_response,
+        "greedy": greedy_response,
+    }
+
+
+def local_reference(n, k, record):
+    """Standalone AMP + greedy on the same measurements, no service."""
+    builder = repro.PoolingGraphBuilder(n)
+    results = []
+    for agents, counts, result in record["queries"]:
+        builder.add_query(agents, counts)
+        results.append(result)
+    meas = repro.Measurements(
+        graph=builder.build(),
+        truth=record["truth"],
+        channel=record["channel"],
+        results=np.asarray(results, dtype=np.float64),
+    )
+    amp = run_amp(meas, config=AMPConfig(track_history=False))
+    decoder = repro.IncrementalDecoder(record["truth"], record["channel"])
+    for agents, counts, result in record["queries"]:
+        decoder.ingest_query(agents, counts, result)
+    return amp, decoder
 
 
 def main() -> None:
-    n = 256  # items (power of two so we can also show the bitonic network)
-    k = 8    # truly positive items
-    m = 220  # GPU evaluation rounds (query nodes)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small instance for smoke tests")
+    parser.add_argument("--server", default=None, metavar="HOST:PORT",
+                        help="use a running decode server instead of "
+                        "starting a local one")
+    args = parser.parse_args()
+
+    n = 128 if args.quick else 256
+    k = 6 if args.quick else 8
+    m = 130 if args.quick else 220
     p = 0.15
-    seed = 3
+    jobs = 2 if args.quick else 4
 
-    gen = np.random.default_rng(seed)
-    truth = repro.sample_ground_truth(n, k, gen)
-    graph = repro.sample_pooling_graph(n, m, rng=gen)
-    channel = repro.ZChannel(p)
-    measurements = repro.measure(graph, truth, channel, gen)
+    print(f"Fleet of n={n} GPU jobs, k={k} faulty; {jobs} monitoring "
+          f"agents, each streaming m={m} pooled probes "
+          f"(Z-channel, p={p}).")
 
-    print(render_kv("Cluster job", [
-        ("items n", n),
-        ("positives k", k),
-        ("GPU queries m", m),
-        ("items per query", graph.gamma),
-        ("channel", channel.describe()),
-    ]))
-    print()
+    server = None
+    if args.server:
+        host, _, port = args.server.rpartition(":")
+        port = int(port)
+    else:
+        from repro.service.testing import start_server
 
-    rows = []
-    for network in ("batcher", "bitonic", "transposition"):
-        report = run_distributed_algorithm1(measurements, sorting_network=network)
-        rows.append([
-            network,
-            report.sort_depth,
-            report.metrics.rounds,
-            report.metrics.messages,
-            f"{report.metrics.bits / 8 / 1024:.1f} KiB",
-            report.result.exact,
-            f"{report.result.overlap:.2f}",
-        ])
-    print(render_table(
-        ["sorting network", "sort depth", "rounds", "messages", "traffic",
-         "exact", "overlap"],
-        rows,
-    ))
-    print()
-    print("All three networks compute the identical reconstruction; they "
-          "trade\nround-latency (depth) against comparator count. "
-          "Batcher's O(log^2 n)\ndepth is why the paper cites it for the "
-          "sorting step of Algorithm 1.")
+        server = start_server(tempfile.mkdtemp(prefix="repro-cluster-"))
+        host, port = server.host, server.port
+        print(f"started local decode server on {host}:{port}")
 
-    # Sanity: the distributed run agrees with the vectorized decoder.
-    vec = repro.greedy_reconstruct(measurements)
-    dist = run_distributed_algorithm1(measurements).result
-    assert np.array_equal(vec.estimate, dist.estimate)
-    print("\nVerified: message-passing output is bit-identical to the "
-          "vectorized decoder.")
+    try:
+        records = {}
+        threads = [
+            threading.Thread(
+                target=simulate_job,
+                args=(host, port, f"gpu-job-{i}", n, k, m, p, 3 + i,
+                      records),
+            )
+            for i in range(jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        print()
+        all_ok = True
+        for session_id in sorted(records):
+            record = records[session_id]
+            amp_ref, greedy_ref = local_reference(n, k, record)
+            service_scores = np.asarray(record["amp"]["scores"])
+            amp_identical = np.array_equal(
+                service_scores, amp_ref.scores
+            ) and record["amp"]["exact"] == bool(amp_ref.exact)
+            greedy_identical = (
+                record["greedy"]["separated"] == greedy_ref.is_successful()
+                and record["greedy"]["separation"]
+                == float(greedy_ref.separation())
+            )
+            all_ok = all_ok and amp_identical and greedy_identical
+            print(f"{session_id}: AMP exact={record['amp']['exact']} "
+                  f"(batch of {record['amp']['batch_size']}), "
+                  f"greedy separated={record['greedy']['separated']}, "
+                  f"bit-identical to local decode: "
+                  f"AMP={amp_identical} greedy={greedy_identical}")
+
+        with ServiceClient(host, port) as client:
+            stats = client.stats()
+        print(f"\nserver stats: {stats['decoded']} decodes in "
+              f"{stats['batches']} batches "
+              f"({stats['batched_requests']} batched), "
+              f"{stats['sessions']} sessions")
+        if not all_ok:
+            raise SystemExit("service decode diverged from local decode")
+        print("All sessions bit-identical to standalone decoding — "
+              "micro-batching across users is a pure optimization.")
+    finally:
+        if server is not None:
+            server.stop()
 
 
 if __name__ == "__main__":

@@ -750,6 +750,47 @@ def _decode_prefix_stack(
     return errors == 0, scores
 
 
+def decode_prefix_batch(
+    jobs: Sequence[Tuple[int, int]],
+    streams: Sequence,
+    n: int,
+    k: int,
+    channel: Channel,
+    *,
+    gamma: Optional[int] = None,
+    denoiser: Optional[Denoiser] = None,
+    config: Optional[AMPConfig] = None,
+    kernel: Optional[AMPKernel] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode many stream prefixes in one ragged block-diagonal AMP call.
+
+    The public request-batching seam of the heterogeneous-m stacking
+    path: ``jobs`` is a list of ``(stream_index, m)`` pairs and
+    ``streams`` any prefix-replayable streams sharing ``(n, gamma,
+    channel)`` — :class:`~repro.core.batch.MeasurementStream`,
+    :class:`~repro.core.batch.ReplayedStream`, or the online decode
+    service's :class:`~repro.core.batch.SessionStream`, whose
+    concurrent sessions' decode requests stack here into a single
+    :func:`iterate_amp` call. Returns ``(exact, scores)`` with one
+    flag / score row per job; each job's decode is bit-identical to a
+    standalone :func:`run_amp` on the same prefix, so batching across
+    sessions is invisible in every output.
+    """
+    gamma = gamma if gamma is not None else default_gamma(n)
+    if denoiser is None:
+        denoiser = default_denoiser(n, k)
+    config = config if config is not None else _default_batch_config()
+    if not jobs:
+        return np.zeros(0, dtype=bool), np.zeros((0, n), dtype=np.float64)
+    for i, m in jobs:
+        if m < 1:
+            raise ValueError(f"prefix decode requires m >= 1, got {m}")
+        streams[i].grow_to(m)
+    return _decode_prefix_stack(
+        jobs, streams, n, k, gamma, channel, denoiser, config, kernel
+    )
+
+
 def _probe_standalone(
     stream: MeasurementStream,
     m: int,
@@ -1229,6 +1270,7 @@ __all__ = [
     "STACK_NNZ_CUTOFF",
     "VERIFY_MODES",
     "VERIFY_WAVE",
+    "decode_prefix_batch",
     "run_amp_batch",
     "run_amp_trials",
     "run_amp_prepared",

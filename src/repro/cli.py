@@ -480,6 +480,61 @@ def build_parser() -> argparse.ArgumentParser:
         "frames carry an integrity-only tag and any same-version "
         "driver is accepted)",
     )
+
+    # -- decode service --------------------------------------------------
+    svc = sub.add_parser(
+        "serve",
+        help="online decode service: long-lived server keeping one "
+        "incremental decode session per client and micro-batching "
+        "concurrent AMP decode requests into single stacked calls "
+        "(bit-identical to standalone decodes); sessions persist to "
+        "--state-dir and survive crashes",
+    )
+    svc.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 to "
+        "accept remote clients — trusted networks only, the wire "
+        "format is pickle)",
+    )
+    svc.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default %(default)s -> service default; "
+        "0 = ephemeral, printed in the ready banner)",
+    )
+    svc.add_argument(
+        "--state-dir", default=None,
+        help="directory for durable session records (atomic "
+        "write-then-rename); omit for in-memory sessions that do NOT "
+        "survive a restart",
+    )
+    svc.add_argument(
+        "--max-queue", type=int, default=None,
+        help="decode queue bound; requests beyond it are shed with a "
+        "retryable 'overloaded' error (default REPRO_SERVICE_MAX_QUEUE "
+        "or 64)",
+    )
+    svc.add_argument(
+        "--degrade-depth", type=int, default=None,
+        help="queue depth at which AMP decodes degrade to the instant "
+        "greedy scorer with degraded=True (default "
+        "REPRO_SERVICE_DEGRADE_DEPTH or 16)",
+    )
+    svc.add_argument(
+        "--max-batch", type=int, default=None,
+        help="max decode requests stacked into one batched AMP call "
+        "(default REPRO_SERVICE_MAX_BATCH or 16)",
+    )
+    svc.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request decode budget in seconds; expired "
+        "requests get a retryable 'deadline_exceeded' error (default "
+        "REPRO_SERVICE_DEADLINE or unlimited)",
+    )
+    svc.add_argument(
+        "--auth-token", type=str, default=None,
+        help="shared token for frame HMAC authentication (default: "
+        "the REPRO_AUTH_TOKEN env var)",
+    )
     return parser
 
 
@@ -642,6 +697,43 @@ def _run_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.worker import AUTH_TOKEN_ENV
+    from repro.service.server import DEFAULT_PORT as DEFAULT_SERVICE_PORT
+    from repro.service.server import serve as serve_decode
+
+    port = DEFAULT_SERVICE_PORT if args.port is None else args.port
+    token = args.auth_token or os.environ.get(AUTH_TOKEN_ENV) or None
+    auth = (
+        "authenticated (shared token)"
+        if token
+        else f"integrity-only — set {AUTH_TOKEN_ENV} for authentication"
+    )
+    state = args.state_dir or "in-memory (no --state-dir: no crash recovery)"
+    try:
+        serve_decode(
+            args.host,
+            port,
+            args.state_dir,
+            token=token,
+            max_queue=args.max_queue,
+            degrade_depth=args.degrade_depth,
+            max_batch=args.max_batch,
+            default_deadline=args.deadline,
+            ready=lambda host, bound: print(
+                f"[serve] decode service listening on {host}:{bound} "
+                f"[{auth}] state={state} (Ctrl-C to stop)",
+                flush=True,
+            ),
+        )
+    except KeyboardInterrupt:
+        print("[serve] stopped", flush=True)
+    except OSError as exc:
+        print(f"[serve] error: {exc}", file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
 #: per-figure plot axes: (x_key, y_key, log_x, log_y)
 _PLOT_AXES = {
     "fig2": ("n", "required_m_median", True, True),
@@ -743,7 +835,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.checkpoint import CHECKPOINT_ENV
 
         os.environ[CHECKPOINT_ENV] = args.checkpoint
-    if getattr(args, "auth_token", None) and args.command != "worker":
+    if getattr(args, "auth_token", None) and args.command not in (
+        "worker", "serve"
+    ):
         from repro.experiments.worker import AUTH_TOKEN_ENV
 
         os.environ[AUTH_TOKEN_ENV] = args.auth_token
@@ -753,6 +847,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_threshold(args)
     if args.command == "worker":
         return _run_worker(args)
+    if args.command == "serve":
+        return _run_serve(args)
     # `all` regenerates the paper's figures; the design ablation is an
     # add-on pipeline with its own grid and runs only by name.
     if args.figure == "all":

@@ -59,8 +59,9 @@ from repro.core.noise import Channel, NoiselessChannel
 from repro.core.pooling import PoolingGraph, default_gamma, sample_pooling_graph
 from repro.core.scores import decode_top_k_stacked, expected_query_result
 from repro.core.types import ReconstructionResult, RequiredQueriesResult
+from repro.utils import config
 from repro.utils.rng import RngLike, normalize_rng, spawn_rngs
-from repro.utils.validation import check_positive_int, env_int
+from repro.utils.validation import check_positive_int
 
 #: soft cap on incidence-array elements a chunked block may touch;
 #: bounds the peak memory of a block at a few dozen MiB.
@@ -93,12 +94,8 @@ def _csr_threads() -> int:
     column-parallel — each row's histogram touches disjoint output —
     so the thread count never changes the constructed triple.
     """
-    threads = env_int(CSR_THREADS_ENV)
+    threads = config.env_int(CSR_THREADS_ENV, minimum=1)
     if threads is not None:
-        if threads < 1:
-            raise ValueError(
-                f"{CSR_THREADS_ENV} must be >= 1, got {threads}"
-            )
         return threads
     return min(4, os.cpu_count() or 1)
 
@@ -509,6 +506,151 @@ class ReplayedStream:
         )
 
 
+class SessionStream:
+    """Append-fed measured query stream with the prefix-replay surface.
+
+    The online decode service's server-side twin of
+    :class:`MeasurementStream`: a session's queries arrive from a
+    client over the wire — already sampled and measured elsewhere —
+    and :meth:`append` feeds them in, in arrival order. The stream
+    surface everything downstream consumes (``prefix`` / ``grow_to`` /
+    the consolidated array properties / ``truth``) is identical, so
+    the ragged block-diagonal stacking in :mod:`repro.amp.batch_amp`
+    decodes a session prefix bit-identically to a standalone run on
+    the same queries.
+
+    Determinism/recovery contract (the service's crash-recovery
+    foundation): the stream is append-only and ``prefix(m)`` depends
+    only on the first ``m`` appended queries, so a session restored
+    from a durable record by re-appending its queries in the original
+    order is indistinguishable from the uninterrupted stream — same
+    arrays, same float accumulation order downstream.
+    """
+
+    def __init__(self, n: int, gamma: int, truth: GroundTruth):
+        self.n = check_positive_int(n, "n")
+        self.gamma = check_positive_int(gamma, "gamma")
+        if truth.sigma.size != self.n:
+            raise ValueError(
+                f"truth has {truth.sigma.size} agents, expected n={n}"
+            )
+        self.truth = truth
+        self.retain = True
+        self.m_done = 0
+        self._edges = 0
+        self._indptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        self._agents_parts: List[np.ndarray] = []
+        self._counts_parts: List[np.ndarray] = []
+        self._results_parts: List[np.ndarray] = []
+        self._consolidated = None
+
+    def append(self, agents, counts, result: float) -> int:
+        """Append one measured query; returns its 0-based index.
+
+        ``agents``/``counts`` are the query's distinct-agent CSR row
+        (multiplicities summing to ``gamma``), ``result`` the raw
+        channel measurement — the same row shape
+        :meth:`repro.core.incremental.IncrementalDecoder.ingest_query`
+        takes, so one wire payload can feed both consumers.
+        """
+        agents = np.ascontiguousarray(agents, dtype=np.int64)
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        if agents.ndim != 1 or counts.ndim != 1 or agents.size != counts.size:
+            raise ValueError(
+                "agents and counts must be 1-D arrays of equal length"
+            )
+        if agents.size:
+            if agents.min() < 0 or agents.max() >= self.n:
+                raise ValueError(f"agent ids must lie in [0, {self.n})")
+            if counts.min() < 1:
+                raise ValueError("incidence counts must be >= 1")
+        if int(counts.sum()) != self.gamma:
+            raise ValueError(
+                f"query incidences must sum to gamma={self.gamma}, "
+                f"got {int(counts.sum())}"
+            )
+        self._indptr_parts.append(
+            np.array([self._edges + agents.size], dtype=np.int64)
+        )
+        self._edges += int(agents.size)
+        self._agents_parts.append(agents)
+        self._counts_parts.append(counts)
+        self._results_parts.append(np.array([result], dtype=np.float64))
+        self._consolidated = None
+        self.m_done += 1
+        return self.m_done - 1
+
+    def _consolidate(self):
+        if self._consolidated is None:
+            self._consolidated = (
+                np.concatenate(self._indptr_parts),
+                (
+                    np.concatenate(self._agents_parts)
+                    if self._agents_parts
+                    else np.zeros(0, dtype=np.int64)
+                ),
+                (
+                    np.concatenate(self._counts_parts)
+                    if self._counts_parts
+                    else np.zeros(0, dtype=np.int64)
+                ),
+                (
+                    np.concatenate(self._results_parts)
+                    if self._results_parts
+                    else np.zeros(0, dtype=np.float64)
+                ),
+            )
+        return self._consolidated
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Consolidated CSR ``indptr`` of the appended stream."""
+        return self._consolidate()[0]
+
+    @property
+    def agents(self) -> np.ndarray:
+        """Consolidated distinct-agent ids of the appended stream."""
+        return self._consolidate()[1]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Consolidated incidence multiplicities of the appended stream."""
+        return self._consolidate()[2]
+
+    @property
+    def results(self) -> np.ndarray:
+        """Consolidated channel results of the appended stream."""
+        return self._consolidate()[3]
+
+    def grow_to(self, m: int) -> None:
+        """No-op within the appended length; growing past it raises.
+
+        A session stream has no generator — new queries come only from
+        the client — so a consumer asking for more than was appended is
+        a caller bug, not something to paper over.
+        """
+        if m > self.m_done:
+            raise ValueError(
+                f"session stream holds {self.m_done} queries and cannot "
+                f"grow to {m}"
+            )
+
+    def prefix(self, m: int):
+        """CSR triple + results views of the first ``m`` appended queries."""
+        if m > self.m_done:
+            raise ValueError(
+                f"prefix m={m} exceeds the appended stream length "
+                f"{self.m_done}"
+            )
+        edges = int(self.indptr[m])
+        return (
+            self.indptr[: m + 1],
+            self.agents[:edges],
+            self.counts[:edges],
+            self.results[:m],
+        )
+
+
 class _SuccessScanner:
     """Exact first-success scan with a lazy zeros-maximum certificate.
 
@@ -894,5 +1036,6 @@ __all__ = [
     "first_success_m",
     "MeasurementStream",
     "ReplayedStream",
+    "SessionStream",
     "BatchTrialRunner",
 ]

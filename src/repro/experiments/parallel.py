@@ -65,8 +65,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils import config
 from repro.utils.rng import RngLike
-from repro.utils.validation import check_non_negative_int, env_int
+from repro.utils.validation import check_non_negative_int
 
 #: environment variable consulted when ``workers`` is not given
 #: explicitly; lets CI (and users) shard whole test/benchmark runs
@@ -93,7 +94,7 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     validated with the library's standard parameter errors.
     """
     if workers is None:
-        workers = env_int(WORKERS_ENV)
+        workers = config.env_int(WORKERS_ENV, minimum=0)
         if workers is None:
             return 1
     workers = check_non_negative_int(workers, "workers")

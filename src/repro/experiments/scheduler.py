@@ -129,6 +129,7 @@ import numpy as np
 from repro.core.chunking import chunk_bounds
 from repro.experiments import parallel
 from repro.experiments import shm as shm_module
+from repro.utils import config
 from repro.utils.rng import RngLike, spawn_rngs, spawn_seeds
 from repro.utils.validation import check_positive_int
 
@@ -746,9 +747,7 @@ class SweepExecutor:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         if speculate is None:
-            raw = os.environ.get(SPECULATE_ENV)
-            if raw:
-                speculate = float(raw)
+            speculate = config.env_float(SPECULATE_ENV, minimum=0.0)
         self.speculate = speculate
         #: elasticity counters from the last socket run (speculated /
         #: reconnects / heartbeat_timeouts / retired), for tests and
@@ -1134,16 +1133,18 @@ class SweepExecutor:
         auth_key = worker_mod.resolve_auth_key(self.auth_token)
         hb_interval = self.heartbeat_interval
         if hb_interval is None:
-            hb_interval = float(
-                os.environ.get(worker_mod.HEARTBEAT_INTERVAL_ENV)
-                or worker_mod.DEFAULT_HEARTBEAT_INTERVAL
+            hb_interval = config.env_float(
+                worker_mod.HEARTBEAT_INTERVAL_ENV, positive=True
             )
+            if hb_interval is None:
+                hb_interval = worker_mod.DEFAULT_HEARTBEAT_INTERVAL
         hb_timeout = self.heartbeat_timeout
         if hb_timeout is None:
-            hb_timeout = float(
-                os.environ.get(worker_mod.HEARTBEAT_TIMEOUT_ENV)
-                or worker_mod.DEFAULT_HEARTBEAT_TIMEOUT
+            hb_timeout = config.env_float(
+                worker_mod.HEARTBEAT_TIMEOUT_ENV, positive=True
             )
+            if hb_timeout is None:
+                hb_timeout = worker_mod.DEFAULT_HEARTBEAT_TIMEOUT
         keys = {ci: _next_spec_key(ci) for ci in {t.cell for t in tasks}}
         task_queue: "queue_module.Queue[_Task]" = queue_module.Queue()
         for task in tasks:

@@ -66,6 +66,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils import config
+
 #: environment variable consulted when ``shm`` is not given explicitly
 SHM_ENV = "REPRO_SHM"
 
@@ -85,14 +87,14 @@ _SPEC_CACHE_LIMIT = 1024
 def resolve_shm(shm: Optional[bool] = None) -> bool:
     """Resolve an ``shm`` request: explicit flag, else ``REPRO_SHM``.
 
-    The environment route accepts the usual truthy spellings
-    (``1/true/yes/on``, case-insensitive); anything else — including
-    unset — disables the arena.
+    The environment route accepts the standard switch spellings
+    (``1/true/yes/on`` / ``0/false/no/off``, case-insensitive, via
+    :func:`repro.utils.config.env_flag`); unset disables the arena and
+    anything unrecognized raises rather than silently disabling.
     """
     if shm is not None:
         return bool(shm)
-    raw = os.environ.get(SHM_ENV, "").strip().lower()
-    return raw in ("1", "true", "yes", "on")
+    return config.env_flag(SHM_ENV)
 
 
 # -- driver side --------------------------------------------------------

@@ -82,6 +82,8 @@ import time
 import traceback
 from typing import Callable, List, Optional, Tuple, Union
 
+from repro.utils import config
+
 #: default worker port (any free port works; tests use ephemeral ports)
 DEFAULT_PORT = 7920
 
@@ -191,19 +193,8 @@ def resolve_auth_key(token: Union[str, bytes, None] = None) -> bytes:
 
 def max_frame_bytes() -> int:
     """The receive-side frame cap (``REPRO_MAX_FRAME_BYTES`` or default)."""
-    raw = os.environ.get(MAX_FRAME_ENV)
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError as exc:
-            raise ValueError(
-                f"{MAX_FRAME_ENV} must be an integer byte count, "
-                f"got {raw!r}"
-            ) from exc
-        if value <= 0:
-            raise ValueError(f"{MAX_FRAME_ENV} must be positive, got {value}")
-        return value
-    return DEFAULT_MAX_FRAME_BYTES
+    value = config.env_int(MAX_FRAME_ENV, minimum=1)
+    return DEFAULT_MAX_FRAME_BYTES if value is None else value
 
 
 def send_message(
@@ -356,9 +347,7 @@ def client_handshake(
 def resolve_connect_retry(budget: Optional[float] = None) -> float:
     """Total connect-retry budget in seconds (env fallback + default)."""
     if budget is None:
-        raw = os.environ.get(CONNECT_RETRY_ENV)
-        if raw:
-            budget = float(raw)
+        budget = config.env_float(CONNECT_RETRY_ENV, minimum=0.0)
     if budget is None:
         budget = DEFAULT_CONNECT_RETRY
     if budget < 0:

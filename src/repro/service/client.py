@@ -1,0 +1,254 @@
+"""Synchronous client library for the online decode service.
+
+Mirrors the sweep socket backend's resilience policy
+(:func:`repro.experiments.worker.connect_with_retry`): transport
+failures — connection refused while the server restarts, a connection
+reset by a SIGKILLed server, a silent handshake — are retried with
+exponential backoff (0.25 s doubling, capped at 5 s per sleep) within
+a total budget (``REPRO_CONNECT_RETRY`` or explicit), while
+:class:`~repro.experiments.worker.AuthError` /
+:class:`~repro.experiments.worker.ProtocolError` are permanent and
+raised immediately. Retryable *service* errors (``overloaded``,
+``deadline_exceeded``) back off under the same budget; terminal ones
+raise at once.
+
+Every state-changing request carries a client-generated idempotent
+request id that is **reused across retries** of that request, so a
+retransmit after a lost acknowledgement can never double-apply an
+ingest — the server acks it from its applied map. That, plus the
+server's write-ahead persistence, is what makes "just retry" safe
+through a server crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import uuid
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.experiments.worker import (
+    AuthError,
+    ProtocolError,
+    connect,
+    recv_message,
+    resolve_auth_key,
+    resolve_connect_retry,
+    send_message,
+)
+from repro.core.noise import Channel
+from repro.service.errors import ServiceError, error_from_wire
+from repro.service.session import channel_to_spec
+from repro.service.wire import client_handshake
+
+#: backoff schedule shared with the sweep socket backend
+_BACKOFF_START = 0.25
+_BACKOFF_CAP = 5.0
+
+
+class ServiceClient:
+    """One connection to a decode server, with retrying request calls."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: Union[str, bytes, None] = None,
+        retry_budget: Optional[float] = None,
+    ):
+        self.address = (host, int(port))
+        self._key = resolve_auth_key(token)
+        self._retry_budget = retry_budget
+        self._conn = None
+        self._ids = itertools.count()
+        self._client = uuid.uuid4().hex[:12]
+
+    # -- connection management ------------------------------------------
+
+    def connect(self) -> None:
+        """Connect and handshake, with bounded exponential backoff."""
+        if self._conn is not None:
+            return
+        budget = resolve_connect_retry(self._retry_budget)
+        deadline = time.monotonic() + budget
+        delay = _BACKOFF_START
+        attempt = 0
+        while True:
+            attempt += 1
+            conn = None
+            try:
+                conn = connect(self.address)
+                client_handshake(conn, self._key)
+                self._conn = conn
+                return
+            except (AuthError, ProtocolError):
+                if conn is not None:
+                    conn.close()
+                raise  # permanent: a wrong token/version never heals
+            except OSError as exc:
+                if conn is not None:
+                    conn.close()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise OSError(
+                        f"could not reach decode server "
+                        f"{self.address[0]}:{self.address[1]} after "
+                        f"{attempt} attempts over {budget:.1f}s "
+                        f"(last error: {exc})"
+                    ) from exc
+                time.sleep(min(delay, max(remaining, 0.0), _BACKOFF_CAP))
+                delay *= 2
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                send_message(self._conn, {"op": "close"}, self._key)
+            except OSError:
+                pass
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _drop(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- request machinery ----------------------------------------------
+
+    def request_id(self) -> str:
+        """A fresh idempotent request id (stable across its retries)."""
+        return f"{self._client}:{next(self._ids)}"
+
+    def call(self, request: dict) -> dict:
+        """Send one request, retrying per the module's policy."""
+        budget = resolve_connect_retry(self._retry_budget)
+        deadline = time.monotonic() + budget
+        delay = _BACKOFF_START
+        last: Optional[BaseException] = None
+        while True:
+            try:
+                self.connect()
+                send_message(self._conn, request, self._key)
+                response = recv_message(self._conn, self._key)
+                if response is None:
+                    raise EOFError("server closed the connection")
+            except (AuthError, ProtocolError):
+                self._drop()
+                raise
+            except (OSError, EOFError) as exc:
+                # Transport failure — e.g. the server was SIGKILLed.
+                # Reconnect and retransmit: every mutating op is
+                # idempotent by request id, so this is always safe.
+                self._drop()
+                last = exc
+                response = None
+            if response is not None:
+                if response.get("ok"):
+                    return response
+                error = error_from_wire(response.get("error", {}))
+                if not error.retryable:
+                    raise error
+                last = error
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if isinstance(last, ServiceError):
+                    raise last
+                raise OSError(
+                    f"request failed after {budget:.1f}s of retries "
+                    f"(last error: {last})"
+                ) from last
+            time.sleep(min(delay, max(remaining, 0.0), _BACKOFF_CAP))
+            delay *= 2
+
+    # -- API -------------------------------------------------------------
+
+    def open_session(
+        self,
+        session_id: str,
+        n: int,
+        sigma: Sequence[int],
+        *,
+        channel: Union[Channel, dict],
+        gamma: Optional[int] = None,
+        centering: str = "half_k",
+    ) -> dict:
+        """Open (or idempotently reopen) a session on the server."""
+        spec = (
+            channel_to_spec(channel)
+            if isinstance(channel, Channel)
+            else dict(channel)
+        )
+        return self.call({
+            "op": "open_session",
+            "session_id": session_id,
+            "n": int(n),
+            "gamma": gamma,
+            "channel": spec,
+            "centering": centering,
+            "sigma": [int(v) for v in sigma],
+        })
+
+    def ingest(
+        self,
+        session_id: str,
+        queries: Sequence[Tuple[Sequence[int], Sequence[int], float]],
+        *,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        """Stream a block of measured queries into a session."""
+        return self.call({
+            "op": "ingest",
+            "session_id": session_id,
+            "request_id": request_id or self.request_id(),
+            "queries": [
+                ([int(a) for a in agents], [int(c) for c in counts],
+                 float(result))
+                for agents, counts, result in queries
+            ],
+        })
+
+    def decode(
+        self,
+        session_id: str,
+        *,
+        algorithm: str = "amp",
+        m: Optional[int] = None,
+        deadline: Optional[float] = None,
+        return_scores: bool = False,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        """Decode a session prefix (AMP, batched server-side, or greedy)."""
+        return self.call({
+            "op": "decode",
+            "session_id": session_id,
+            "request_id": request_id or self.request_id(),
+            "algorithm": algorithm,
+            "m": m,
+            "deadline": deadline,
+            "return_scores": return_scores,
+        })
+
+    def status(self, session_id: str) -> dict:
+        return self.call({"op": "status", "session_id": session_id})
+
+    def healthz(self) -> dict:
+        """Liveness probe: answers iff the server's event loop is alive."""
+        return self.call({"op": "healthz"})
+
+    def readyz(self) -> dict:
+        """Readiness probe: store loaded, batcher accepting, queue depth."""
+        return self.call({"op": "readyz"})
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,304 @@
+"""Server-side session state of the online decode service.
+
+A session is one client's incremental-query run of the paper's
+procedure: the client streams measured pooled queries in, and the
+server accumulates them in two synchronized consumers —
+
+* a :class:`~repro.core.batch.SessionStream` (the prefix-replayable
+  CSR stream the ragged AMP request batching decodes), and
+* an :class:`~repro.core.incremental.IncrementalDecoder` (Algorithm
+  1's running greedy scores — the O(n) certificate and the overload
+  fallback).
+
+The ground truth ``sigma`` travels with ``open_session``: in this
+reproduction setting the client *is* the simulator, and the server
+certifies exact reconstruction / strict score separation on its
+behalf, exactly like the paper's required-queries stopping rule.
+
+Recovery contract: :meth:`Session.record` captures everything —
+parameters, sigma, the consolidated query arrays in arrival order,
+and the ingest idempotency map — as one JSON-able dict, and
+:meth:`Session.from_record` rebuilds the session by re-ingesting the
+queries *in the original order* through both consumers. Per-query
+ingestion re-runs the identical float accumulations, so a restored
+session is bit-for-bit the uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch import ReplayedStream, SessionStream
+from repro.core.ground_truth import GroundTruth
+from repro.core.incremental import IncrementalDecoder
+from repro.core.noise import (
+    Channel,
+    GaussianQueryNoise,
+    NoiselessChannel,
+    NoisyChannel,
+    ZChannel,
+    make_channel,
+)
+from repro.core.pooling import default_gamma
+from repro.service.errors import InvalidRequest
+
+#: valid centerings, mirroring :class:`IncrementalDecoder`
+CENTERINGS = ("half_k", "oracle")
+
+
+def channel_to_spec(channel: Channel) -> dict:
+    """The JSON-able spec of a channel, invertible by :func:`make_channel`."""
+    if isinstance(channel, ZChannel):
+        return {"kind": "z", "p": float(channel.p)}
+    if isinstance(channel, NoisyChannel):
+        return {"kind": "channel", "p": float(channel.p), "q": float(channel.q)}
+    if isinstance(channel, GaussianQueryNoise):
+        return {"kind": "gaussian", "lam": float(channel.lam)}
+    if isinstance(channel, NoiselessChannel):
+        return {"kind": "noiseless"}
+    raise InvalidRequest(
+        f"channel {channel.describe()} has no wire spec"
+    )
+
+
+def channel_from_spec(spec: dict) -> Channel:
+    """Rebuild a channel from its wire/record spec."""
+    try:
+        return make_channel(**{str(k): v for k, v in dict(spec).items()})
+    except (TypeError, ValueError) as exc:
+        raise InvalidRequest(f"bad channel spec {spec!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class SessionParams:
+    """The invariant parameters of one decode session."""
+
+    n: int
+    gamma: int
+    channel_spec: Tuple[Tuple[str, float], ...]
+    centering: str
+
+    @classmethod
+    def create(
+        cls,
+        n: int,
+        gamma: Optional[int],
+        channel_spec: dict,
+        centering: str,
+    ) -> "SessionParams":
+        n = int(n)
+        if n < 1:
+            raise InvalidRequest(f"n must be >= 1, got {n}")
+        gamma = default_gamma(n) if gamma is None else int(gamma)
+        if gamma < 1:
+            raise InvalidRequest(f"gamma must be >= 1, got {gamma}")
+        if centering not in CENTERINGS:
+            raise InvalidRequest(
+                f"unknown centering {centering!r}; valid: {CENTERINGS}"
+            )
+        # Validate eagerly and store in canonical hashable form.
+        channel_from_spec(channel_spec)
+        canonical = tuple(sorted(
+            (str(k), v) for k, v in dict(channel_spec).items()
+        ))
+        return cls(
+            n=n, gamma=gamma, channel_spec=canonical, centering=centering
+        )
+
+    @property
+    def channel(self) -> Channel:
+        return channel_from_spec(dict(self.channel_spec))
+
+
+class Session:
+    """One client's accumulated measurements plus decode state."""
+
+    def __init__(
+        self, session_id: str, params: SessionParams, sigma: Sequence[int]
+    ):
+        self.session_id = session_id
+        self.params = params
+        sigma = np.asarray(sigma, dtype=np.int8)
+        if sigma.ndim != 1 or sigma.size != params.n:
+            raise InvalidRequest(
+                f"sigma must be a length-{params.n} bit vector, "
+                f"got shape {sigma.shape}"
+            )
+        try:
+            self.truth = GroundTruth(sigma)
+        except ValueError as exc:
+            raise InvalidRequest(str(exc)) from None
+        self.channel = params.channel
+        self.stream = SessionStream(params.n, params.gamma, self.truth)
+        self.decoder = IncrementalDecoder(
+            self.truth,
+            self.channel,
+            params.gamma,
+            centering=params.centering,
+        )
+        #: ingest idempotency: request id -> stream length after that
+        #: ingest was applied (persisted; a replayed frame is acked
+        #: from here instead of double-appending)
+        self.applied: Dict[str, int] = {}
+        #: decode idempotency (in-memory only — decodes never mutate)
+        self.decode_cache: Dict[str, dict] = {}
+
+    # -- properties -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    @property
+    def k(self) -> int:
+        return self.truth.k
+
+    @property
+    def m(self) -> int:
+        return self.stream.m_done
+
+    def cell_key(self) -> tuple:
+        """The batching cell: sessions sharing it may stack one AMP call.
+
+        Only the per-session prefix length ``m`` may vary inside a
+        ragged stack; everything the standardized operator depends on
+        must match.
+        """
+        return (
+            self.params.n,
+            self.k,
+            self.params.gamma,
+            self.params.channel_spec,
+        )
+
+    # -- ingest ---------------------------------------------------------
+
+    def ingest(
+        self,
+        request_id: str,
+        queries: Sequence[Tuple[Sequence[int], Sequence[int], float]],
+    ) -> int:
+        """Apply one ingest request; returns the stream length after it.
+
+        Idempotent by ``request_id``: a retransmitted request (client
+        retry after a lost ack) is acknowledged from the applied map
+        without touching the stream.
+        """
+        if request_id in self.applied:
+            return self.applied[request_id]
+        for query in queries:
+            try:
+                agents, counts, result = query
+            except (TypeError, ValueError):
+                raise InvalidRequest(
+                    "each query must be (agents, counts, result)"
+                ) from None
+            try:
+                self.stream.append(agents, counts, float(result))
+            except (TypeError, ValueError) as exc:
+                raise InvalidRequest(str(exc)) from None
+            self.decoder.ingest_query(
+                np.asarray(agents, dtype=np.int64),
+                np.asarray(counts, dtype=np.int64),
+                float(result),
+            )
+        self.applied[request_id] = self.stream.m_done
+        return self.stream.m_done
+
+    # -- decode ---------------------------------------------------------
+
+    def greedy_response(self, *, degraded: bool = False) -> dict:
+        """Algorithm 1's certificate at the current prefix — O(n).
+
+        The overload fallback and the ``algorithm="greedy"`` decode:
+        running scores are already accumulated, so this never queues.
+        """
+        separation = self.decoder.separation()
+        recon = self.decoder.reconstruction()
+        return {
+            "session_id": self.session_id,
+            "algorithm": "greedy",
+            "m": self.m,
+            "exact": bool(recon.exact),
+            "separated": bool(separation > 0.0),
+            "separation": float(separation),
+            "overlap": float(recon.overlap),
+            "degraded": bool(degraded),
+        }
+
+    def snapshot_stream(self, m: int) -> ReplayedStream:
+        """A frozen prefix view safe to decode off the event loop.
+
+        Consolidation happens here (on the loop, where appends also
+        happen); the returned views alias immutable consolidated
+        arrays, so later appends can never race the decode thread.
+        """
+        indptr, agents, counts, results = self.stream.prefix(m)
+        return ReplayedStream(
+            self.params.n,
+            self.params.gamma,
+            self.truth,
+            indptr,
+            agents,
+            counts,
+            results,
+        )
+
+    # -- durability -----------------------------------------------------
+
+    def record(self) -> dict:
+        """The session's durable JSON-able record (see module notes)."""
+        return {
+            "version": 1,
+            "session_id": self.session_id,
+            "n": self.params.n,
+            "gamma": self.params.gamma,
+            "channel": dict(self.params.channel_spec),
+            "centering": self.params.centering,
+            "sigma": self.truth.sigma.tolist(),
+            "m": self.stream.m_done,
+            "indptr": self.stream.indptr.tolist(),
+            "agents": self.stream.agents.tolist(),
+            "counts": self.stream.counts.tolist(),
+            "results": self.stream.results.tolist(),
+            "applied": dict(self.applied),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Session":
+        """Rebuild a session by replaying its record in arrival order."""
+        params = SessionParams.create(
+            record["n"],
+            record["gamma"],
+            record["channel"],
+            record["centering"],
+        )
+        session = cls(str(record["session_id"]), params, record["sigma"])
+        indptr = np.asarray(record["indptr"], dtype=np.int64)
+        agents = np.asarray(record["agents"], dtype=np.int64)
+        counts = np.asarray(record["counts"], dtype=np.int64)
+        results = np.asarray(record["results"], dtype=np.float64)
+        for i in range(int(record["m"])):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            session.stream.append(
+                agents[lo:hi], counts[lo:hi], float(results[i])
+            )
+            session.decoder.ingest_query(
+                agents[lo:hi], counts[lo:hi], float(results[i])
+            )
+        session.applied = {
+            str(k): int(v) for k, v in dict(record["applied"]).items()
+        }
+        return session
+
+
+__all__ = [
+    "CENTERINGS",
+    "channel_to_spec",
+    "channel_from_spec",
+    "SessionParams",
+    "Session",
+]

@@ -1,0 +1,66 @@
+"""Durable session storage for the online decode service.
+
+One JSON file per session under the server's state directory, written
+through :func:`repro.experiments.storage.save_json_atomic` — the
+write-to-temp-then-``os.replace`` primitive the sweep checkpoint layer
+already trusts. A reader therefore sees either the previous complete
+record or the new complete record, never a torn write, which is what
+lets a SIGKILLed server restart and resume every session bit-
+identically (:meth:`repro.service.session.Session.from_record`).
+
+Write-ahead discipline: the server persists a session *before*
+acknowledging the ingest that changed it, so any measurement a client
+saw acked survives the crash; at worst an *unacked* tail is lost, and
+the client's idempotent retry re-delivers it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.storage import load_json, save_json_atomic
+from repro.service.session import Session
+
+
+class SessionStore:
+    """Directory of durable session records."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, session_id: str) -> Path:
+        # Session ids are client-chosen; flatten anything that is not
+        # filename-safe so an id can never escape the state directory.
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in session_id
+        )
+        return self.root / f"{safe}.session.json"
+
+    def save(self, session: Session) -> None:
+        """Persist one session atomically (write-then-rename)."""
+        save_json_atomic(self._path(session.session_id), session.record())
+
+    def delete(self, session_id: str) -> None:
+        path = self._path(session_id)
+        if path.exists():
+            path.unlink()
+
+    def load_all(self) -> Dict[str, Session]:
+        """Rebuild every stored session (server start / restart).
+
+        Records are replayed through :meth:`Session.from_record`, so
+        the restored in-memory state is bit-identical to the state at
+        the last acknowledged ingest. Leftover ``*.tmp`` files from an
+        interrupted atomic write are ignored (the rename never
+        happened, so the previous complete record is still in place).
+        """
+        sessions: Dict[str, Session] = {}
+        for path in sorted(self.root.glob("*.session.json")):
+            session = Session.from_record(load_json(path))
+            sessions[session.session_id] = session
+        return sessions
+
+
+__all__ = ["SessionStore"]

@@ -1,0 +1,119 @@
+"""Subprocess harness for decode-server tests, smokes, and examples.
+
+Launches ``python -m repro serve`` with an ephemeral port, parses the
+ready banner for the bound address, and exposes the two exits the
+chaos tests need: a clean ``stop()`` and a ``kill()`` that SIGKILLs
+the process mid-stream (no shutdown path runs — exactly the crash the
+durable session store must survive).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import List, Optional
+
+#: the ready banner printed by ``repro serve``; the launcher parses the
+#: bound (possibly ephemeral) port out of it
+BANNER_RE = re.compile(r"listening on ([^\s:]+):(\d+)")
+
+
+class ServerProcess:
+    """A running ``repro serve`` subprocess."""
+
+    def __init__(self, proc: subprocess.Popen, host: str, port: int):
+        self.proc = proc
+        self.host = host
+        self.port = port
+        self._lines: List[str] = []
+        self._reader = threading.Thread(
+            target=self._drain, name="serve-stdout", daemon=True
+        )
+        self._reader.start()
+
+    def _drain(self) -> None:
+        for line in self.proc.stdout:
+            self._lines.append(line)
+
+    @property
+    def output(self) -> str:
+        return "".join(self._lines)
+
+    def kill(self) -> None:
+        """SIGKILL — the crash injection; no shutdown code runs."""
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+
+
+def start_server(
+    state_dir,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    args: Optional[List[str]] = None,
+    env: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> ServerProcess:
+    """Start a decode server and wait for its ready banner.
+
+    ``env`` entries overlay the inherited environment (use for
+    ``REPRO_SERVICE_*`` knobs); ``args`` appends raw CLI flags. The
+    default ``port=0`` binds an ephemeral port, read back from the
+    banner — so parallel test runs never collide.
+    """
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", host, "--port", str(port),
+        "--state-dir", str(state_dir),
+    ] + list(args or [])
+    full_env = dict(os.environ)
+    if env:
+        full_env.update({k: str(v) for k, v in env.items()})
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=full_env,
+    )
+    deadline = time.monotonic() + timeout
+    lines: List[str] = []
+    while True:
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise TimeoutError(
+                "server did not print its ready banner within "
+                f"{timeout:.0f}s; output so far:\n{''.join(lines)}"
+            )
+        line = proc.stdout.readline()
+        if line:
+            lines.append(line)
+            match = BANNER_RE.search(line)
+            if match:
+                server = ServerProcess(proc, match.group(1), int(match.group(2)))
+                server._lines = lines + server._lines
+                return server
+        elif proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited with {proc.returncode} before becoming "
+                f"ready; output:\n{''.join(lines)}"
+            )
+        else:
+            time.sleep(0.01)
+
+
+__all__ = ["BANNER_RE", "ServerProcess", "start_server"]

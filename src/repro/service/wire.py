@@ -1,0 +1,183 @@
+"""Wire protocol of the online decode service.
+
+Same hardened frame format as the sweep engine's socket backend
+(:mod:`repro.experiments.worker`, protocol notes there)::
+
+    8-byte big-endian payload length | 32-byte HMAC-SHA256 tag | payload
+
+with the same two non-negotiables: the length prefix is checked
+against :func:`repro.experiments.worker.max_frame_bytes` **before**
+the receive buffer is allocated, and the HMAC tag (keyed from
+``REPRO_AUTH_TOKEN`` via :func:`repro.experiments.worker.
+resolve_auth_key`) is verified **before** the payload is unpickled.
+The service side adds asyncio stream variants of the frame functions
+(the server is a single-threaded event loop) next to the synchronous
+ones the client uses.
+
+The handshake is the service's own — ``("hello", "service", version)``
+/ ``("welcome", "service", version)`` — so a decode client that
+accidentally dials a sweep worker (or vice versa) fails with a clear
+rejection instead of a mid-conversation shape error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import hmac
+import pickle
+import socket
+from typing import Optional
+
+from repro.experiments.worker import (
+    _HEADER,
+    _TAG_SIZE,
+    AuthError,
+    ProtocolError,
+    max_frame_bytes,
+    recv_message,
+    resolve_auth_key,
+    send_message,
+)
+
+#: service wire protocol version; bump on any frame or message-shape
+#: change so mismatched versions reject at the handshake
+SERVICE_PROTOCOL_VERSION = 1
+
+#: the handshake family tag distinguishing decode-service conversations
+#: from sweep-worker ones on the shared frame format
+SERVICE_FAMILY = "service"
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    key: bytes,
+    max_bytes: Optional[int] = None,
+):
+    """Read one authenticated frame; ``None`` on clean EOF at a boundary.
+
+    The asyncio twin of :func:`repro.experiments.worker.recv_message`,
+    with the identical cap-before-allocate / verify-before-unpickle
+    order.
+    """
+    if max_bytes is None:
+        max_bytes = max_frame_bytes()
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise EOFError("connection closed mid-frame") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame announces {length} payload bytes, above the "
+            f"{max_bytes}-byte cap; refusing the allocation"
+        )
+    try:
+        tag = await reader.readexactly(_TAG_SIZE)
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise EOFError("connection closed mid-frame") from exc
+    expected = hmac.new(key, payload, hashlib.sha256).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise AuthError(
+            "frame HMAC verification failed; payload discarded unread"
+        )
+    return pickle.loads(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, obj, key: bytes
+) -> None:
+    """Send one authenticated frame on an asyncio stream."""
+    payload = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+    tag = hmac.new(key, payload, hashlib.sha256).digest()
+    writer.write(_HEADER.pack(len(payload)) + tag + payload)
+    await writer.drain()
+
+
+async def server_handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    key: bytes,
+) -> bool:
+    """Serve the handshake; returns ``False`` when the peer was rejected.
+
+    An unauthenticated hello (wrong token) gets a silent disconnect —
+    nothing is revealed to a peer that cannot produce a valid tag. A
+    wrong family or version gets an authenticated rejection naming the
+    reason.
+    """
+    try:
+        hello = await read_frame(reader, key)
+    except (AuthError, ProtocolError, EOFError):
+        return False
+    if hello is None:
+        return False
+    if (
+        not isinstance(hello, tuple)
+        or len(hello) != 3
+        or hello[0] != "hello"
+        or hello[1] != SERVICE_FAMILY
+    ):
+        await write_frame(
+            writer,
+            ("reject", "this port speaks the repro decode-service protocol"),
+            key,
+        )
+        return False
+    if hello[2] != SERVICE_PROTOCOL_VERSION:
+        await write_frame(
+            writer,
+            (
+                "reject",
+                f"service protocol {hello[2]} != {SERVICE_PROTOCOL_VERSION}",
+            ),
+            key,
+        )
+        return False
+    await write_frame(
+        writer, ("welcome", SERVICE_FAMILY, SERVICE_PROTOCOL_VERSION), key
+    )
+    return True
+
+
+def client_handshake(conn: socket.socket, key: bytes) -> None:
+    """Run the client side of the service handshake on a sync socket.
+
+    Mirrors :func:`repro.experiments.worker.client_handshake`'s error
+    contract: :class:`AuthError` on a silent disconnect (token
+    mismatch), :class:`ProtocolError` on an authenticated rejection or
+    malformed reply — both permanent, never retried.
+    """
+    send_message(conn, ("hello", SERVICE_FAMILY, SERVICE_PROTOCOL_VERSION), key)
+    reply = recv_message(conn, key)
+    if reply is None:
+        raise AuthError(
+            "server closed the connection during the handshake — almost "
+            "always an auth-token mismatch between client and server"
+        )
+    if isinstance(reply, tuple) and reply and reply[0] == "reject":
+        raise ProtocolError(f"server rejected the handshake: {reply[1]}")
+    if reply != ("welcome", SERVICE_FAMILY, SERVICE_PROTOCOL_VERSION):
+        raise ProtocolError(
+            f"unexpected handshake reply {reply!r} (client speaks "
+            f"service protocol {SERVICE_PROTOCOL_VERSION})"
+        )
+
+
+__all__ = [
+    "SERVICE_PROTOCOL_VERSION",
+    "SERVICE_FAMILY",
+    "read_frame",
+    "write_frame",
+    "server_handshake",
+    "client_handshake",
+    "resolve_auth_key",
+    "max_frame_bytes",
+    "send_message",
+    "recv_message",
+    "AuthError",
+    "ProtocolError",
+]

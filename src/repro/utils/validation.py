@@ -80,19 +80,15 @@ def check_in_range(
 def env_int(name: str) -> Optional[int]:
     """Parse an integer environment variable, or ``None`` when unset/blank.
 
-    Raises ``ValueError`` naming the variable for non-integer contents;
-    range rules are the caller's business (e.g. ``REPRO_WORKERS``
-    accepts 0 = one per CPU, ``REPRO_CSR_THREADS`` requires >= 1).
+    Kept as a re-export seam: the implementation (and the single error
+    format every ``REPRO_*`` variable shares) lives in
+    :mod:`repro.utils.config`; range rules belong to the caller (e.g.
+    ``REPRO_WORKERS`` accepts 0 = one per CPU) or to the ``minimum=``
+    option of :func:`repro.utils.config.env_int`.
     """
-    import os
+    from repro.utils.config import env_int as config_env_int
 
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return None
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    return config_env_int(name)
 
 
 def _as_float(value, name: str) -> float:

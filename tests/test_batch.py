@@ -420,3 +420,143 @@ class TestFirstSuccessM:
         graph = sample_pooling_graph(50, 20, rng=gen)
         with pytest.raises(ValueError):
             first_success_m(graph, truth, np.zeros(20), centering="oracle")
+
+
+class TestSessionStream:
+    """The decode service's append-fed stream (PR 10, satellite 3)."""
+
+    def _stream(self, n=60, gamma=30, seed=0):
+        from repro.core.batch import SessionStream
+
+        gen = np.random.default_rng(seed)
+        truth = repro.sample_ground_truth(n, 3, gen)
+        return SessionStream(n, gamma, truth), gen
+
+    def _queries(self, stream, gen, count):
+        sigma = stream.truth.sigma.astype(np.int64)
+        channel = repro.ZChannel(0.1)
+        out = []
+        for _ in range(count):
+            agents, counts = repro.sample_query(stream.n, stream.gamma, gen)
+            total = int(np.dot(counts, sigma[agents]))
+            result = float(
+                channel.measure(
+                    np.asarray([total]), int(counts.sum()), gen
+                )[0]
+            )
+            out.append((agents, counts, result))
+        return out
+
+    def test_append_validation(self):
+        stream, _ = self._stream()
+        with pytest.raises(ValueError, match="equal length"):
+            stream.append([0, 1], [30], 1.0)
+        with pytest.raises(ValueError, match="sum to gamma"):
+            stream.append([0], [7], 1.0)
+        with pytest.raises(ValueError, match=r"lie in \[0"):
+            stream.append([60], [30], 1.0)
+        with pytest.raises(ValueError, match=">= 1"):
+            stream.append([0, 1], [31, -1], 1.0)
+        assert stream.m_done == 0
+
+    def test_prefix_matches_per_query_appends(self):
+        # Feeding a generator stream's rows through append reproduces
+        # its consolidated CSR arrays bit for bit — SessionStream is a
+        # faithful wire-fed twin of MeasurementStream.
+        from repro.core.batch import MeasurementStream, SessionStream
+
+        n, gamma, m = 50, 25, 30
+        gen = np.random.default_rng(5)
+        truth = repro.sample_ground_truth(n, 2, gen)
+        source = MeasurementStream(
+            n, gamma, repro.ZChannel(0.2), truth, gen, max_m=m
+        )
+        source.grow_to(m)
+        twin = SessionStream(n, gamma, truth)
+        for i in range(m):
+            lo, hi = int(source.indptr[i]), int(source.indptr[i + 1])
+            twin.append(
+                source.agents[lo:hi],
+                source.counts[lo:hi],
+                float(source.results[i]),
+            )
+        assert np.array_equal(twin.indptr, source.indptr[: m + 1])
+        assert np.array_equal(twin.agents, source.agents[: int(source.indptr[m])])
+        assert np.array_equal(twin.counts, source.counts[: int(source.indptr[m])])
+        assert np.array_equal(twin.results, source.results[:m])
+        for a, b in zip(twin.prefix(17), source.prefix(17)):
+            assert np.array_equal(a, b)
+
+    def test_append_after_replay_is_pure(self):
+        # Grown straight through vs checkpointed/replayed/grown-further:
+        # identical arrays, identical stacked-AMP decode. This is the
+        # service's crash-recovery foundation.
+        from repro.amp.batch_amp import decode_prefix_batch
+        from repro.core.batch import SessionStream
+
+        straight, gen = self._stream(seed=7)
+        queries = self._queries(straight, gen, 40)
+        for agents, counts, result in queries:
+            straight.append(agents, counts, result)
+
+        # "checkpoint" after 25: replay the recorded arrays into a fresh
+        # stream, then keep appending the live tail.
+        resumed = SessionStream(
+            straight.n, straight.gamma, straight.truth
+        )
+        for agents, counts, result in queries[:25]:
+            resumed.append(agents, counts, result)
+        indptr, agents_arr, counts_arr, results_arr = (
+            np.array(a) for a in resumed.prefix(25)
+        )
+        replayed = SessionStream(
+            straight.n, straight.gamma, straight.truth
+        )
+        for i in range(25):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            replayed.append(
+                agents_arr[lo:hi], counts_arr[lo:hi], float(results_arr[i])
+            )
+        for agents, counts, result in queries[25:]:
+            replayed.append(agents, counts, result)
+
+        assert np.array_equal(replayed.indptr, straight.indptr)
+        assert np.array_equal(replayed.agents, straight.agents)
+        assert np.array_equal(replayed.counts, straight.counts)
+        assert np.array_equal(replayed.results, straight.results)
+
+        exact_a, scores_a = decode_prefix_batch(
+            [(0, 40)], [straight], straight.n, straight.truth.k,
+            repro.ZChannel(0.1), gamma=straight.gamma,
+        )
+        exact_b, scores_b = decode_prefix_batch(
+            [(0, 40)], [replayed], straight.n, straight.truth.k,
+            repro.ZChannel(0.1), gamma=straight.gamma,
+        )
+        assert np.array_equal(exact_a, exact_b)
+        assert np.array_equal(scores_a, scores_b)
+
+    def test_grow_to_is_bounded_by_appends(self):
+        stream, gen = self._stream()
+        for agents, counts, result in self._queries(stream, gen, 6):
+            stream.append(agents, counts, result)
+        stream.grow_to(6)  # no-op within the appended length
+        stream.grow_to(0)
+        with pytest.raises(ValueError, match=r"cannot[\s\S]*grow"):
+            stream.grow_to(7)
+        with pytest.raises(ValueError, match="exceeds the appended"):
+            stream.prefix(7)
+
+    def test_consolidation_invalidated_by_append(self):
+        stream, gen = self._stream()
+        queries = self._queries(stream, gen, 4)
+        for agents, counts, result in queries[:2]:
+            stream.append(agents, counts, result)
+        first = stream.indptr
+        assert first.size == 3
+        for agents, counts, result in queries[2:]:
+            stream.append(agents, counts, result)
+        assert stream.indptr.size == 5
+        # The earlier consolidated array is untouched (snapshots taken
+        # by in-flight decodes stay valid).
+        assert first.size == 3

@@ -1,0 +1,41 @@
+"""Smoke tests for the service-client examples.
+
+Each example runs as a real subprocess in ``--quick`` mode: it starts
+its own decode server on an ephemeral port, streams measurements as a
+client, and (for the cluster example) asserts service/local
+bit-identity itself — a nonzero exit code is a failure either way.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def run_example(name, *args, timeout=600):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), "--quick", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+
+
+def test_epidemic_screening_quick():
+    proc = run_example("epidemic_screening.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "certified tests" in proc.stdout
+    # The overwhelming-noise run must land in the failure phase.
+    assert "no certificate" in proc.stdout
+
+
+def test_gpu_cluster_quick():
+    proc = run_example("gpu_cluster.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "bit-identical to standalone decoding" in proc.stdout

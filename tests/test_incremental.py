@@ -62,6 +62,106 @@ class TestIncrementalDecoder:
         assert dec.delta.sum() == 10
 
 
+class TestIngestQuery:
+    """The decode service's wire-fed entry point (PR 10, satellite 3)."""
+
+    def _measured(self, n, gamma, channel, truth, rng, count):
+        sigma = truth.sigma.astype(np.int64)
+        queries = []
+        for _ in range(count):
+            agents, counts = repro.sample_query(n, gamma, rng)
+            total = int(np.dot(counts, sigma[agents]))
+            result = float(
+                channel.measure(
+                    np.asarray([total]), int(counts.sum()), rng
+                )[0]
+            )
+            queries.append((agents, counts, result))
+        return queries
+
+    def test_matches_batch_greedy_scores(self, rng):
+        # Streaming externally measured queries one at a time must land
+        # on the same scores as the batch greedy pipeline on the
+        # assembled graph — same accumulations, different order of
+        # assembly.
+        n, k, gamma = 120, 4, 60
+        channel = repro.ZChannel(0.15)
+        truth = repro.sample_ground_truth(n, k, rng)
+        queries = self._measured(n, gamma, channel, truth, rng, 50)
+
+        dec = IncrementalDecoder(truth, channel, gamma)
+        builder = repro.PoolingGraphBuilder(n, gamma)
+        results = []
+        for agents, counts, result in queries:
+            dec.ingest_query(agents, counts, result)
+            builder.add_query(agents, counts)
+            results.append(result)
+        meas = repro.Measurements(
+            graph=builder.build(),
+            truth=truth,
+            channel=channel,
+            results=np.asarray(results),
+        )
+        batch = repro.greedy_reconstruct(meas)
+        assert np.allclose(dec.scores, batch.scores)
+        assert bool(dec.is_successful()) == bool(batch.separated)
+        assert np.array_equal(dec.reconstruction().estimate, batch.estimate)
+
+    def test_replay_then_append_is_pure(self, rng):
+        # A decoder restored by replaying its first queries and then
+        # grown further is bit-identical to one that never stopped —
+        # the service's crash-recovery contract.
+        n, k, gamma = 100, 3, 50
+        channel = repro.GaussianQueryNoise(0.5)
+        truth = repro.sample_ground_truth(n, k, rng)
+        queries = self._measured(n, gamma, channel, truth, rng, 40)
+
+        straight = IncrementalDecoder(truth, channel, gamma)
+        for agents, counts, result in queries:
+            straight.ingest_query(agents, counts, result)
+
+        replayed = IncrementalDecoder(truth, channel, gamma)
+        for agents, counts, result in queries[:23]:  # pre-crash prefix
+            replayed.ingest_query(agents, counts, result)
+        for agents, counts, result in queries[23:]:  # post-restart growth
+            replayed.ingest_query(agents, counts, result)
+
+        assert replayed.m == straight.m
+        assert np.array_equal(replayed.scores, straight.scores)
+        assert np.array_equal(replayed.psi, straight.psi)
+        assert np.array_equal(replayed.delta_star, straight.delta_star)
+        assert replayed.separation() == straight.separation()
+
+    def test_ingest_matches_add_query(self, rng):
+        # add_query == sample + measure + ingest_query on shared rng
+        # state: the streaming entry point is the simulator's own path.
+        n, k, gamma = 80, 3, 40
+        truth = repro.sample_ground_truth(n, k, rng)
+        channel = repro.ZChannel(0.1)
+        seed = int(rng.integers(2**32))
+
+        auto = IncrementalDecoder(truth, channel, gamma)
+        gen = np.random.default_rng(seed)
+        for _ in range(20):
+            auto.add_query(gen)
+
+        manual = IncrementalDecoder(truth, channel, gamma)
+        gen = np.random.default_rng(seed)
+        sigma = truth.sigma.astype(np.int64)
+        for _ in range(20):
+            agents, counts = repro.sample_query(n, gamma, gen)
+            total = int(np.dot(counts, sigma[agents]))
+            result = float(
+                channel.measure(
+                    np.asarray([total]), int(counts.sum()), gen
+                )[0]
+            )
+            manual.ingest_query(agents, counts, result)
+
+        assert np.array_equal(manual.scores, auto.scores)
+        assert manual.separation() == auto.separation()
+
+
 class TestRequiredQueries:
     def test_noiseless_succeeds(self):
         res = required_queries(200, 5, repro.NoiselessChannel(), rng=1)

@@ -37,13 +37,20 @@ def test_resolve_env_truthy(monkeypatch, raw):
     assert resolve_shm() is True
 
 
-@pytest.mark.parametrize("raw", [None, "", "0", "false", "off", "2"])
+@pytest.mark.parametrize("raw", [None, "", "0", "false", "off"])
 def test_resolve_env_falsy(monkeypatch, raw):
     if raw is None:
         monkeypatch.delenv(SHM_ENV, raising=False)
     else:
         monkeypatch.setenv(SHM_ENV, raw)
     assert resolve_shm() is False
+
+
+def test_resolve_env_garbage_raises(monkeypatch):
+    # A typo in the switch must not silently disable the arena.
+    monkeypatch.setenv(SHM_ENV, "2")
+    with pytest.raises(ValueError, match="REPRO_SHM"):
+        resolve_shm()
 
 
 # -- arena lifecycle -----------------------------------------------------
